@@ -1,0 +1,87 @@
+//! One-shot composition latency per algorithm and system size.
+//!
+//! Complements the figure binaries: where those measure *protocol message
+//! counts* in simulated time, these measure *wall-clock compute cost* of a
+//! single `Find` invocation — the number the paper's complexity claims
+//! ("adaptive polynomial approximation" vs "exponential overhead") are
+//! about.
+
+use acp_core::prelude::*;
+use acp_simcore::{DeterministicRng, SimTime};
+use acp_workload::{build_system, RequestConfig, RequestGenerator, ScenarioConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+fn config_for(nodes: usize) -> ScenarioConfig {
+    let mut config = ScenarioConfig::small(7);
+    config.ip_nodes = (nodes * 8).max(400);
+    config.stream_nodes = nodes;
+    config
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compose_once");
+    group.sample_size(20);
+    for &nodes in &[50usize, 100] {
+        let config = config_for(nodes);
+        let (system, board, library) = build_system(&config);
+        let mut generator = RequestGenerator::new(library, RequestConfig::default());
+        let mut rng = DeterministicRng::new(7).stream("bench");
+        let (request, _) = generator.next(&mut rng);
+
+        for kind in [
+            AlgorithmKind::Acp,
+            AlgorithmKind::Sp,
+            AlgorithmKind::Rp,
+            AlgorithmKind::Random,
+            AlgorithmKind::Static,
+            AlgorithmKind::Optimal,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), nodes),
+                &nodes,
+                |b, _| {
+                    b.iter_batched(
+                        || (system.clone(), kind.build(ProbingConfig::default(), 42)),
+                        |(mut sys, mut composer)| {
+                            composer.compose(&mut sys, &board, &request, SimTime::ZERO)
+                        },
+                        BatchSize::SmallInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_probing_ratio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compose_vs_alpha");
+    group.sample_size(20);
+    let config = config_for(50);
+    let (system, board, library) = build_system(&config);
+    let mut generator = RequestGenerator::new(library, RequestConfig::default());
+    let mut rng = DeterministicRng::new(9).stream("bench-alpha");
+    let (request, _) = generator.next(&mut rng);
+
+    for alpha in [0.1, 0.3, 0.5, 1.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
+            b.iter_batched(
+                || {
+                    (
+                        system.clone(),
+                        AcpComposer::new(
+                            ProbingConfig { probing_ratio: alpha, ..ProbingConfig::default() },
+                            42,
+                        ),
+                    )
+                },
+                |(mut sys, mut composer)| composer.compose(&mut sys, &board, &request, SimTime::ZERO),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_probing_ratio);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Micro-benchmarks of ACP's decision kernels: per-hop candidate
+//! selection (ranked vs random), the congestion aggregation metric, and
+//! global-state refresh.
+
+use acp_core::overhead::OverheadStats;
+use acp_core::selection::{select_candidates, HopContext, HopSelection};
+use acp_model::prelude::*;
+use acp_simcore::DeterministicRng;
+use acp_workload::{build_system, RequestConfig, RequestGenerator, ScenarioConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn setup() -> (StreamSystem, acp_state::GlobalStateBoard, Request) {
+    let mut config = ScenarioConfig::small(11);
+    config.stream_nodes = 100;
+    config.ip_nodes = 800;
+    let (system, board, library) = build_system(&config);
+    let mut generator = RequestGenerator::new(library, RequestConfig::default());
+    let mut rng = DeterministicRng::new(11).stream("sel");
+    let (request, _) = generator.next(&mut rng);
+    (system, board, request)
+}
+
+fn bench_candidate_selection(c: &mut Criterion) {
+    let (mut system, board, request) = setup();
+    let mut group = c.benchmark_group("candidate_selection");
+    for (label, strategy) in [("ranked", HopSelection::Ranked), ("random", HopSelection::Random)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &strategy, |b, &strategy| {
+            let mut rng = DeterministicRng::new(12).stream("sel-rng");
+            b.iter(|| {
+                let ctx = HopContext { request: &request, vertex: 0, predecessors: vec![] };
+                let mut stats = OverheadStats::new();
+                select_candidates(&mut system, &board, &ctx, strategy, 0.3, 0.05, &mut rng, &mut stats)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_congestion_aggregation(c: &mut Criterion) {
+    let (mut system, board, request) = setup();
+    // Build one composition to evaluate.
+    let mut composer = acp_core::AcpComposer::new(acp_core::ProbingConfig::default(), 3);
+    use acp_core::Composer as _;
+    let out = composer.compose(&mut system, &board, &request, acp_simcore::SimTime::ZERO);
+    let sid = out.session.expect("loose request composes");
+    let composition = system.session(sid).unwrap().composition.clone();
+
+    c.bench_function("congestion_aggregation", |b| {
+        b.iter(|| congestion_aggregation(&system, &request, &composition));
+    });
+}
+
+fn bench_board_refresh(c: &mut Criterion) {
+    let (system, mut board, _request) = setup();
+    c.bench_function("global_board_refresh_100_nodes", |b| {
+        b.iter(|| board.refresh_nodes(&system));
+    });
+}
+
+criterion_group!(benches, bench_candidate_selection, bench_congestion_aggregation, bench_board_refresh);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Runs the ablation studies over ACP's design knobs. See `--help`.
+
+use acp_bench::{
+    ablation_bcp, ablation_risk_epsilon, ablation_state_threshold, ablation_tuning, write_results,
+    CliArgs, Scale,
+};
+
+fn main() {
+    let args = CliArgs::parse();
+    let scale = Scale::from_name(&args.scale);
+    eprintln!("running ablations at scale '{}' (seed {})…", scale.name, args.seed);
+    let start = std::time::Instant::now();
+    let tables = vec![
+        ablation_risk_epsilon(&scale, args.seed),
+        ablation_state_threshold(&scale, args.seed),
+        ablation_bcp(&scale, args.seed),
+        ablation_tuning(&scale, args.seed),
+    ];
+    for table in &tables {
+        println!("{}", table.render());
+    }
+    write_results(&args.out, &format!("ablation-{}", scale.name), &tables).expect("write results");
+    eprintln!("done in {:.1}s; results under {}", start.elapsed().as_secs_f64(), args.out.display());
+}

@@ -1,0 +1,16 @@
+//! Regenerates the paper's Figure 6. See `--help` for flags.
+
+use acp_bench::{fig6, write_results, CliArgs, Scale};
+
+fn main() {
+    let args = CliArgs::parse();
+    let scale = Scale::from_name(&args.scale);
+    eprintln!("running Figure 6 at scale '{}' (seed {})…", scale.name, args.seed);
+    let start = std::time::Instant::now();
+    let (a, b) = fig6(&scale, args.seed);
+    println!("{}", a.render());
+    println!("{}", b.render());
+    let written = write_results(&args.out, &format!("fig6-{}", scale.name), &[a, b]).expect("write results");
+    let _ = written;
+    eprintln!("done in {:.1}s; results under {}", start.elapsed().as_secs_f64(), args.out.display());
+}

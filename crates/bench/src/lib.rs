@@ -1,0 +1,26 @@
+//! # acp-bench
+//!
+//! The benchmark harness regenerating every table and figure of the ACP
+//! paper's evaluation (§4):
+//!
+//! * [`experiments`] — one function per figure (5–8), parameterised by a
+//!   [`experiments::Scale`] (`paper` or `quick`).
+//! * [`report`] — aligned-table rendering plus CSV/JSON export.
+//!
+//! Binaries `fig5`–`fig8` drive the experiments from the command line:
+//!
+//! ```text
+//! cargo run -p acp-bench --release --bin fig6 -- --scale paper --seed 42
+//! ```
+//!
+//! Criterion micro-benchmarks (composition latency per algorithm,
+//! topology generation, routing, candidate selection) live under
+//! `benches/`.
+
+pub mod ablation;
+pub mod experiments;
+pub mod report;
+
+pub use ablation::{ablation_bcp, ablation_risk_epsilon, ablation_state_threshold, ablation_tuning};
+pub use experiments::{fig5, fig6, fig7, fig8, Scale};
+pub use report::{write_results, CliArgs, Table};

@@ -1,0 +1,562 @@
+//! The [`Composer`] abstraction and the six algorithms of the paper's
+//! evaluation (§4.1):
+//!
+//! | name      | per-hop selection       | final selection | global state |
+//! |-----------|-------------------------|-----------------|--------------|
+//! | `optimal` | exhaustive              | min φ(λ)        | precise      |
+//! | `acp`     | risk/congestion ranking | min φ(λ)        | coarse       |
+//! | `sp`      | risk/congestion ranking | random          | coarse       |
+//! | `rp`      | random                  | min φ(λ)        | none         |
+//! | `random`  | single random pick      | —               | none         |
+//! | `static`  | single fixed pick       | —               | none         |
+
+use acp_model::prelude::*;
+use acp_simcore::SimTime;
+use acp_state::GlobalStateBoard;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::naive::{blind_compose, BlindStrategy};
+use crate::optimal::{optimal_compose, OptimalConfig};
+use crate::overhead::OverheadStats;
+use crate::protocol::{probe_compose, FinalSelection, ProbingConfig};
+use crate::selection::HopSelection;
+
+/// Result of one composition attempt.
+#[derive(Debug, Clone)]
+pub struct ComposeOutcome {
+    /// The established session, if composition succeeded.
+    pub session: Option<SessionId>,
+    /// Message ledger for this request.
+    pub stats: OverheadStats,
+}
+
+/// A composition algorithm: given the system, the coarse global state and
+/// a request, find and commit a component graph.
+pub trait Composer {
+    /// Short algorithm name used in reports ("acp", "optimal", …).
+    fn name(&self) -> &'static str;
+
+    /// Attempts to compose and commit `request` at simulated time `now`.
+    fn compose(
+        &mut self,
+        system: &mut StreamSystem,
+        board: &GlobalStateBoard,
+        request: &Request,
+        now: SimTime,
+    ) -> ComposeOutcome;
+
+    /// Updates the probing ratio, for algorithms that have one. Default:
+    /// no-op.
+    fn set_probing_ratio(&mut self, _alpha: f64) {}
+
+    /// The current probing ratio, if the algorithm has one.
+    fn probing_ratio(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// The ACP algorithm: coarse-state-guided selective probing with
+/// min-φ(λ) final selection.
+#[derive(Debug)]
+pub struct AcpComposer {
+    config: ProbingConfig,
+    rng: StdRng,
+}
+
+impl AcpComposer {
+    /// Creates an ACP composer with the given probing configuration.
+    pub fn new(config: ProbingConfig, seed: u64) -> Self {
+        let config = ProbingConfig {
+            hop_selection: HopSelection::Ranked,
+            final_selection: FinalSelection::MinCongestion,
+            ..config
+        };
+        AcpComposer { config, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The probing configuration in effect.
+    pub fn config(&self) -> &ProbingConfig {
+        &self.config
+    }
+}
+
+impl Composer for AcpComposer {
+    fn name(&self) -> &'static str {
+        "acp"
+    }
+
+    fn compose(
+        &mut self,
+        system: &mut StreamSystem,
+        board: &GlobalStateBoard,
+        request: &Request,
+        now: SimTime,
+    ) -> ComposeOutcome {
+        let out = probe_compose(system, board, request, now, &self.config, &mut self.rng);
+        ComposeOutcome { session: out.session, stats: out.stats }
+    }
+
+    fn set_probing_ratio(&mut self, alpha: f64) {
+        self.config.probing_ratio = alpha.clamp(0.0, 1.0);
+    }
+
+    fn probing_ratio(&self) -> Option<f64> {
+        Some(self.config.probing_ratio)
+    }
+}
+
+/// The SP baseline: ACP's per-hop selection, random final selection.
+#[derive(Debug)]
+pub struct SelectiveProbingComposer {
+    config: ProbingConfig,
+    rng: StdRng,
+}
+
+impl SelectiveProbingComposer {
+    /// Creates an SP composer.
+    pub fn new(config: ProbingConfig, seed: u64) -> Self {
+        let config = ProbingConfig {
+            hop_selection: HopSelection::Ranked,
+            final_selection: FinalSelection::Random,
+            ..config
+        };
+        SelectiveProbingComposer { config, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Composer for SelectiveProbingComposer {
+    fn name(&self) -> &'static str {
+        "sp"
+    }
+
+    fn compose(
+        &mut self,
+        system: &mut StreamSystem,
+        board: &GlobalStateBoard,
+        request: &Request,
+        now: SimTime,
+    ) -> ComposeOutcome {
+        let out = probe_compose(system, board, request, now, &self.config, &mut self.rng);
+        ComposeOutcome { session: out.session, stats: out.stats }
+    }
+
+    fn set_probing_ratio(&mut self, alpha: f64) {
+        self.config.probing_ratio = alpha.clamp(0.0, 1.0);
+    }
+
+    fn probing_ratio(&self) -> Option<f64> {
+        Some(self.config.probing_ratio)
+    }
+}
+
+/// The RP baseline: random per-hop selection (fully distributed, no
+/// global state), ACP's min-φ(λ) final selection.
+#[derive(Debug)]
+pub struct RandomProbingComposer {
+    config: ProbingConfig,
+    rng: StdRng,
+}
+
+impl RandomProbingComposer {
+    /// Creates an RP composer.
+    pub fn new(config: ProbingConfig, seed: u64) -> Self {
+        let config = ProbingConfig {
+            hop_selection: HopSelection::Random,
+            final_selection: FinalSelection::MinCongestion,
+            ..config
+        };
+        RandomProbingComposer { config, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Composer for RandomProbingComposer {
+    fn name(&self) -> &'static str {
+        "rp"
+    }
+
+    fn compose(
+        &mut self,
+        system: &mut StreamSystem,
+        board: &GlobalStateBoard,
+        request: &Request,
+        now: SimTime,
+    ) -> ComposeOutcome {
+        let out = probe_compose(system, board, request, now, &self.config, &mut self.rng);
+        ComposeOutcome { session: out.session, stats: out.stats }
+    }
+
+    fn set_probing_ratio(&mut self, alpha: f64) {
+        self.config.probing_ratio = alpha.clamp(0.0, 1.0);
+    }
+
+    fn probing_ratio(&self) -> Option<f64> {
+        Some(self.config.probing_ratio)
+    }
+}
+
+/// Bounded composition probing (BCP) — the simpler ACP variant the
+/// paper's PlanetLab prototype implements (footnote 10): ranked per-hop
+/// selection and min-φ final selection like ACP, but with a **fixed**
+/// per-function probe budget instead of a tunable probing ratio (and
+/// hence no ratio tuner).
+#[derive(Debug)]
+pub struct BoundedProbingComposer {
+    config: ProbingConfig,
+    rng: StdRng,
+}
+
+impl BoundedProbingComposer {
+    /// Creates a BCP composer probing at most `budget` candidates per
+    /// function.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `budget` is zero.
+    pub fn new(budget: usize, config: ProbingConfig, seed: u64) -> Self {
+        assert!(budget > 0, "probe budget must be positive");
+        let config = ProbingConfig {
+            hop_selection: HopSelection::Ranked,
+            final_selection: FinalSelection::MinCongestion,
+            probing_ratio: 1.0, // ranking considers every candidate…
+            quota_override: Some(budget), // …the budget caps the spawns
+            ..config
+        };
+        BoundedProbingComposer { config, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The fixed per-function probe budget.
+    pub fn budget(&self) -> usize {
+        self.config.quota_override.expect("set in constructor")
+    }
+}
+
+impl Composer for BoundedProbingComposer {
+    fn name(&self) -> &'static str {
+        "bcp"
+    }
+
+    fn compose(
+        &mut self,
+        system: &mut StreamSystem,
+        board: &GlobalStateBoard,
+        request: &Request,
+        now: SimTime,
+    ) -> ComposeOutcome {
+        let out = probe_compose(system, board, request, now, &self.config, &mut self.rng);
+        ComposeOutcome { session: out.session, stats: out.stats }
+    }
+}
+
+/// The exhaustive-search baseline.
+#[derive(Debug, Default)]
+pub struct OptimalComposer {
+    config: OptimalConfig,
+}
+
+impl OptimalComposer {
+    /// Creates an optimal composer.
+    pub fn new(config: OptimalConfig) -> Self {
+        OptimalComposer { config }
+    }
+}
+
+impl Composer for OptimalComposer {
+    fn name(&self) -> &'static str {
+        "optimal"
+    }
+
+    fn compose(
+        &mut self,
+        system: &mut StreamSystem,
+        _board: &GlobalStateBoard,
+        request: &Request,
+        now: SimTime,
+    ) -> ComposeOutcome {
+        let out = optimal_compose(system, request, now, &self.config);
+        ComposeOutcome { session: out.session, stats: out.stats }
+    }
+}
+
+/// The random baseline.
+#[derive(Debug)]
+pub struct RandomComposer {
+    rng: StdRng,
+}
+
+impl RandomComposer {
+    /// Creates a random composer.
+    pub fn new(seed: u64) -> Self {
+        RandomComposer { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Composer for RandomComposer {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn compose(
+        &mut self,
+        system: &mut StreamSystem,
+        _board: &GlobalStateBoard,
+        request: &Request,
+        now: SimTime,
+    ) -> ComposeOutcome {
+        let out = blind_compose(system, request, now, BlindStrategy::Random, &mut self.rng);
+        ComposeOutcome { session: out.session, stats: out.stats }
+    }
+}
+
+/// The static baseline.
+#[derive(Debug, Default)]
+pub struct StaticComposer;
+
+impl StaticComposer {
+    /// Creates a static composer.
+    pub fn new() -> Self {
+        StaticComposer
+    }
+}
+
+impl Composer for StaticComposer {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn compose(
+        &mut self,
+        system: &mut StreamSystem,
+        _board: &GlobalStateBoard,
+        request: &Request,
+        now: SimTime,
+    ) -> ComposeOutcome {
+        // rng unused by the static strategy
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = blind_compose(system, request, now, BlindStrategy::Static, &mut rng);
+        ComposeOutcome { session: out.session, stats: out.stats }
+    }
+}
+
+/// The algorithms of the paper's evaluation, for driving sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmKind {
+    /// Exhaustive search.
+    Optimal,
+    /// Adaptive composition probing.
+    Acp,
+    /// Selective probing (random final pick).
+    Sp,
+    /// Random probing (random per-hop, optimal final pick).
+    Rp,
+    /// Blind random.
+    Random,
+    /// Blind static.
+    Static,
+}
+
+impl AlgorithmKind {
+    /// All algorithms, in the paper's presentation order.
+    pub const ALL: [AlgorithmKind; 6] = [
+        AlgorithmKind::Optimal,
+        AlgorithmKind::Acp,
+        AlgorithmKind::Sp,
+        AlgorithmKind::Rp,
+        AlgorithmKind::Random,
+        AlgorithmKind::Static,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AlgorithmKind::Optimal => "optimal",
+            AlgorithmKind::Acp => "acp",
+            AlgorithmKind::Sp => "sp",
+            AlgorithmKind::Rp => "rp",
+            AlgorithmKind::Random => "random",
+            AlgorithmKind::Static => "static",
+        }
+    }
+
+    /// Instantiates the composer with a probing configuration (used by
+    /// the probing algorithms, ignored by the others) and an RNG seed.
+    pub fn build(self, probing: ProbingConfig, seed: u64) -> Box<dyn Composer> {
+        self.build_with(probing, OptimalConfig::default(), seed)
+    }
+
+    /// Like [`Self::build`], with an explicit exhaustive-search
+    /// configuration for [`AlgorithmKind::Optimal`].
+    pub fn build_with(self, probing: ProbingConfig, optimal: OptimalConfig, seed: u64) -> Box<dyn Composer> {
+        match self {
+            AlgorithmKind::Optimal => Box::new(OptimalComposer::new(optimal)),
+            AlgorithmKind::Acp => Box::new(AcpComposer::new(probing, seed)),
+            AlgorithmKind::Sp => Box::new(SelectiveProbingComposer::new(probing, seed)),
+            AlgorithmKind::Rp => Box::new(RandomProbingComposer::new(probing, seed)),
+            AlgorithmKind::Random => Box::new(RandomComposer::new(seed)),
+            AlgorithmKind::Static => Box::new(StaticComposer::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for AlgorithmKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acp_state::GlobalStateConfig;
+    use acp_topology::{InetConfig, Overlay, OverlayConfig};
+
+    fn build(seed: u64) -> (StreamSystem, GlobalStateBoard) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ip = InetConfig { nodes: 200, ..InetConfig::default() }.generate(&mut rng);
+        let overlay = Overlay::build(&ip, &OverlayConfig { stream_nodes: 25, neighbors: 4 }, &mut rng);
+        let sys = StreamSystem::generate(
+            overlay,
+            FunctionRegistry::standard(),
+            &SystemConfig { components_per_node: (2, 3), ..SystemConfig::default() },
+            &mut rng,
+        );
+        let board = GlobalStateBoard::new(&sys, GlobalStateConfig::default());
+        (sys, board)
+    }
+
+    fn request(sys: &StreamSystem, id: u64) -> Request {
+        let fns: Vec<FunctionId> =
+            sys.registry().ids().filter(|&f| !sys.candidates(f).is_empty()).take(3).collect();
+        Request {
+            id: RequestId(id),
+            graph: FunctionGraph::path(fns),
+            qos: QosRequirement::unconstrained(),
+            base_resources: ResourceVector::new(0.3, 1.5),
+            bandwidth_kbps: 3.0,
+            stream_rate_kbps: 64.0,
+            constraints: PlacementConstraints::none(),
+        }
+    }
+
+    #[test]
+    fn every_algorithm_composes_a_loose_request() {
+        for kind in AlgorithmKind::ALL {
+            let (mut sys, board) = build(10);
+            let req = request(&sys, 1);
+            let mut composer = kind.build(ProbingConfig::default(), 42);
+            let out = composer.compose(&mut sys, &board, &req, SimTime::ZERO);
+            assert!(out.session.is_some(), "{kind} failed a loose request");
+            assert_eq!(composer.name(), kind.label());
+        }
+    }
+
+    #[test]
+    fn probing_ratio_plumbs_through() {
+        let mut acp = AcpComposer::new(ProbingConfig::default(), 1);
+        assert_eq!(acp.probing_ratio(), Some(0.3));
+        acp.set_probing_ratio(0.7);
+        assert_eq!(acp.probing_ratio(), Some(0.7));
+        acp.set_probing_ratio(5.0);
+        assert_eq!(acp.probing_ratio(), Some(1.0), "clamped");
+        let opt = OptimalComposer::default();
+        assert_eq!(opt.probing_ratio(), None);
+    }
+
+    /// Builds a denser system where functions have ≥5 candidates, so the
+    /// probing ratio actually bites.
+    fn build_dense(seed: u64) -> (StreamSystem, GlobalStateBoard) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ip = InetConfig { nodes: 300, ..InetConfig::default() }.generate(&mut rng);
+        let overlay = Overlay::build(&ip, &OverlayConfig { stream_nodes: 60, neighbors: 4 }, &mut rng);
+        let sys = StreamSystem::generate(
+            overlay,
+            FunctionRegistry::standard(),
+            &SystemConfig::default(),
+            &mut rng,
+        );
+        let board = GlobalStateBoard::new(&sys, GlobalStateConfig::default());
+        (sys, board)
+    }
+
+    #[test]
+    fn overhead_ordering_matches_paper() {
+        // optimal ≫ acp ≈ rp ≫ random for probe messages on one request.
+        let (sys0, board) = build_dense(11);
+        let fns: Vec<FunctionId> =
+            sys0.registry().ids().filter(|&f| sys0.candidates(f).len() >= 5).take(3).collect();
+        assert_eq!(fns.len(), 3, "dense system should have populous functions");
+        let req = Request {
+            id: RequestId(2),
+            graph: FunctionGraph::path(fns),
+            qos: QosRequirement::unconstrained(),
+            base_resources: ResourceVector::new(0.3, 1.5),
+            bandwidth_kbps: 3.0,
+            stream_rate_kbps: 64.0,
+            constraints: PlacementConstraints::none(),
+        };
+        let mut msgs = std::collections::HashMap::new();
+        for kind in [AlgorithmKind::Optimal, AlgorithmKind::Acp, AlgorithmKind::Rp, AlgorithmKind::Random] {
+            let mut sys = sys0.clone();
+            let mut composer = kind.build(ProbingConfig::default(), 7);
+            let out = composer.compose(&mut sys, &board, &req, SimTime::ZERO);
+            msgs.insert(kind, out.stats.probe_messages);
+        }
+        assert!(msgs[&AlgorithmKind::Optimal] > msgs[&AlgorithmKind::Acp]);
+        assert!(msgs[&AlgorithmKind::Acp] > msgs[&AlgorithmKind::Random]);
+    }
+
+    #[test]
+    fn bcp_composes_with_fixed_budget() {
+        let (mut sys, board) = build(13);
+        let req = request(&sys, 5);
+        let mut bcp = BoundedProbingComposer::new(2, ProbingConfig::default(), 3);
+        assert_eq!(bcp.name(), "bcp");
+        assert_eq!(bcp.budget(), 2);
+        let out = bcp.compose(&mut sys, &board, &req, SimTime::ZERO);
+        assert!(out.session.is_some());
+        // Budget 2 per function over a 3-function path: at most 6 probe
+        // messages (some may be dropped at arrival).
+        assert!(out.stats.probe_messages <= 6, "{} messages", out.stats.probe_messages);
+    }
+
+    #[test]
+    fn bcp_budget_scales_probe_traffic() {
+        let (sys0, board) = build_dense(14);
+        let fns: Vec<FunctionId> =
+            sys0.registry().ids().filter(|&f| sys0.candidates(f).len() >= 5).take(3).collect();
+        let req = Request {
+            id: RequestId(6),
+            graph: FunctionGraph::path(fns),
+            qos: QosRequirement::unconstrained(),
+            base_resources: ResourceVector::new(0.3, 1.5),
+            bandwidth_kbps: 3.0,
+            stream_rate_kbps: 64.0,
+            constraints: PlacementConstraints::none(),
+        };
+        let mut small = BoundedProbingComposer::new(1, ProbingConfig::default(), 3);
+        let out_small = small.compose(&mut sys0.clone(), &board, &req, SimTime::ZERO);
+        let mut large = BoundedProbingComposer::new(4, ProbingConfig::default(), 3);
+        let out_large = large.compose(&mut sys0.clone(), &board, &req, SimTime::ZERO);
+        assert!(out_large.stats.probe_messages > out_small.stats.probe_messages);
+    }
+
+    #[test]
+    fn acp_equals_optimal_probe_count_at_full_ratio() {
+        // At α = 1.0 ACP probes every candidate at every hop, like the
+        // exhaustive search (modulo per-hop drops).
+        let (sys0, board) = build(12);
+        let req = request(&sys0, 3);
+        let mut sys = sys0.clone();
+        let mut acp = AcpComposer::new(
+            ProbingConfig { probing_ratio: 1.0, max_live_probes: usize::MAX, ..ProbingConfig::default() },
+            1,
+        );
+        let acp_out = acp.compose(&mut sys, &board, &req, SimTime::ZERO);
+        let mut sys2 = sys0.clone();
+        let mut opt = OptimalComposer::default();
+        let opt_out = opt.compose(&mut sys2, &board, &req, SimTime::ZERO);
+        // ACP spawns at most the exhaustive tree (drops prune subtrees).
+        assert!(acp_out.stats.probe_messages <= opt_out.stats.probe_messages);
+        assert!(acp_out.session.is_some() && opt_out.session.is_some());
+    }
+}

@@ -1,0 +1,511 @@
+//! The composition-probing protocol (Fig. 3 of the paper).
+//!
+//! [`probe_compose`] implements the distributed hop-by-hop probing shared
+//! by ACP and the two probing baselines:
+//!
+//! 1. **Initialisation** — the deputy node creates the initial probe
+//!    carrying the request and the probing ratio.
+//! 2. **Per-hop processing** — advancing one function-graph vertex at a
+//!    time (topological order), every live probe: checks QoS/resource
+//!    conformance of the probed partial composition against *precise*
+//!    local state (Eqs. 6–8), performs transient resource allocation,
+//!    derives next-hop functions, discovers candidates, selects the
+//!    `⌈α·k⌉` best under coarse global state ([`HopSelection::Ranked`]) or
+//!    at random ([`HopSelection::Random`]), spawns child probes, and
+//!    forwards them.
+//! 3. **Optimal composition selection** — completed probes return to the
+//!    deputy, which qualifies them (Eqs. 2–5) and picks the best by the
+//!    congestion aggregation `φ(λ)` (Eq. 1) — or uniformly at random for
+//!    the SP baseline.
+//! 4. **Session setup** — confirmation converts transient reservations
+//!    into permanent allocations.
+
+use acp_model::prelude::*;
+use acp_simcore::{SimDuration, SimTime};
+use acp_state::GlobalStateBoard;
+use rand::Rng;
+
+use crate::overhead::OverheadStats;
+use crate::selection::{arrival_accumulated, select_candidates, HopContext, HopSelection};
+
+/// How the deputy picks among qualified completed compositions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinalSelection {
+    /// Minimise the congestion aggregation metric `φ(λ)` (ACP, RP).
+    MinCongestion,
+    /// Uniform random choice among qualified compositions (SP).
+    Random,
+}
+
+/// Tunables of the probing protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbingConfig {
+    /// Probing ratio `α ∈ (0, 1]`.
+    pub probing_ratio: f64,
+    /// Per-hop candidate selection strategy.
+    pub hop_selection: HopSelection,
+    /// Final selection at the deputy.
+    pub final_selection: FinalSelection,
+    /// Transient-reservation lifetime ("cancelled after a timeout period
+    /// if the node does not receive a confirmation message").
+    pub transient_timeout: SimDuration,
+    /// Risk values within this distance count as "similar", falling back
+    /// to the congestion function for ranking (§3.5).
+    pub risk_epsilon: f64,
+    /// Hard cap on concurrently live probes per request — the "probing
+    /// overhead limit" of §3.4 (footnote 9). Lowest-risk probes survive
+    /// truncation.
+    pub max_live_probes: usize,
+    /// Fixed per-hop candidate budget overriding the ratio-derived quota
+    /// (still clamped to the candidate count). `None` uses `⌈α·k⌉`. This
+    /// is the PlanetLab prototype's *bounded composition probing*
+    /// (footnote 10): a simpler ACP variant with a constant probe budget
+    /// per function instead of a tunable ratio.
+    pub quota_override: Option<usize>,
+}
+
+impl Default for ProbingConfig {
+    fn default() -> Self {
+        ProbingConfig {
+            probing_ratio: 0.3,
+            hop_selection: HopSelection::Ranked,
+            final_selection: FinalSelection::MinCongestion,
+            transient_timeout: SimDuration::from_secs(30),
+            risk_epsilon: 0.05,
+            max_live_probes: 4_096,
+            quota_override: None,
+        }
+    }
+}
+
+/// Result of one probing run.
+#[derive(Debug, Clone)]
+pub struct ProbingOutcome {
+    /// The established session, if composition succeeded.
+    pub session: Option<SessionId>,
+    /// Message ledger for this request.
+    pub stats: OverheadStats,
+    /// Number of probes that reached the sink.
+    pub completed_probes: usize,
+    /// Number of completed probes that passed final qualification.
+    pub qualified_compositions: usize,
+}
+
+/// Runs the probing protocol for `request` and, on success, commits the
+/// chosen composition as a session.
+///
+/// Probing consumes transient reservations; whatever the outcome, no
+/// transient state belonging to `request` survives this call (confirmation
+/// converts the winner's reservations, failure releases them).
+pub fn probe_compose<R: Rng + ?Sized>(
+    system: &mut StreamSystem,
+    board: &GlobalStateBoard,
+    request: &Request,
+    now: SimTime,
+    config: &ProbingConfig,
+    rng: &mut R,
+) -> ProbingOutcome {
+    let mut stats = OverheadStats::new();
+    let expiry = now + config.transient_timeout;
+    let order = request.graph.topological_order();
+
+    // Step 1: the deputy spawns the initial probe.
+    let mut frontier = vec![crate::probe::Probe::initial(&request.graph)];
+
+    // Step 2: distributed hop-by-hop probe processing.
+    //
+    // The probing ratio bounds the candidates probed **per function**:
+    // "if there are ten candidate components for the function F_i and the
+    // probing ratio α = 0.3, then we can probe 0.3 × 10 = 3 candidate
+    // components" (§3.4). Every live probe proposes ranked next-hop
+    // candidates; the quota of ⌈α·k⌉ *distinct* candidates is then filled
+    // best-proposal-first (one probe per candidate), so the set of live
+    // probes never exceeds the per-function quota. This is what makes the
+    // per-hop selection decision matter: a wasted pick cannot be papered
+    // over by exponential probe fan-out.
+    for &vertex in &order {
+        let function = request.graph.function(vertex);
+        let k = system.candidates(function).len();
+        let quota = match config.quota_override {
+            Some(budget) => budget.clamp(usize::from(k > 0), k.max(1)),
+            None => crate::selection::probe_quota(k, config.probing_ratio),
+        }
+        .min(config.max_live_probes);
+
+        // Every live probe proposes its ranked candidate plans.
+        let mut proposals: Vec<(usize, usize, crate::selection::CandidatePlan)> = Vec::new();
+        let mut contexts: Vec<HopContext<'_>> = Vec::new();
+        for (probe_idx, probe) in frontier.iter().enumerate() {
+            // Gather assigned predecessors: (edge index, component, acc).
+            let predecessors: Vec<(usize, ComponentId, Qos)> = request
+                .graph
+                .edges()
+                .iter()
+                .enumerate()
+                .filter(|(_, &(u, v))| {
+                    v == vertex && {
+                        debug_assert!(probe.assignment[u].is_some(), "topological order violated");
+                        true
+                    }
+                })
+                .map(|(e, &(u, _))| {
+                    (
+                        e,
+                        probe.assignment[u].expect("predecessor assigned in topo order"),
+                        probe.accumulated[u].expect("accumulated set with assignment"),
+                    )
+                })
+                .collect();
+            let ctx = HopContext { request, vertex, predecessors };
+            let plans = select_candidates(
+                system,
+                board,
+                &ctx,
+                config.hop_selection,
+                config.probing_ratio,
+                config.risk_epsilon,
+                rng,
+                &mut stats,
+            );
+            for (rank, plan) in plans.into_iter().enumerate() {
+                proposals.push((rank, probe_idx, plan));
+            }
+            contexts.push(ctx);
+        }
+        // Fill the per-function quota best-rank-first, breaking rank ties
+        // by the proposing probe's accumulated risk; at most one probe is
+        // forwarded per distinct candidate.
+        proposals.sort_by(|a, b| {
+            a.0.cmp(&b.0).then_with(|| {
+                let ra = frontier[a.1].worst_accumulated().risk_ratio(&request.qos);
+                let rb = frontier[b.1].worst_accumulated().risk_ratio(&request.qos);
+                ra.total_cmp(&rb)
+            })
+        });
+
+        let mut probed: std::collections::HashSet<ComponentId> = std::collections::HashSet::new();
+        let mut next_frontier = Vec::new();
+        for (_, probe_idx, plan) in proposals {
+            if probed.len() >= quota {
+                break;
+            }
+            if !probed.insert(plan.component) {
+                continue; // candidate already probed for this request
+            }
+            let ctx = &contexts[probe_idx];
+            let probe = &frontier[probe_idx];
+
+            // Spawn and forward the probe (one hop message).
+            stats.probes_spawned += 1;
+            stats.probe_messages += 1;
+
+            // --- per-hop processing at the candidate's node, against
+            // --- precise local state ---
+            let cand_qos = system.effective_component_qos(plan.component);
+            let acc = arrival_accumulated(&plan, ctx, cand_qos);
+            let demand = request.vertex_demand(system.registry(), vertex);
+            let avail = system.node_available(plan.component.node);
+            let link_avail = plan
+                .incoming
+                .iter()
+                .fold(f64::INFINITY, |m, (_, p)| m.min(system.virtual_path_available(p)));
+            // Eqs. 6–8 with precise values (candidate QoS and link QoS
+            // already folded into `acc`, so pass zeros for those).
+            if is_unqualified(
+                acc,
+                Qos::ZERO,
+                Qos::ZERO,
+                &request.qos,
+                &avail,
+                &demand,
+                link_avail,
+                request.bandwidth_kbps,
+            ) {
+                stats.probes_dropped += 1;
+                continue;
+            }
+            // Transient resource allocation (idempotent per
+            // request+component; footnote 7).
+            if !system.reserve_component_transient(request.id, plan.component, demand, expiry) {
+                stats.probes_dropped += 1;
+                continue;
+            }
+            let mut link_ok = true;
+            for (edge, path) in &plan.incoming {
+                if !path.is_colocated()
+                    && !system.reserve_path_transient(request.id, *edge, path, request.bandwidth_kbps, expiry)
+                {
+                    link_ok = false;
+                    break;
+                }
+            }
+            if !link_ok {
+                stats.probes_dropped += 1;
+                continue;
+            }
+            next_frontier.push(probe.extend(vertex, plan.component, &plan.incoming, acc));
+        }
+        frontier = next_frontier;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+
+    // Step 3: completed probes return to the deputy.
+    let mut compositions: Vec<Composition> = frontier
+        .into_iter()
+        .filter(|p| p.is_complete())
+        .filter_map(|p| p.into_composition())
+        .collect();
+    stats.probes_returned += compositions.len() as u64;
+    let completed = compositions.len();
+
+    // Qualification (Eqs. 2–5) is re-validated inside the commit; here we
+    // order candidates per the final-selection policy and report how many
+    // completed probes look qualified. Resource/bandwidth rejections are
+    // counted as qualified at this stage because the request's own
+    // transient holds still depress availability — the commit path
+    // releases them before re-checking.
+    let qualified = compositions
+        .iter()
+        .filter(|c| {
+            matches!(
+                system.qualify(request, c),
+                Ok(())
+                    | Err(AdmissionError::InsufficientResources { .. })
+                    | Err(AdmissionError::InsufficientBandwidth { .. })
+            )
+        })
+        .count();
+
+    match config.final_selection {
+        FinalSelection::MinCongestion => {
+            let mut keyed: Vec<(f64, Composition)> = compositions
+                .into_iter()
+                .map(|c| (congestion_aggregation(system, request, &c), c))
+                .collect();
+            keyed.sort_by(|a, b| a.0.total_cmp(&b.0));
+            compositions = keyed.into_iter().map(|(_, c)| c).collect();
+        }
+        FinalSelection::Random => {
+            use rand::seq::SliceRandom;
+            compositions.shuffle(rng);
+        }
+    }
+
+    // Step 4: session setup — first composition that commits wins. The
+    // first commit attempt releases the request's transient holds
+    // (confirmation supersedes reservation).
+    let mut session = None;
+    for composition in compositions {
+        let assignment_len = composition.assignment.len() as u64;
+        match system.commit_session(request, composition) {
+            Ok(sid) => {
+                stats.confirmation_messages += assignment_len;
+                session = Some(sid);
+                break;
+            }
+            Err(_) => continue,
+        }
+    }
+    if session.is_none() {
+        system.release_request_transients(request.id);
+    }
+
+    ProbingOutcome { session, stats, completed_probes: completed, qualified_compositions: qualified }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acp_state::GlobalStateConfig;
+    use acp_topology::{InetConfig, Overlay, OverlayConfig, OverlayNodeId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build(seed: u64, nodes: usize) -> (StreamSystem, GlobalStateBoard) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ip = InetConfig { nodes: 250, ..InetConfig::default() }.generate(&mut rng);
+        let overlay = Overlay::build(&ip, &OverlayConfig { stream_nodes: nodes, neighbors: 4 }, &mut rng);
+        let sys = StreamSystem::generate(
+            overlay,
+            FunctionRegistry::standard(),
+            &SystemConfig::default(),
+            &mut rng,
+        );
+        let board = GlobalStateBoard::new(&sys, GlobalStateConfig::default());
+        (sys, board)
+    }
+
+    fn path_request(sys: &StreamSystem, id: u64, len: usize) -> Request {
+        let fns: Vec<FunctionId> =
+            sys.registry().ids().filter(|&f| sys.candidates(f).len() >= 2).take(len).collect();
+        assert_eq!(fns.len(), len, "not enough populated functions");
+        Request {
+            id: RequestId(id),
+            graph: FunctionGraph::path(fns),
+            qos: QosRequirement::unconstrained(),
+            base_resources: ResourceVector::new(0.5, 2.0),
+            bandwidth_kbps: 5.0,
+            stream_rate_kbps: 100.0,
+            constraints: PlacementConstraints::none(),
+        }
+    }
+
+    #[test]
+    fn composes_simple_path_request() {
+        let (mut sys, board) = build(1, 40);
+        let req = path_request(&sys, 1, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = probe_compose(&mut sys, &board, &req, SimTime::ZERO, &ProbingConfig::default(), &mut rng);
+        assert!(out.session.is_some(), "loose request must compose");
+        assert!(out.completed_probes >= 1);
+        assert!(out.stats.probe_messages > 0);
+        assert_eq!(sys.session_count(), 1);
+        // No transient residue on any node.
+        for i in 0..sys.node_count() {
+            assert_eq!(sys.node(OverlayNodeId(i as u32)).transient_count(), 0);
+        }
+    }
+
+    #[test]
+    fn composes_dag_request() {
+        let (mut sys, board) = build(2, 40);
+        let fns: Vec<FunctionId> =
+            sys.registry().ids().filter(|&f| sys.candidates(f).len() >= 2).take(5).collect();
+        let graph = FunctionGraph::split_merge(
+            vec![fns[0]],
+            vec![fns[1]],
+            vec![fns[2]],
+            fns[3],
+            vec![fns[4]],
+        );
+        let req = Request {
+            id: RequestId(2),
+            graph,
+            qos: QosRequirement::unconstrained(),
+            base_resources: ResourceVector::new(0.3, 1.0),
+            bandwidth_kbps: 2.0,
+            stream_rate_kbps: 64.0,
+            constraints: PlacementConstraints::none(),
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = probe_compose(&mut sys, &board, &req, SimTime::ZERO, &ProbingConfig::default(), &mut rng);
+        assert!(out.session.is_some(), "DAG request must compose");
+        let session = sys.sessions().next().unwrap();
+        assert!(session.composition.is_shape_valid(&req.graph));
+    }
+
+    #[test]
+    fn committed_composition_is_qualified() {
+        let (mut sys, board) = build(3, 40);
+        let req = path_request(&sys, 3, 4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = probe_compose(&mut sys, &board, &req, SimTime::ZERO, &ProbingConfig::default(), &mut rng);
+        let sid = out.session.expect("composed");
+        let composition = sys.session(sid).unwrap().composition.clone();
+        // After commit the composition occupies its own resources, so
+        // re-qualifying the same composition may fail on resources — but
+        // shape, function and rate constraints must hold.
+        assert!(composition.is_shape_valid(&req.graph));
+        for v in req.graph.vertices() {
+            assert_eq!(sys.component(composition.assignment[v]).function, req.graph.function(v));
+        }
+    }
+
+    #[test]
+    fn impossible_qos_fails_and_leaves_no_residue() {
+        let (mut sys, board) = build(4, 40);
+        let mut req = path_request(&sys, 4, 3);
+        req.qos = QosRequirement::new(SimDuration::from_micros(1), LossRate::ZERO);
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = probe_compose(&mut sys, &board, &req, SimTime::ZERO, &ProbingConfig::default(), &mut rng);
+        assert!(out.session.is_none());
+        assert_eq!(sys.session_count(), 0);
+        for i in 0..sys.node_count() {
+            assert_eq!(sys.node(OverlayNodeId(i as u32)).transient_count(), 0, "transient residue");
+        }
+    }
+
+    #[test]
+    fn higher_ratio_probes_more() {
+        let (mut sys, board) = build(5, 40);
+        let req = path_request(&sys, 5, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let lo_cfg = ProbingConfig { probing_ratio: 0.1, ..ProbingConfig::default() };
+        let lo = probe_compose(&mut sys.clone(), &board, &req, SimTime::ZERO, &lo_cfg, &mut rng);
+        let hi_cfg = ProbingConfig { probing_ratio: 0.9, ..ProbingConfig::default() };
+        let hi = probe_compose(&mut sys, &board, &req, SimTime::ZERO, &hi_cfg, &mut rng);
+        assert!(
+            hi.stats.probe_messages > lo.stats.probe_messages,
+            "α=0.9 ({}) should outprobe α=0.1 ({})",
+            hi.stats.probe_messages,
+            lo.stats.probe_messages
+        );
+    }
+
+    #[test]
+    fn probe_budget_caps_growth() {
+        let (mut sys, board) = build(6, 60);
+        let req = path_request(&sys, 6, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = ProbingConfig { probing_ratio: 1.0, max_live_probes: 8, ..ProbingConfig::default() };
+        let out = probe_compose(&mut sys, &board, &req, SimTime::ZERO, &cfg, &mut rng);
+        assert!(out.completed_probes <= 8);
+    }
+
+    #[test]
+    fn random_final_selection_still_commits_valid_session() {
+        let (mut sys, board) = build(7, 40);
+        let req = path_request(&sys, 7, 3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = ProbingConfig { final_selection: FinalSelection::Random, ..ProbingConfig::default() };
+        let out = probe_compose(&mut sys, &board, &req, SimTime::ZERO, &cfg, &mut rng);
+        assert!(out.session.is_some());
+    }
+
+    #[test]
+    fn min_congestion_beats_random_on_phi() {
+        // Statistical: over several requests the MinCongestion policy
+        // should pick compositions with φ no worse on average.
+        let (sys0, board) = build(8, 50);
+        let mut phi_min = 0.0;
+        let mut phi_rand = 0.0;
+        let mut counted = 0;
+        for trial in 0..10u64 {
+            let req = path_request(&sys0, 100 + trial, 3);
+            let mut rng_a = StdRng::seed_from_u64(trial);
+            let mut rng_b = StdRng::seed_from_u64(trial);
+            let mut sys_a = sys0.clone();
+            let out_a = probe_compose(
+                &mut sys_a,
+                &board,
+                &req,
+                SimTime::ZERO,
+                &ProbingConfig { final_selection: FinalSelection::MinCongestion, ..ProbingConfig::default() },
+                &mut rng_a,
+            );
+            let mut sys_b = sys0.clone();
+            let out_b = probe_compose(
+                &mut sys_b,
+                &board,
+                &req,
+                SimTime::ZERO,
+                &ProbingConfig { final_selection: FinalSelection::Random, ..ProbingConfig::default() },
+                &mut rng_b,
+            );
+            if let (Some(sa), Some(sb)) = (out_a.session, out_b.session) {
+                let ca = sys_a.session(sa).unwrap().composition.clone();
+                let cb = sys_b.session(sb).unwrap().composition.clone();
+                // Evaluate both φ against the pristine system.
+                let mut fresh = sys0.clone();
+                fresh.release_request_transients(req.id);
+                phi_min += congestion_aggregation(&fresh, &req, &ca);
+                phi_rand += congestion_aggregation(&fresh, &req, &cb);
+                counted += 1;
+            }
+        }
+        assert!(counted >= 5, "most requests should compose");
+        assert!(phi_min <= phi_rand + 1e-9, "min-φ {phi_min} vs random {phi_rand}");
+    }
+}

@@ -1,0 +1,240 @@
+//! Component compositions (component graphs).
+//!
+//! A [`Composition`] is the output of a composition algorithm: one
+//! component per function-graph vertex plus the virtual link (overlay
+//! path) realising every dependency edge — the paper's component graph
+//! `λ = (C, L)`.
+
+use acp_topology::{OverlayLinkId, OverlayPath};
+
+use crate::component::ComponentId;
+use crate::fgraph::{FunctionGraph, VertexId};
+use crate::qos::{LossRate, Qos};
+
+/// A concrete component graph `λ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Composition {
+    /// Component chosen for each function-graph vertex (index-aligned
+    /// with the request graph's vertices).
+    pub assignment: Vec<ComponentId>,
+    /// Virtual link for each dependency edge (index-aligned with
+    /// [`FunctionGraph::edges`]).
+    pub links: Vec<OverlayPath>,
+}
+
+impl Composition {
+    /// Validates shape against `graph` (one component per vertex, one
+    /// virtual link per edge, link endpoints match the assignment).
+    pub fn is_shape_valid(&self, graph: &FunctionGraph) -> bool {
+        if self.assignment.len() != graph.len() || self.links.len() != graph.edges().len() {
+            return false;
+        }
+        graph.edges().iter().zip(&self.links).all(|(&(u, v), path)| {
+            let from = self.assignment[u].node;
+            let to = self.assignment[v].node;
+            if from == to {
+                path.is_colocated() && path.nodes == vec![from]
+            } else {
+                path.nodes.first() == Some(&from) && path.nodes.last() == Some(&to)
+            }
+        })
+    }
+
+    /// The QoS contribution of the virtual link on edge `e`: network delay
+    /// plus composed loss.
+    pub fn link_qos(&self, e: usize) -> Qos {
+        let p = &self.links[e];
+        Qos::new(p.delay, LossRate::from_probability(p.loss_rate))
+    }
+
+    /// Iterates over every overlay link used, with multiplicity, paired
+    /// with the graph edge using it.
+    pub fn overlay_links(&self) -> impl Iterator<Item = (usize, OverlayLinkId)> + '_ {
+        self.links
+            .iter()
+            .enumerate()
+            .flat_map(|(e, p)| p.links.iter().map(move |&l| (e, l)))
+    }
+
+    /// Aggregates QoS along one source→sink vertex path given per-vertex
+    /// component QoS values supplied by `component_qos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` contains consecutive vertices without a
+    /// corresponding edge in `graph`.
+    pub fn path_qos<F>(&self, graph: &FunctionGraph, path: &[VertexId], mut component_qos: F) -> Qos
+    where
+        F: FnMut(ComponentId) -> Qos,
+    {
+        let mut total = Qos::ZERO;
+        for (i, &v) in path.iter().enumerate() {
+            total += component_qos(self.assignment[v]);
+            if i + 1 < path.len() {
+                let u = path[i + 1];
+                let e = graph
+                    .edges()
+                    .iter()
+                    .position(|&(a, b)| a == v && b == u)
+                    .expect("consecutive path vertices must be graph edges");
+                total += self.link_qos(e);
+            }
+        }
+        total
+    }
+
+    /// End-to-end QoS: the worst (per-metric maximum) over all
+    /// source→sink branch paths — the critical path per metric.
+    pub fn aggregated_qos<F>(&self, graph: &FunctionGraph, mut component_qos: F) -> Qos
+    where
+        F: FnMut(ComponentId) -> Qos,
+    {
+        let mut worst = Qos::ZERO;
+        for path in graph.source_to_sink_paths() {
+            let q = self.path_qos(graph, &path, &mut component_qos);
+            if q.delay > worst.delay {
+                worst.delay = q.delay;
+            }
+            if q.loss > worst.loss {
+                worst.loss = q.loss;
+            }
+        }
+        worst
+    }
+}
+
+impl std::fmt::Display for Composition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "λ[")?;
+        for (i, c) in self.assignment.iter().enumerate() {
+            if i > 0 {
+                write!(f, " → ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        let network_hops: usize = self.links.iter().map(|p| p.hop_count()).sum();
+        write!(f, "] ({} vlinks, {network_hops} overlay hops)", self.links.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acp_simcore::SimDuration;
+    use acp_topology::OverlayNodeId;
+    use crate::function::FunctionId;
+
+    fn comp(node: u32, slot: u16) -> ComponentId {
+        ComponentId::new(OverlayNodeId(node), slot)
+    }
+
+    fn link_path(from: u32, to: u32, ms: u64, loss: f64) -> OverlayPath {
+        OverlayPath {
+            nodes: vec![OverlayNodeId(from), OverlayNodeId(to)],
+            links: vec![OverlayLinkId(0)],
+            delay: SimDuration::from_millis(ms),
+            bottleneck_kbps: 1_000.0,
+            loss_rate: loss,
+        }
+    }
+
+    fn qos_ms(ms: u64) -> Qos {
+        Qos::from_delay(SimDuration::from_millis(ms))
+    }
+
+    #[test]
+    fn shape_validation() {
+        let g = FunctionGraph::path(vec![FunctionId(0), FunctionId(1)]);
+        let good = Composition {
+            assignment: vec![comp(0, 0), comp(1, 0)],
+            links: vec![link_path(0, 1, 5, 0.0)],
+        };
+        assert!(good.is_shape_valid(&g));
+
+        let wrong_endpoint = Composition {
+            assignment: vec![comp(0, 0), comp(2, 0)],
+            links: vec![link_path(0, 1, 5, 0.0)],
+        };
+        assert!(!wrong_endpoint.is_shape_valid(&g));
+
+        let missing_link = Composition { assignment: vec![comp(0, 0), comp(1, 0)], links: vec![] };
+        assert!(!missing_link.is_shape_valid(&g));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let c = Composition {
+            assignment: vec![comp(0, 0), comp(1, 0)],
+            links: vec![link_path(0, 1, 5, 0.0)],
+        };
+        let text = c.to_string();
+        assert!(text.contains("c0.0"));
+        assert!(text.contains("c1.0"));
+        assert!(text.contains("1 vlinks"));
+    }
+
+    #[test]
+    fn colocated_shape() {
+        let g = FunctionGraph::path(vec![FunctionId(0), FunctionId(1)]);
+        let c = Composition {
+            assignment: vec![comp(3, 0), comp(3, 1)],
+            links: vec![OverlayPath::colocated(OverlayNodeId(3))],
+        };
+        assert!(c.is_shape_valid(&g));
+    }
+
+    #[test]
+    fn path_qos_sums_components_and_links() {
+        let g = FunctionGraph::path(vec![FunctionId(0), FunctionId(1)]);
+        let c = Composition {
+            assignment: vec![comp(0, 0), comp(1, 0)],
+            links: vec![link_path(0, 1, 5, 0.0)],
+        };
+        let q = c.path_qos(&g, &[0, 1], |_| qos_ms(10));
+        assert_eq!(q.delay, SimDuration::from_millis(25)); // 10 + 5 + 10
+    }
+
+    #[test]
+    fn aggregated_qos_takes_critical_path() {
+        // split-merge: v0 -> {v1 | v2} -> v3
+        let g = FunctionGraph::split_merge(
+            vec![FunctionId(0)],
+            vec![FunctionId(1)],
+            vec![FunctionId(2)],
+            FunctionId(3),
+            vec![],
+        );
+        // branch via v1 slower than via v2
+        let comp_qos = |c: ComponentId| match c.node.0 {
+            1 => qos_ms(50),
+            _ => qos_ms(1),
+        };
+        // edges: (0,1), (0,2), (1,3), (2,3) — construction order
+        let c = Composition {
+            assignment: vec![comp(0, 0), comp(1, 0), comp(2, 0), comp(3, 0)],
+            links: vec![
+                link_path(0, 1, 1, 0.0),
+                link_path(0, 2, 1, 0.0),
+                link_path(1, 3, 1, 0.0),
+                link_path(2, 3, 1, 0.0),
+            ],
+        };
+        let q = c.aggregated_qos(&g, comp_qos);
+        // slow branch: 1 + 1 + 50 + 1 + 1 = 54
+        assert_eq!(q.delay, SimDuration::from_millis(54));
+    }
+
+    #[test]
+    fn overlay_links_enumerates_with_multiplicity() {
+        let _g = FunctionGraph::path(vec![FunctionId(0), FunctionId(1), FunctionId(2)]);
+        let mut p2 = link_path(1, 2, 3, 0.0);
+        p2.links = vec![OverlayLinkId(1), OverlayLinkId(2)];
+        p2.nodes = vec![OverlayNodeId(1), OverlayNodeId(9), OverlayNodeId(2)];
+        let c = Composition {
+            assignment: vec![comp(0, 0), comp(1, 0), comp(2, 0)],
+            links: vec![link_path(0, 1, 5, 0.0), p2],
+        };
+        let used: Vec<_> = c.overlay_links().collect();
+        assert_eq!(used, vec![(0, OverlayLinkId(0)), (1, OverlayLinkId(1)), (1, OverlayLinkId(2))]);
+    }
+}

@@ -1,0 +1,950 @@
+//! The distributed stream-processing system: nodes, components, links,
+//! service discovery, and the allocation engine.
+//!
+//! [`StreamSystem`] is the ground truth every composition algorithm acts
+//! on. It owns the overlay, the per-node resource bookkeeping, per-link
+//! bandwidth bookkeeping, the function→components discovery index, and the
+//! session table of the middleware's `Find`/`Process`/`Close` interface.
+
+use std::collections::HashMap;
+
+use acp_simcore::SimTime;
+use acp_topology::{Overlay, OverlayLinkId, OverlayNodeId, OverlayPath};
+use rand::Rng;
+
+use crate::component::{Component, ComponentId};
+use crate::composition::Composition;
+use crate::constraints::{ComponentAttributes, LicenseClass, LicenseClassOrDefault, SecurityLevel};
+use crate::function::{FunctionId, FunctionRegistry};
+use crate::node::{ReservationKey, StreamNode};
+use crate::qos::Qos;
+use crate::request::{Request, RequestId};
+use crate::resources::ResourceVector;
+
+/// Identifier of an established stream-processing session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sess{}", self.0)
+    }
+}
+
+/// Key for transient *bandwidth* reservations: one per request per graph
+/// edge per overlay link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkReservationKey {
+    /// The requesting composition.
+    pub request: u64,
+    /// Dependency-edge index within the request's function graph.
+    pub edge: usize,
+}
+
+#[derive(Debug, Clone)]
+struct LinkTransient {
+    key: LinkReservationKey,
+    kbps: f64,
+    expires: SimTime,
+}
+
+/// Bandwidth bookkeeping for one overlay link.
+#[derive(Debug, Clone)]
+struct LinkState {
+    capacity_kbps: f64,
+    committed_kbps: f64,
+    transient: Vec<LinkTransient>,
+}
+
+impl LinkState {
+    fn transient_total(&self) -> f64 {
+        self.transient.iter().map(|t| t.kbps).sum()
+    }
+
+    fn available(&self) -> f64 {
+        (self.capacity_kbps - self.committed_kbps - self.transient_total()).max(0.0)
+    }
+}
+
+/// A confirmed session's allocations, remembered for teardown and
+/// failover recomposition.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// Session identity.
+    pub id: SessionId,
+    /// The request this session serves.
+    pub request: RequestId,
+    /// The full request specification (kept so failed sessions can be
+    /// recomposed).
+    pub request_spec: Request,
+    /// The chosen composition.
+    pub composition: Composition,
+    node_allocs: Vec<(OverlayNodeId, ResourceVector)>,
+    link_allocs: Vec<(OverlayLinkId, f64)>,
+}
+
+/// Parameters for synthetic system generation (paper §4.1: initial
+/// capacities "uniformly distributed within certain range").
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Components hosted per node, inclusive range.
+    pub components_per_node: (usize, usize),
+    /// Node CPU capacity range (units).
+    pub node_cpu: (f64, f64),
+    /// Node memory capacity range (MB).
+    pub node_memory_mb: (f64, f64),
+    /// Component interface limit range (kbit/s).
+    pub component_max_rate_kbps: (f64, f64),
+    /// Load sensitivity of component processing delay. The effective
+    /// delay follows an M/M/1-style queueing curve:
+    /// `base · (1 + factor · u/(1−u))`, capped at 10× — negligible on
+    /// lightly loaded nodes, explosive near saturation. This makes
+    /// component QoS state dynamic (so coarse-grain updates matter) and
+    /// punishes placement decisions that skew load.
+    pub load_delay_factor: f64,
+    /// Component security levels, sampled uniformly over this inclusive
+    /// range (future-work extension: application-specific constraints).
+    pub security_levels: (u8, u8),
+    /// Sampling weights for licence classes
+    /// `[permissive, commercial, restricted]`.
+    pub license_weights: [f64; 3],
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            components_per_node: (3, 6),
+            node_cpu: (60.0, 120.0),
+            node_memory_mb: (512.0, 2048.0),
+            component_max_rate_kbps: (600.0, 2_000.0),
+            load_delay_factor: 2.0,
+            security_levels: (0, 4),
+            license_weights: [0.6, 0.25, 0.15],
+        }
+    }
+}
+
+/// The distributed stream-processing system.
+#[derive(Clone)]
+pub struct StreamSystem {
+    registry: FunctionRegistry,
+    overlay: Overlay,
+    nodes: Vec<StreamNode>,
+    links: Vec<LinkState>,
+    discovery: HashMap<FunctionId, Vec<ComponentId>>,
+    sessions: HashMap<SessionId, Session>,
+    next_session: u64,
+    load_delay_factor: f64,
+}
+
+impl std::fmt::Debug for StreamSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamSystem")
+            .field("nodes", &self.nodes.len())
+            .field("links", &self.links.len())
+            .field("functions", &self.registry.len())
+            .field("sessions", &self.sessions.len())
+            .finish()
+    }
+}
+
+/// Why a component migration was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationError {
+    /// No live component with that id exists.
+    UnknownComponent,
+    /// The component serves at least one live session.
+    InUse,
+    /// The target node already hosts a component of the same function
+    /// (nodes host distinct functions).
+    DuplicateFunction,
+    /// Source and target node are the same.
+    SameNode,
+    /// The target node's processing plane has failed.
+    TargetFailed,
+}
+
+impl std::fmt::Display for MigrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrationError::UnknownComponent => write!(f, "unknown component"),
+            MigrationError::InUse => write!(f, "component serves a live session"),
+            MigrationError::DuplicateFunction => write!(f, "target already hosts this function"),
+            MigrationError::SameNode => write!(f, "component already lives on the target node"),
+            MigrationError::TargetFailed => write!(f, "target node has failed"),
+        }
+    }
+}
+
+impl std::error::Error for MigrationError {}
+
+/// Why a composition could not be admitted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionError {
+    /// The composition does not structurally match the request graph.
+    MalformedComposition,
+    /// A component serves the wrong function for its vertex.
+    WrongFunction {
+        /// Vertex whose assignment is wrong.
+        vertex: usize,
+    },
+    /// A component's interface cannot accept the request's stream rate.
+    RateIncompatible {
+        /// Vertex whose component rejects the rate.
+        vertex: usize,
+    },
+    /// A component violates the request's placement constraints
+    /// (security level / licence class).
+    ConstraintViolated {
+        /// Vertex whose component is inadmissible.
+        vertex: usize,
+    },
+    /// End-to-end QoS requirement violated (Eq. 3).
+    QosViolated,
+    /// A node lacks end-system resources (Eq. 4).
+    InsufficientResources {
+        /// The overloaded node.
+        node: OverlayNodeId,
+    },
+    /// An overlay link lacks bandwidth (Eq. 5).
+    InsufficientBandwidth {
+        /// The saturated link.
+        link: OverlayLinkId,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::MalformedComposition => write!(f, "composition shape does not match request graph"),
+            AdmissionError::WrongFunction { vertex } => write!(f, "vertex {vertex} assigned a component of the wrong function"),
+            AdmissionError::RateIncompatible { vertex } => write!(f, "vertex {vertex} component cannot accept the stream rate"),
+            AdmissionError::ConstraintViolated { vertex } => write!(f, "vertex {vertex} component violates placement constraints"),
+            AdmissionError::QosViolated => write!(f, "end-to-end QoS requirement violated"),
+            AdmissionError::InsufficientResources { node } => write!(f, "insufficient resources on {node}"),
+            AdmissionError::InsufficientBandwidth { link } => write!(f, "insufficient bandwidth on overlay link {}", link.0),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+impl StreamSystem {
+    /// Generates a system over `overlay`: every node receives a uniform
+    /// capacity and a uniform number of components with functions drawn
+    /// from `registry`; the discovery index is built as the (perfect)
+    /// decentralized service-discovery substitute.
+    pub fn generate<R: Rng + ?Sized>(
+        overlay: Overlay,
+        registry: FunctionRegistry,
+        config: &SystemConfig,
+        rng: &mut R,
+    ) -> Self {
+        let mut nodes = Vec::with_capacity(overlay.node_count());
+        let mut discovery: HashMap<FunctionId, Vec<ComponentId>> = HashMap::new();
+
+        for v in overlay.nodes() {
+            let capacity = ResourceVector::new(
+                sample_range(rng, config.node_cpu),
+                sample_range(rng, config.node_memory_mb),
+            );
+            let count = rng.gen_range(config.components_per_node.0..=config.components_per_node.1);
+            // Distinct functions per node: a node never hosts the same
+            // function twice.
+            let mut fns: Vec<FunctionId> = registry.ids().collect();
+            partial_shuffle(&mut fns, count, rng);
+            let components: Vec<Component> = fns
+                .into_iter()
+                .take(count)
+                .enumerate()
+                .map(|(slot, function)| {
+                    let id = ComponentId::new(v, slot as u16);
+                    let qos = registry.profile(function).sample_component_qos(rng);
+                    let max_rate = sample_range(rng, config.component_max_rate_kbps);
+                    let attributes = sample_attributes(rng, config);
+                    discovery.entry(function).or_default().push(id);
+                    Component { id, function, qos, max_input_rate_kbps: max_rate, attributes }
+                })
+                .collect();
+            nodes.push(StreamNode::new(v, capacity, components));
+        }
+
+        let links = overlay
+            .links()
+            .map(|l| LinkState {
+                capacity_kbps: overlay.link_props(l).bandwidth_kbps,
+                committed_kbps: 0.0,
+                transient: Vec::new(),
+            })
+            .collect();
+
+        StreamSystem {
+            registry,
+            overlay,
+            nodes,
+            links,
+            discovery,
+            sessions: HashMap::new(),
+            next_session: 0,
+            load_delay_factor: config.load_delay_factor,
+        }
+    }
+
+    /// The function catalogue.
+    pub fn registry(&self) -> &FunctionRegistry {
+        &self.registry
+    }
+
+    /// The overlay mesh (immutable).
+    pub fn overlay(&self) -> &Overlay {
+        &self.overlay
+    }
+
+    /// Number of stream nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A node's state.
+    pub fn node(&self, v: OverlayNodeId) -> &StreamNode {
+        &self.nodes[v.index()]
+    }
+
+    /// A component's static record.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` names a non-existent component.
+    pub fn component(&self, id: ComponentId) -> &Component {
+        self.nodes[id.node.index()]
+            .component(id.slot)
+            .unwrap_or_else(|| panic!("unknown component {id}"))
+    }
+
+    /// The **effective** QoS of a component right now: its base QoS with
+    /// processing delay inflated by the hosting node's utilisation along
+    /// an M/M/1-style queueing curve (see
+    /// [`SystemConfig::load_delay_factor`]). This is the value probes
+    /// collect and global-state updates propagate.
+    pub fn effective_component_qos(&self, id: ComponentId) -> Qos {
+        let base = self.component(id).qos;
+        let node = &self.nodes[id.node.index()];
+        let cap = node.capacity();
+        let used = node.committed();
+        let utilization = cap.max_utilization_of(&used).min(1.0);
+        let inflation = if utilization >= 1.0 {
+            10.0
+        } else {
+            (1.0 + self.load_delay_factor * utilization / (1.0 - utilization)).min(10.0)
+        };
+        Qos::new(base.delay.mul_f64(inflation), base.loss)
+    }
+
+    /// Candidate components currently providing `function` — the
+    /// decentralized service-discovery lookup of §3.3 step 2.
+    pub fn candidates(&self, function: FunctionId) -> &[ComponentId] {
+        self.discovery.get(&function).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Currently available end-system resources on `v` (capacity minus
+    /// committed minus transient reservations).
+    pub fn node_available(&self, v: OverlayNodeId) -> ResourceVector {
+        self.nodes[v.index()].available()
+    }
+
+    /// Currently available bandwidth on overlay link `l` (kbit/s).
+    pub fn link_available(&self, l: OverlayLinkId) -> f64 {
+        self.links[l.index()].available()
+    }
+
+    /// Capacity of overlay link `l` (kbit/s).
+    pub fn link_capacity(&self, l: OverlayLinkId) -> f64 {
+        self.links[l.index()].capacity_kbps
+    }
+
+    /// The virtual link (overlay path) between two nodes; see
+    /// [`Overlay::virtual_path`].
+    pub fn virtual_path(&mut self, from: OverlayNodeId, to: OverlayNodeId) -> Option<OverlayPath> {
+        self.overlay.virtual_path(from, to)
+    }
+
+    /// Available bandwidth of a virtual link: the bottleneck over its
+    /// constituent overlay links' availability (`ba^l = min …`), `∞` for
+    /// co-located endpoints.
+    pub fn virtual_path_available(&self, path: &OverlayPath) -> f64 {
+        path.links.iter().fold(f64::INFINITY, |acc, &l| acc.min(self.link_available(l)))
+    }
+
+    // ------------------------------------------------------------------
+    // Transient (probe-time) reservations
+    // ------------------------------------------------------------------
+
+    /// Transiently reserves the end-system resources `amount` for
+    /// `(request, component)` on the component's node until `expires`.
+    /// Idempotent per key. Returns `false` when resources are missing.
+    pub fn reserve_component_transient(
+        &mut self,
+        request: RequestId,
+        component: ComponentId,
+        amount: ResourceVector,
+        expires: SimTime,
+    ) -> bool {
+        let key = ReservationKey { request: request.0, component };
+        self.nodes[component.node.index()].reserve_transient(key, amount, expires)
+    }
+
+    /// Releases the transient reservation for `(request, component)`.
+    pub fn release_component_transient(&mut self, request: RequestId, component: ComponentId) {
+        let key = ReservationKey { request: request.0, component };
+        self.nodes[component.node.index()].release_transient(key);
+    }
+
+    /// Transiently reserves `kbps` along every overlay link of `path` for
+    /// the request's graph edge `edge`. All-or-nothing; idempotent per
+    /// `(request, edge)` on each link. Returns `false` on insufficient
+    /// bandwidth (nothing is reserved then).
+    pub fn reserve_path_transient(
+        &mut self,
+        request: RequestId,
+        edge: usize,
+        path: &OverlayPath,
+        kbps: f64,
+        expires: SimTime,
+    ) -> bool {
+        let key = LinkReservationKey { request: request.0, edge };
+        // Feasibility first (links not already holding this key must fit).
+        for &l in &path.links {
+            let state = &self.links[l.index()];
+            if state.transient.iter().any(|t| t.key == key) {
+                continue;
+            }
+            if state.available() < kbps {
+                return false;
+            }
+        }
+        for &l in &path.links {
+            let state = &mut self.links[l.index()];
+            if let Some(existing) = state.transient.iter_mut().find(|t| t.key == key) {
+                if expires > existing.expires {
+                    existing.expires = expires;
+                }
+            } else {
+                state.transient.push(LinkTransient { key, kbps, expires });
+            }
+        }
+        true
+    }
+
+    /// Releases all transient bandwidth held by `(request, edge)`.
+    pub fn release_path_transient(&mut self, request: RequestId, edge: usize) {
+        let key = LinkReservationKey { request: request.0, edge };
+        for state in &mut self.links {
+            state.transient.retain(|t| t.key != key);
+        }
+    }
+
+    /// Drops every transient reservation (node and link) that expired at
+    /// or before `now`. Returns the number dropped.
+    pub fn expire_transients(&mut self, now: SimTime) -> usize {
+        let mut dropped = 0;
+        for node in &mut self.nodes {
+            dropped += node.expire_transients(now);
+        }
+        for state in &mut self.links {
+            let before = state.transient.len();
+            state.transient.retain(|t| t.expires > now);
+            dropped += before - state.transient.len();
+        }
+        dropped
+    }
+
+    /// Releases **all** transient reservations belonging to `request`
+    /// (dropped probes, failed compositions).
+    pub fn release_request_transients(&mut self, request: RequestId) {
+        for node in &mut self.nodes {
+            let ids: Vec<ComponentId> = node.components().map(|c| c.id).collect();
+            for id in ids {
+                node.release_transient(ReservationKey { request: request.0, component: id });
+            }
+        }
+        for state in &mut self.links {
+            state.transient.retain(|t| t.key.request != request.0);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Qualification and session lifecycle
+    // ------------------------------------------------------------------
+
+    /// Checks constraints (Eqs. 2–5) for `composition` against the
+    /// *current* system state, ignoring any transient holds belonging to
+    /// `request` itself. Does not mutate anything.
+    pub fn qualify(&self, request: &Request, composition: &Composition) -> Result<(), AdmissionError> {
+        if !composition.is_shape_valid(&request.graph) {
+            return Err(AdmissionError::MalformedComposition);
+        }
+        // Eq. 2 — function coverage; plus interface rate compatibility.
+        for v in request.graph.vertices() {
+            let c = self.component(composition.assignment[v]);
+            if c.function != request.graph.function(v) {
+                return Err(AdmissionError::WrongFunction { vertex: v });
+            }
+            if !c.accepts_rate(request.stream_rate_kbps) {
+                return Err(AdmissionError::RateIncompatible { vertex: v });
+            }
+            if !request.constraints.admits(&c.attributes) {
+                return Err(AdmissionError::ConstraintViolated { vertex: v });
+            }
+        }
+        // Eq. 3 — end-to-end QoS over critical branch path.
+        let qos = composition.aggregated_qos(&request.graph, |id| self.effective_component_qos(id));
+        if !qos.satisfies(&request.qos) {
+            return Err(AdmissionError::QosViolated);
+        }
+        // Eq. 4 — end-system resources, grouped per node so co-located
+        // components of this request share availability correctly.
+        let mut per_node: HashMap<OverlayNodeId, ResourceVector> = HashMap::new();
+        for v in request.graph.vertices() {
+            let id = composition.assignment[v];
+            let demand = request.vertex_demand(&self.registry, v);
+            *per_node.entry(id.node).or_insert(ResourceVector::ZERO) += demand;
+        }
+        for (node, demand) in &per_node {
+            // Own transient holds are counted as *unavailable*; releasing
+            // them before committing (as `commit_session` does) can only
+            // make more room, so this check is conservative.
+            if !self.node_available(*node).dominates(demand) {
+                return Err(AdmissionError::InsufficientResources { node: *node });
+            }
+        }
+        // Eq. 5 — bandwidth per overlay link (a link may carry several
+        // edges of the same composition).
+        let mut per_link: HashMap<OverlayLinkId, f64> = HashMap::new();
+        for (_, l) in composition.overlay_links() {
+            *per_link.entry(l).or_insert(0.0) += request.bandwidth_kbps;
+        }
+        for (link, demand) in &per_link {
+            if self.link_available(*link) < *demand {
+                return Err(AdmissionError::InsufficientBandwidth { link: *link });
+            }
+        }
+        Ok(())
+    }
+
+    /// Confirms a composition: converts/creates permanent allocations and
+    /// registers a session (the `Find` success path). All-or-nothing: on
+    /// error nothing stays allocated (the request's transient holds are
+    /// released in all cases, mirroring the protocol where confirmation
+    /// supersedes reservations).
+    pub fn commit_session(
+        &mut self,
+        request: &Request,
+        composition: Composition,
+    ) -> Result<SessionId, AdmissionError> {
+        // Free the request's own holds so availability reflects exactly
+        // the non-this-request load, then validate as a group.
+        self.release_request_transients(request.id);
+        self.qualify(request, &composition)?;
+
+        // Group node demand and link demand (validated above), then apply.
+        let mut per_node: HashMap<OverlayNodeId, ResourceVector> = HashMap::new();
+        for v in request.graph.vertices() {
+            let id = composition.assignment[v];
+            *per_node.entry(id.node).or_insert(ResourceVector::ZERO) +=
+                request.vertex_demand(&self.registry, v);
+        }
+        let mut node_allocs = Vec::with_capacity(per_node.len());
+        for (node, demand) in per_node {
+            let ok = self.nodes[node.index()].commit(demand);
+            debug_assert!(ok, "qualify() guaranteed feasibility");
+            node_allocs.push((node, demand));
+        }
+        let mut per_link: HashMap<OverlayLinkId, f64> = HashMap::new();
+        for (_, l) in composition.overlay_links() {
+            *per_link.entry(l).or_insert(0.0) += request.bandwidth_kbps;
+        }
+        let mut link_allocs = Vec::with_capacity(per_link.len());
+        for (link, kbps) in per_link {
+            self.links[link.index()].committed_kbps += kbps;
+            link_allocs.push((link, kbps));
+        }
+
+        let id = SessionId(self.next_session);
+        self.next_session += 1;
+        self.sessions.insert(
+            id,
+            Session {
+                id,
+                request: request.id,
+                request_spec: request.clone(),
+                composition,
+                node_allocs,
+                link_allocs,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Tears down a session, releasing its allocations (the `Close`
+    /// interface). Returns `false` for unknown sessions.
+    pub fn close_session(&mut self, id: SessionId) -> bool {
+        let Some(session) = self.sessions.remove(&id) else {
+            return false;
+        };
+        for (node, amount) in &session.node_allocs {
+            self.nodes[node.index()].release(*amount);
+        }
+        for (link, kbps) in &session.link_allocs {
+            let state = &mut self.links[link.index()];
+            state.committed_kbps = (state.committed_kbps - kbps).max(0.0);
+        }
+        true
+    }
+
+    /// Fails a node (fail-stop of its processing plane): every hosted
+    /// component is undeployed (leaving tombstones and shrinking the
+    /// discovery index) and every session whose composition used one of
+    /// them is terminated, releasing its allocations elsewhere. The
+    /// node's overlay forwarding plane is modelled as surviving, so the
+    /// mesh stays routable.
+    ///
+    /// Returns the undeployed components and the terminated sessions'
+    /// request specifications (for failover recomposition).
+    pub fn fail_node(&mut self, v: OverlayNodeId) -> (Vec<ComponentId>, Vec<Request>) {
+        let undeployed: Vec<Component> = self.nodes[v.index()].fail();
+        let undeployed_ids: Vec<ComponentId> = undeployed.iter().map(|c| c.id).collect();
+        for component in &undeployed {
+            if let Some(entry) = self.discovery.get_mut(&component.function) {
+                entry.retain(|&c| c != component.id);
+            }
+        }
+        // Terminate sessions placed (partly) on the failed node.
+        let victims: Vec<SessionId> = self
+            .sessions
+            .values()
+            .filter(|s| s.composition.assignment.iter().any(|c| c.node == v))
+            .map(|s| s.id)
+            .collect();
+        let mut orphaned = Vec::with_capacity(victims.len());
+        for sid in victims {
+            if let Some(session) = self.sessions.get(&sid) {
+                orphaned.push(session.request_spec.clone());
+            }
+            self.close_session(sid);
+        }
+        (undeployed_ids, orphaned)
+    }
+
+    /// Brings a failed node back online, empty: components must be
+    /// redeployed (e.g. via [`Self::migrate_component`]).
+    pub fn recover_node(&mut self, v: OverlayNodeId) {
+        self.nodes[v.index()].recover();
+    }
+
+    /// True when the node's processing plane is failed.
+    pub fn is_node_failed(&self, v: OverlayNodeId) -> bool {
+        self.nodes[v.index()].is_failed()
+    }
+
+    /// True when any live session's composition uses component `id`.
+    pub fn component_in_use(&self, id: ComponentId) -> bool {
+        self.sessions.values().any(|s| s.composition.assignment.contains(&id))
+    }
+
+    /// Migrates a component to another node — the paper's future-work
+    /// extension "integrating dynamic component placement (or migration)
+    /// with the component composition system" (§6, item 3).
+    ///
+    /// The component keeps its function, QoS profile, interface limit and
+    /// attributes but receives a new identity on the target node; the
+    /// discovery index is updated. Only idle components (serving no live
+    /// session) migrate, and the distinct-functions-per-node invariant is
+    /// preserved.
+    ///
+    /// # Errors
+    ///
+    /// [`MigrationError`] when the component is unknown, in use, already
+    /// on `to`, or `to` already hosts the function.
+    pub fn migrate_component(&mut self, id: ComponentId, to: OverlayNodeId) -> Result<ComponentId, MigrationError> {
+        if id.node == to {
+            return Err(MigrationError::SameNode);
+        }
+        let component = self.nodes[id.node.index()]
+            .component(id.slot)
+            .cloned()
+            .ok_or(MigrationError::UnknownComponent)?;
+        if self.component_in_use(id) {
+            return Err(MigrationError::InUse);
+        }
+        if self.nodes[to.index()].hosts_function(component.function) {
+            return Err(MigrationError::DuplicateFunction);
+        }
+        if self.nodes[to.index()].is_failed() {
+            return Err(MigrationError::TargetFailed);
+        }
+        // Undeploy, re-deploy, fix the discovery index.
+        let taken = self.nodes[id.node.index()].undeploy(id.slot).expect("checked live");
+        let new_id = self.nodes[to.index()].deploy_with(|new_id| Component { id: new_id, ..taken });
+        let entry = self.discovery.entry(component.function).or_default();
+        entry.retain(|&c| c != id);
+        entry.push(new_id);
+        Ok(new_id)
+    }
+
+    /// An established session's record.
+    pub fn session(&self, id: SessionId) -> Option<&Session> {
+        self.sessions.get(&id)
+    }
+
+    /// Number of live sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Iterates over live sessions.
+    pub fn sessions(&self) -> impl Iterator<Item = &Session> {
+        self.sessions.values()
+    }
+}
+
+fn sample_attributes<R: Rng + ?Sized>(rng: &mut R, config: &SystemConfig) -> ComponentAttributes {
+    let (lo, hi) = config.security_levels;
+    let security = SecurityLevel(if lo >= hi { lo } else { rng.gen_range(lo..=hi) });
+    let weights = config.license_weights;
+    let total: f64 = weights.iter().sum();
+    let mut pick = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+    let mut license = LicenseClass::Permissive;
+    for (i, &w) in weights.iter().enumerate() {
+        if pick < w {
+            license = LicenseClass::ALL[i];
+            break;
+        }
+        pick -= w;
+    }
+    ComponentAttributes { security, license: LicenseClassOrDefault(license) }
+}
+
+fn sample_range<R: Rng + ?Sized>(rng: &mut R, (lo, hi): (f64, f64)) -> f64 {
+    if lo == hi {
+        lo
+    } else {
+        rng.gen_range(lo..hi)
+    }
+}
+
+/// Fisher–Yates prefix shuffle: randomises only the first `count` slots.
+fn partial_shuffle<T, R: Rng + ?Sized>(items: &mut [T], count: usize, rng: &mut R) {
+    let n = items.len();
+    for i in 0..count.min(n.saturating_sub(1)) {
+        let j = rng.gen_range(i..n);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::PlacementConstraints;
+    use crate::fgraph::FunctionGraph;
+    use crate::qos::QosRequirement;
+    use acp_topology::{InetConfig, OverlayConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build_system(seed: u64, stream_nodes: usize) -> StreamSystem {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ip = InetConfig { nodes: 200, ..InetConfig::default() }.generate(&mut rng);
+        let overlay = Overlay::build(&ip, &OverlayConfig { stream_nodes, neighbors: 4 }, &mut rng);
+        StreamSystem::generate(overlay, FunctionRegistry::standard(), &SystemConfig::default(), &mut rng)
+    }
+
+    /// Builds a request for a path of two functions that both have
+    /// candidates, and a qualified composition for it.
+    fn request_and_composition(sys: &mut StreamSystem) -> (Request, Composition) {
+        // find two functions with candidates
+        let reg_len = sys.registry().len() as u16;
+        let mut chosen = Vec::new();
+        for f in 0..reg_len {
+            if !sys.candidates(FunctionId(f)).is_empty() {
+                chosen.push(FunctionId(f));
+                if chosen.len() == 2 {
+                    break;
+                }
+            }
+        }
+        assert_eq!(chosen.len(), 2, "system should host most functions");
+        let graph = FunctionGraph::path(chosen.clone());
+        let request = Request {
+            id: RequestId(1),
+            graph,
+            qos: QosRequirement::unconstrained(),
+            base_resources: ResourceVector::new(1.0, 4.0),
+            bandwidth_kbps: 10.0,
+            stream_rate_kbps: 100.0,
+            constraints: PlacementConstraints::none(),
+        };
+        let c0 = sys.candidates(chosen[0])[0];
+        let c1 = sys.candidates(chosen[1])[0];
+        let path = sys.virtual_path(c0.node, c1.node).expect("connected overlay");
+        let composition = Composition { assignment: vec![c0, c1], links: vec![path] };
+        (request, composition)
+    }
+
+    #[test]
+    fn generation_builds_discovery_index() {
+        let sys = build_system(1, 30);
+        assert_eq!(sys.node_count(), 30);
+        let total: usize = sys.registry().ids().map(|f| sys.candidates(f).len()).sum();
+        let by_nodes: usize = (0..30).map(|i| sys.node(OverlayNodeId(i)).component_count()).sum();
+        assert_eq!(total, by_nodes);
+        // every candidate's component record agrees on the function
+        for f in sys.registry().ids() {
+            for &c in sys.candidates(f) {
+                assert_eq!(sys.component(c).function, f);
+            }
+        }
+    }
+
+    #[test]
+    fn nodes_host_distinct_functions() {
+        let sys = build_system(2, 25);
+        for i in 0..25 {
+            let mut fs: Vec<_> = sys.node(OverlayNodeId(i)).components().map(|c| c.function).collect();
+            fs.sort();
+            let before = fs.len();
+            fs.dedup();
+            assert_eq!(fs.len(), before, "node {i} hosts duplicate function");
+        }
+    }
+
+    #[test]
+    fn commit_and_close_round_trip() {
+        let mut sys = build_system(3, 30);
+        let (request, composition) = request_and_composition(&mut sys);
+        let n0 = composition.assignment[0].node;
+        let before = sys.node_available(n0);
+        let sid = sys.commit_session(&request, composition.clone()).expect("qualified");
+        assert_eq!(sys.session_count(), 1);
+        assert!(sys.node_available(n0).cpu < before.cpu);
+        assert!(sys.close_session(sid));
+        assert!(!sys.close_session(sid), "double close fails");
+        let after = sys.node_available(n0);
+        assert!((after.cpu - before.cpu).abs() < 1e-9, "allocation conservation");
+        assert!((after.memory_mb - before.memory_mb).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qualify_rejects_wrong_function() {
+        let mut sys = build_system(4, 30);
+        let (request, mut composition) = request_and_composition(&mut sys);
+        // swap assignment order so functions mismatch (if distinct nodes)
+        composition.assignment.swap(0, 1);
+        let err = sys.qualify(&request, &composition).unwrap_err();
+        assert!(matches!(
+            err,
+            AdmissionError::WrongFunction { .. } | AdmissionError::MalformedComposition
+        ));
+    }
+
+    #[test]
+    fn qualify_rejects_tight_qos() {
+        let mut sys = build_system(5, 30);
+        let (mut request, composition) = request_and_composition(&mut sys);
+        request.qos = QosRequirement::new(acp_simcore::SimDuration::from_micros(1), crate::qos::LossRate::ZERO);
+        assert_eq!(sys.qualify(&request, &composition), Err(AdmissionError::QosViolated));
+    }
+
+    #[test]
+    fn qualify_rejects_excess_resources() {
+        let mut sys = build_system(6, 30);
+        let (mut request, composition) = request_and_composition(&mut sys);
+        request.base_resources = ResourceVector::new(1e7, 1e7);
+        assert!(matches!(
+            sys.qualify(&request, &composition),
+            Err(AdmissionError::InsufficientResources { .. })
+        ));
+    }
+
+    #[test]
+    fn qualify_rejects_excess_bandwidth() {
+        let mut sys = build_system(7, 30);
+        let (mut request, composition) = request_and_composition(&mut sys);
+        if composition.links[0].is_colocated() {
+            return; // co-located: no bandwidth constraint applies
+        }
+        request.bandwidth_kbps = 1e9;
+        assert!(matches!(
+            sys.qualify(&request, &composition),
+            Err(AdmissionError::InsufficientBandwidth { .. })
+        ));
+    }
+
+    #[test]
+    fn transient_reservation_blocks_conflicting_admission() {
+        let mut sys = build_system(8, 30);
+        let (request, composition) = request_and_composition(&mut sys);
+        let comp = composition.assignment[0];
+        let node = comp.node;
+        let avail = sys.node_available(node);
+        // Another request's probe grabs everything.
+        let other = RequestId(99);
+        assert!(sys.reserve_component_transient(other, comp, avail, SimTime::from_secs(30)));
+        assert!(matches!(
+            sys.qualify(&request, &composition),
+            Err(AdmissionError::InsufficientResources { .. })
+        ));
+        // After expiry the request goes through again.
+        sys.expire_transients(SimTime::from_secs(30));
+        assert!(sys.qualify(&request, &composition).is_ok());
+    }
+
+    #[test]
+    fn commit_releases_own_transients_first() {
+        let mut sys = build_system(9, 30);
+        let (request, composition) = request_and_composition(&mut sys);
+        // The request's own probes hold reservations; commit must succeed.
+        for v in request.graph.vertices() {
+            let id = composition.assignment[v];
+            let demand = request.vertex_demand(&sys.registry().clone(), v);
+            assert!(sys.reserve_component_transient(request.id, id, demand, SimTime::from_secs(30)));
+        }
+        assert!(sys.commit_session(&request, composition).is_ok());
+        // No transient residue.
+        for i in 0..30 {
+            assert_eq!(sys.node(OverlayNodeId(i)).transient_count(), 0);
+        }
+    }
+
+    #[test]
+    fn path_transient_reservation_is_all_or_nothing() {
+        let mut sys = build_system(10, 30);
+        // find a non-colocated virtual path
+        let (a, b) = (OverlayNodeId(0), OverlayNodeId(1));
+        let path = sys.virtual_path(a, b).unwrap();
+        if path.is_colocated() {
+            return;
+        }
+        let r = RequestId(5);
+        let avail = sys.virtual_path_available(&path);
+        assert!(sys.reserve_path_transient(r, 0, &path, avail, SimTime::from_secs(10)));
+        // A second request cannot reserve anything on the same path.
+        assert!(!sys.reserve_path_transient(RequestId(6), 0, &path, 1.0, SimTime::from_secs(10)));
+        sys.release_path_transient(r, 0);
+        assert!(sys.reserve_path_transient(RequestId(6), 0, &path, 1.0, SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn effective_qos_grows_with_load() {
+        let mut sys = build_system(11, 30);
+        let (request, composition) = request_and_composition(&mut sys);
+        let comp = composition.assignment[0];
+        let before = sys.effective_component_qos(comp);
+        // Load the node heavily.
+        let node = comp.node;
+        let avail = sys.node_available(node);
+        sys.nodes[node.index()].commit(avail.scaled(0.9));
+        let after = sys.effective_component_qos(comp);
+        assert!(after.delay > before.delay);
+        let _ = request;
+    }
+}

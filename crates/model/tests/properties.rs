@@ -1,0 +1,175 @@
+//! Property-based tests for the system model.
+
+use acp_model::prelude::*;
+use acp_simcore::SimDuration;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Loss-rate probability ↔ log-survival round trip.
+    #[test]
+    fn loss_rate_round_trip(p in 0.0f64..0.999) {
+        let l = LossRate::from_probability(p);
+        prop_assert!((l.probability() - p).abs() < 1e-9);
+    }
+
+    /// Loss composition is commutative and matches probability algebra.
+    #[test]
+    fn loss_composition(p1 in 0.0f64..0.9, p2 in 0.0f64..0.9) {
+        let a = LossRate::from_probability(p1);
+        let b = LossRate::from_probability(p2);
+        let ab = a + b;
+        let ba = b + a;
+        prop_assert!((ab.probability() - ba.probability()).abs() < 1e-12);
+        let expected = 1.0 - (1.0 - p1) * (1.0 - p2);
+        prop_assert!((ab.probability() - expected).abs() < 1e-9);
+    }
+
+    /// QoS aggregation is monotone: adding a stage never improves QoS.
+    #[test]
+    fn qos_aggregation_monotone(
+        d1 in 0u64..10_000_000, p1 in 0.0f64..0.5,
+        d2 in 0u64..10_000_000, p2 in 0.0f64..0.5,
+    ) {
+        let a = Qos::new(SimDuration::from_micros(d1), LossRate::from_probability(p1));
+        let b = Qos::new(SimDuration::from_micros(d2), LossRate::from_probability(p2));
+        let sum = a + b;
+        prop_assert!(sum.delay >= a.delay && sum.delay >= b.delay);
+        prop_assert!(sum.loss >= a.loss && sum.loss >= b.loss);
+    }
+
+    /// satisfies() ⇔ risk_ratio ≤ 1 for positive requirements.
+    #[test]
+    fn satisfies_iff_risk_le_one(
+        d in 1u64..10_000_000, p in 0.0001f64..0.5,
+        rd in 1u64..10_000_000, rp in 0.0001f64..0.5,
+    ) {
+        let q = Qos::new(SimDuration::from_micros(d), LossRate::from_probability(p));
+        let req = QosRequirement::new(SimDuration::from_micros(rd), LossRate::from_probability(rp));
+        let risk = q.risk_ratio(&req);
+        prop_assert_eq!(q.satisfies(&req), risk <= 1.0 + 1e-12);
+    }
+
+    /// Resource checked_sub succeeds iff dominance holds, and
+    /// (a - b) + b == a when it does.
+    #[test]
+    fn resource_sub_roundtrip(
+        ac in 0.0f64..1e6, am in 0.0f64..1e6,
+        bc in 0.0f64..1e6, bm in 0.0f64..1e6,
+    ) {
+        let a = ResourceVector::new(ac, am);
+        let b = ResourceVector::new(bc, bm);
+        match a.checked_sub(&b) {
+            Some(diff) => {
+                prop_assert!(a.dominates(&b));
+                let back = diff + b;
+                prop_assert!((back.cpu - a.cpu).abs() < 1e-9);
+                prop_assert!((back.memory_mb - a.memory_mb).abs() < 1e-9);
+            }
+            None => prop_assert!(!a.dominates(&b)),
+        }
+    }
+
+    /// Congestion function decreases when availability grows.
+    #[test]
+    fn congestion_monotone_in_availability(
+        cpu in 1.0f64..100.0, mem in 1.0f64..100.0,
+        extra in 0.1f64..100.0,
+        bw_avail in 1.0f64..10_000.0, bw in 0.0f64..1_000.0,
+    ) {
+        let demand = ResourceVector::new(cpu / 2.0, mem / 2.0);
+        let small = ResourceVector::new(cpu, mem);
+        let large = ResourceVector::new(cpu + extra, mem + extra);
+        let v_small = congestion_function(&small, &demand, bw_avail, bw);
+        let v_large = congestion_function(&large, &demand, bw_avail, bw);
+        prop_assert!(v_large <= v_small + 1e-12);
+        // more link availability also helps
+        let v_more_bw = congestion_function(&small, &demand, bw_avail * 2.0, bw);
+        prop_assert!(v_more_bw <= v_small + 1e-12);
+    }
+
+    /// Risk function is monotone in the accumulated QoS.
+    #[test]
+    fn risk_monotone_in_accumulation(
+        base in 0u64..1_000_000, inc in 1u64..1_000_000,
+    ) {
+        let req = QosRequirement::new(SimDuration::from_micros(2_000_000), LossRate::from_probability(0.1));
+        let cand = Qos::from_delay(SimDuration::from_micros(10));
+        let link = Qos::from_delay(SimDuration::from_micros(10));
+        let d1 = risk_function(Qos::from_delay(SimDuration::from_micros(base)), cand, link, &req);
+        let d2 = risk_function(Qos::from_delay(SimDuration::from_micros(base + inc)), cand, link, &req);
+        prop_assert!(d2 >= d1);
+    }
+
+    /// Tightening a requirement never turns an unsatisfied QoS satisfied.
+    #[test]
+    fn tightening_preserves_failures(
+        d in 0u64..1_000_000, p in 0.0f64..0.5, factor in 0.01f64..1.0,
+    ) {
+        let q = Qos::new(SimDuration::from_micros(d), LossRate::from_probability(p));
+        let req = QosRequirement::new(SimDuration::from_micros(500_000), LossRate::from_probability(0.25));
+        let tight = req.tightened(factor);
+        if !q.satisfies(&req) {
+            prop_assert!(!q.satisfies(&tight));
+        }
+    }
+}
+
+mod allocation_conservation {
+    use super::*;
+    use acp_topology::{InetConfig, Overlay, OverlayConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Committing then closing arbitrary batches of sessions restores
+    /// every node and link to its initial availability.
+    #[test]
+    fn sessions_conserve_resources() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let ip = InetConfig { nodes: 150, ..InetConfig::default() }.generate(&mut rng);
+        let overlay = Overlay::build(&ip, &OverlayConfig { stream_nodes: 25, neighbors: 4 }, &mut rng);
+        let mut sys = StreamSystem::generate(overlay, FunctionRegistry::standard(), &SystemConfig::default(), &mut rng);
+
+        let initial: Vec<ResourceVector> =
+            (0..sys.node_count()).map(|i| sys.node_available(acp_topology::OverlayNodeId(i as u32))).collect();
+        let initial_links: Vec<f64> = sys.overlay().links().map(|l| sys.link_available(l)).collect();
+
+        // Build several single-edge requests between existing components.
+        let mut sessions = Vec::new();
+        let fns: Vec<FunctionId> = sys.registry().ids().filter(|&f| !sys.candidates(f).is_empty()).collect();
+        for i in 0..10 {
+            let f0 = fns[i % fns.len()];
+            let f1 = fns[(i + 1) % fns.len()];
+            let graph = FunctionGraph::path(vec![f0, f1]);
+            let req = Request {
+                id: RequestId(i as u64),
+                graph,
+                qos: QosRequirement::unconstrained(),
+                base_resources: ResourceVector::new(0.5, 2.0),
+                bandwidth_kbps: 5.0,
+                stream_rate_kbps: 50.0,
+                constraints: PlacementConstraints::none(),
+            };
+            let c0 = sys.candidates(f0)[i % sys.candidates(f0).len()];
+            let c1 = sys.candidates(f1)[i % sys.candidates(f1).len()];
+            let path = sys.virtual_path(c0.node, c1.node).unwrap();
+            let comp = Composition { assignment: vec![c0, c1], links: vec![path] };
+            if let Ok(sid) = sys.commit_session(&req, comp) {
+                sessions.push(sid);
+            }
+        }
+        assert!(!sessions.is_empty(), "at least some sessions should commit");
+        for sid in sessions {
+            assert!(sys.close_session(sid));
+        }
+        for (i, &before) in initial.iter().enumerate() {
+            let after = sys.node_available(acp_topology::OverlayNodeId(i as u32));
+            assert!((after.cpu - before.cpu).abs() < 1e-9, "node {i} cpu leaked");
+            assert!((after.memory_mb - before.memory_mb).abs() < 1e-9, "node {i} mem leaked");
+        }
+        for (i, l) in sys.overlay().links().enumerate() {
+            assert!((sys.link_available(l) - initial_links[i]).abs() < 1e-9, "link {i} bw leaked");
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Coarse-grain global state maintenance (§3.2).
+//!
+//! The global state holds (1) QoS/resource states of all nodes and their
+//! components and (2) states of the virtual links between all node pairs.
+//! For scalability, it is updated **coarsely**: a node (or link) publishes
+//! only when a state variation exceeds a threshold fraction of the
+//! metric's maximum value (paper §4.1 uses 10 %); virtual-link states are
+//! re-aggregated by a rotating *aggregation node* at a long interval.
+//!
+//! [`GlobalStateBoard`] is that coarse view, together with message
+//! accounting so experiments can report maintenance overhead. The board
+//! is *stale by design*: composition algorithms that consult it (ACP's
+//! candidate selection) see values as of the last published update, not
+//! ground truth.
+
+use acp_model::prelude::*;
+use acp_topology::{OverlayLinkId, OverlayNodeId, OverlayPath};
+
+/// Tuning knobs for coarse-grain state maintenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlobalStateConfig {
+    /// Publish threshold as a fraction of a metric's maximum value
+    /// (paper: 0.10 — "update is triggered when the value variation of a
+    /// resource or QoS metric exceeds 10 % of its maximum value").
+    pub threshold: f64,
+}
+
+impl Default for GlobalStateConfig {
+    fn default() -> Self {
+        GlobalStateConfig { threshold: 0.10 }
+    }
+}
+
+/// Coarse, possibly stale, global view of the system state.
+#[derive(Debug, Clone)]
+pub struct GlobalStateBoard {
+    config: GlobalStateConfig,
+    node_available: Vec<ResourceVector>,
+    node_capacity: Vec<ResourceVector>,
+    component_qos: std::collections::HashMap<ComponentId, Qos>,
+    link_available: Vec<f64>,
+    link_capacity: Vec<f64>,
+    update_messages: u64,
+    aggregation_rounds: u64,
+    aggregation_cursor: u32,
+}
+
+impl GlobalStateBoard {
+    /// Builds the board with a full, fresh snapshot of `system` (the
+    /// bootstrap dissemination is not counted as overhead).
+    pub fn new(system: &StreamSystem, config: GlobalStateConfig) -> Self {
+        let n = system.node_count();
+        let mut node_available = Vec::with_capacity(n);
+        let mut node_capacity = Vec::with_capacity(n);
+        let mut component_qos = std::collections::HashMap::new();
+        for v in system.overlay().nodes() {
+            node_available.push(system.node_available(v));
+            node_capacity.push(system.node(v).capacity());
+            for c in system.node(v).components() {
+                component_qos.insert(c.id, system.effective_component_qos(c.id));
+            }
+        }
+        let link_available: Vec<f64> = system.overlay().links().map(|l| system.link_available(l)).collect();
+        let link_capacity: Vec<f64> = system.overlay().links().map(|l| system.link_capacity(l)).collect();
+        GlobalStateBoard {
+            config,
+            node_available,
+            node_capacity,
+            component_qos,
+            link_available,
+            link_capacity,
+            update_messages: 0,
+            aggregation_rounds: 0,
+            aggregation_cursor: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Coarse reads (what ACP's candidate selection consults)
+    // ------------------------------------------------------------------
+
+    /// Coarse resource availability of `v` as of its last published
+    /// update.
+    pub fn node_available(&self, v: OverlayNodeId) -> ResourceVector {
+        self.node_available[v.index()]
+    }
+
+    /// Coarse QoS of component `c` as of its node's last published
+    /// update. `None` for components the board has not yet learnt about
+    /// (e.g. freshly migrated ones before their node's next update).
+    pub fn component_qos(&self, c: ComponentId) -> Option<Qos> {
+        self.component_qos.get(&c).copied()
+    }
+
+    /// Coarse available bandwidth of overlay link `l`.
+    pub fn link_available(&self, l: OverlayLinkId) -> f64 {
+        self.link_available[l.index()]
+    }
+
+    /// Coarse available bandwidth of a virtual link: the bottleneck over
+    /// the constituent overlay links' **coarse** availability
+    /// (`ba^l = min(ba^e …)` computed by the aggregation node). `∞` for
+    /// co-located paths.
+    pub fn path_available(&self, path: &OverlayPath) -> f64 {
+        path.links.iter().fold(f64::INFINITY, |acc, &l| acc.min(self.link_available(l)))
+    }
+
+    // ------------------------------------------------------------------
+    // Updates
+    // ------------------------------------------------------------------
+
+    /// Threshold-triggered node-state updates: each node compares its true
+    /// state to the last published value and publishes (one message) when
+    /// any resource dimension or component QoS metric moved more than
+    /// `threshold × maximum`. Returns the number of update messages sent.
+    pub fn refresh_nodes(&mut self, system: &StreamSystem) -> u64 {
+        let mut messages = 0;
+        for v in system.overlay().nodes() {
+            let i = v.index();
+            let actual = system.node_available(v);
+            let published = self.node_available[i];
+            let cap = self.node_capacity[i];
+            let mut significant = ResourceKind::ALL.iter().any(|&k| {
+                let max = cap.get(k);
+                max > 0.0 && (actual.get(k) - published.get(k)).abs() > self.config.threshold * max
+            });
+            if !significant {
+                // Component QoS variation check (delay metric vs its own
+                // published value, relative to the published maximum), and
+                // deployment changes (new/undeployed components are always
+                // significant).
+                for comp in system.node(v).components() {
+                    let actual_q = system.effective_component_qos(comp.id);
+                    match self.component_qos.get(&comp.id) {
+                        None => {
+                            significant = true; // newly deployed here
+                            break;
+                        }
+                        Some(published_q) => {
+                            let max = published_q.delay.as_secs_f64().max(actual_q.delay.as_secs_f64());
+                            if max > 0.0 {
+                                let delta =
+                                    (actual_q.delay.as_secs_f64() - published_q.delay.as_secs_f64()).abs();
+                                if delta > self.config.threshold * max {
+                                    significant = true;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !significant {
+                // Undeployment (migration away) is also always
+                // significant: the published list has entries the node no
+                // longer hosts.
+                let published = self.component_qos.keys().filter(|id| id.node == v).count();
+                if published != system.node(v).component_count() {
+                    significant = true;
+                }
+            }
+            if significant {
+                self.node_available[i] = actual;
+                // Re-publish this node's full component list; drop stale
+                // entries for components that left the node.
+                self.component_qos.retain(|id, _| id.node != v);
+                for comp in system.node(v).components() {
+                    self.component_qos.insert(comp.id, system.effective_component_qos(comp.id));
+                }
+                messages += 1;
+            }
+        }
+        self.update_messages += messages;
+        messages
+    }
+
+    /// One virtual-link aggregation round (long interval, paper: 10 min):
+    /// nodes report overlay links whose bandwidth moved beyond the
+    /// threshold to the current aggregation node (one message per changed
+    /// link), which then refreshes the global link states and publishes
+    /// once. The aggregation role rotates round-robin "for load sharing".
+    /// Returns the number of messages.
+    pub fn aggregate_links(&mut self, system: &StreamSystem) -> u64 {
+        let mut messages = 0;
+        for l in system.overlay().links() {
+            let i = l.index();
+            let actual = system.link_available(l);
+            let max = self.link_capacity[i];
+            if max > 0.0 && (actual - self.link_available[i]).abs() > self.config.threshold * max {
+                self.link_available[i] = actual;
+                messages += 1; // report to the aggregation node
+            }
+        }
+        messages += 1; // the aggregation node's global-state publish
+        self.update_messages += messages;
+        self.aggregation_rounds += 1;
+        self.aggregation_cursor = (self.aggregation_cursor + 1) % system.node_count() as u32;
+        messages
+    }
+
+    /// The node currently holding the aggregation role.
+    pub fn aggregation_node(&self) -> OverlayNodeId {
+        OverlayNodeId(self.aggregation_cursor)
+    }
+
+    /// Number of completed aggregation rounds.
+    pub fn aggregation_rounds(&self) -> u64 {
+        self.aggregation_rounds
+    }
+
+    /// Total state-update messages since construction (or the last
+    /// [`Self::take_messages`]).
+    pub fn update_messages(&self) -> u64 {
+        self.update_messages
+    }
+
+    /// Returns and resets the message counter — for per-period overhead
+    /// reporting.
+    pub fn take_messages(&mut self) -> u64 {
+        std::mem::take(&mut self.update_messages)
+    }
+
+    /// The configured publish threshold.
+    pub fn config(&self) -> &GlobalStateConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acp_topology::{InetConfig, Overlay, OverlayConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build() -> StreamSystem {
+        let mut rng = StdRng::seed_from_u64(21);
+        let ip = InetConfig { nodes: 150, ..InetConfig::default() }.generate(&mut rng);
+        let overlay = Overlay::build(&ip, &OverlayConfig { stream_nodes: 20, neighbors: 4 }, &mut rng);
+        StreamSystem::generate(overlay, FunctionRegistry::standard(), &SystemConfig::default(), &mut rng)
+    }
+
+    /// Commits one or more sessions on the first two hosted functions;
+    /// returns the loaded node. `heavy` allocates well past the 10 %
+    /// publish threshold; otherwise the allocation is negligible.
+    fn load_some_node(sys: &mut StreamSystem, req_id: u64, heavy: bool) -> OverlayNodeId {
+        let fns: Vec<FunctionId> = sys.registry().ids().filter(|&f| !sys.candidates(f).is_empty()).collect();
+        let c0 = sys.candidates(fns[0])[0];
+        let c1 = sys.candidates(fns[1])[0];
+        // Heavy: each session takes ~15 % of the tighter hosting node's
+        // capacity, so two sessions move ~30 % — decisively past the 10 %
+        // publish threshold while still fitting.
+        let base = if heavy {
+            let f0 = sys.registry().profile(fns[0]).demand_factor;
+            let f1 = sys.registry().profile(fns[1]).demand_factor;
+            let cap0 = sys.node(c0.node).capacity();
+            let cap1 = sys.node(c1.node).capacity();
+            ResourceVector::new(
+                0.15 * (cap0.cpu / f0).min(cap1.cpu / f1),
+                0.15 * (cap0.memory_mb / f0).min(cap1.memory_mb / f1),
+            )
+        } else {
+            ResourceVector::new(0.01, 0.05)
+        };
+        let sessions = if heavy { 2 } else { 1 };
+        for s in 0..sessions {
+            let graph = FunctionGraph::path(vec![fns[0], fns[1]]);
+            let req = Request {
+                id: RequestId(req_id * 100 + s),
+                graph,
+                qos: QosRequirement::unconstrained(),
+                base_resources: base,
+                bandwidth_kbps: 1.0,
+                stream_rate_kbps: 1.0,
+                constraints: PlacementConstraints::none(),
+            };
+            let path = sys.virtual_path(c0.node, c1.node).unwrap();
+            let comp = Composition { assignment: vec![c0, c1], links: vec![path] };
+            sys.commit_session(&req, comp).expect("commit");
+        }
+        c0.node
+    }
+
+    #[test]
+    fn initial_snapshot_matches_ground_truth() {
+        let sys = build();
+        let board = GlobalStateBoard::new(&sys, GlobalStateConfig::default());
+        for v in sys.overlay().nodes() {
+            assert_eq!(board.node_available(v), sys.node_available(v));
+        }
+        for l in sys.overlay().links() {
+            assert_eq!(board.link_available(l), sys.link_available(l));
+        }
+        assert_eq!(board.update_messages(), 0);
+    }
+
+    #[test]
+    fn small_changes_are_filtered_out() {
+        let mut sys = build();
+        let mut board = GlobalStateBoard::new(&sys, GlobalStateConfig::default());
+        let node = load_some_node(&mut sys, 1, false); // tiny allocation
+        let msgs = board.refresh_nodes(&sys);
+        assert_eq!(msgs, 0, "sub-threshold variation must not publish");
+        // Board stays stale.
+        assert_ne!(board.node_available(node), sys.node_available(node));
+    }
+
+    #[test]
+    fn large_changes_trigger_update() {
+        let mut sys = build();
+        let mut board = GlobalStateBoard::new(&sys, GlobalStateConfig::default());
+        let node = load_some_node(&mut sys, 1, true); // heavy allocation
+        let msgs = board.refresh_nodes(&sys);
+        assert!(msgs >= 1, "above-threshold variation publishes");
+        assert_eq!(board.node_available(node), sys.node_available(node));
+    }
+
+    #[test]
+    fn repeated_refresh_is_quiescent() {
+        let mut sys = build();
+        let mut board = GlobalStateBoard::new(&sys, GlobalStateConfig::default());
+        load_some_node(&mut sys, 1, true);
+        board.refresh_nodes(&sys);
+        // No further changes → no further messages.
+        assert_eq!(board.refresh_nodes(&sys), 0);
+    }
+
+    #[test]
+    fn aggregation_counts_and_rotates() {
+        let sys = build();
+        let mut board = GlobalStateBoard::new(&sys, GlobalStateConfig::default());
+        let first = board.aggregation_node();
+        let msgs = board.aggregate_links(&sys);
+        assert_eq!(msgs, 1, "no link changed → only the publish message");
+        assert_eq!(board.aggregation_rounds(), 1);
+        assert_ne!(board.aggregation_node(), first, "role rotates");
+    }
+
+    #[test]
+    fn path_available_uses_coarse_values() {
+        let mut sys = build();
+        let board = GlobalStateBoard::new(&sys, GlobalStateConfig::default());
+        let a = OverlayNodeId(0);
+        let b = OverlayNodeId(1);
+        let path = sys.virtual_path(a, b).unwrap();
+        if !path.is_colocated() {
+            let expect: f64 =
+                path.links.iter().fold(f64::INFINITY, |acc, &l| acc.min(board.link_available(l)));
+            assert_eq!(board.path_available(&path), expect);
+        }
+        let colocated = acp_topology::OverlayPath::colocated(a);
+        assert_eq!(board.path_available(&colocated), f64::INFINITY);
+    }
+
+    #[test]
+    fn take_messages_resets_counter() {
+        let mut sys = build();
+        let mut board = GlobalStateBoard::new(&sys, GlobalStateConfig::default());
+        load_some_node(&mut sys, 1, true);
+        board.refresh_nodes(&sys);
+        assert!(board.take_messages() > 0);
+        assert_eq!(board.update_messages(), 0);
+    }
+
+    #[test]
+    fn zero_threshold_publishes_everything() {
+        let mut sys = build();
+        let mut board = GlobalStateBoard::new(&sys, GlobalStateConfig { threshold: 0.0 });
+        load_some_node(&mut sys, 1, false);
+        let msgs = board.refresh_nodes(&sys);
+        assert!(msgs >= 1, "zero threshold behaves like precise maintenance");
+    }
+}

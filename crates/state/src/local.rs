@@ -1,0 +1,171 @@
+//! Fine-grain local state (§3.2).
+//!
+//! "The local state of a node consists of the QoS/resource states of its
+//! neighbor nodes in the overlay mesh, and its adjacent overlay links.
+//! Each node keeps its local state with high precision using frequent
+//! proactive measurement at short time interval (e.g., 10 seconds). For
+//! scalability, the precise local state is not disseminated to other
+//! nodes."
+//!
+//! In the simulator, a 10-second measurement cadence against slowly
+//! changing session state is indistinguishable from reading ground truth,
+//! so [`LocalStateView`] exposes the *precise* current state of one node's
+//! neighbourhood — and nothing beyond it. Probes collect their fine-grain
+//! states through this view, which statically enforces the paper's
+//! locality restriction: a view of node `v` can only answer questions
+//! about `v`, `v`'s neighbours, and `v`'s adjacent overlay links.
+
+use acp_model::prelude::*;
+use acp_topology::{OverlayLinkId, OverlayNodeId};
+
+/// A node's precise view of itself and its overlay neighbourhood.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalStateView<'a> {
+    system: &'a StreamSystem,
+    node: OverlayNodeId,
+}
+
+/// Error returned when a query leaves the view's neighbourhood.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfScope {
+    /// The node whose neighbourhood the view covers.
+    pub view_node: OverlayNodeId,
+}
+
+impl std::fmt::Display for OutOfScope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query outside the local neighbourhood of {}", self.view_node)
+    }
+}
+
+impl std::error::Error for OutOfScope {}
+
+impl<'a> LocalStateView<'a> {
+    /// Creates the local view held by `node`.
+    pub fn new(system: &'a StreamSystem, node: OverlayNodeId) -> Self {
+        LocalStateView { system, node }
+    }
+
+    /// The owning node.
+    pub fn node(&self) -> OverlayNodeId {
+        self.node
+    }
+
+    /// True when `other` is this node or one of its overlay neighbours.
+    pub fn covers(&self, other: OverlayNodeId) -> bool {
+        other == self.node || self.system.overlay().neighbors(self.node).any(|(n, _)| n == other)
+    }
+
+    /// True when `link` is adjacent to this node.
+    pub fn covers_link(&self, link: OverlayLinkId) -> bool {
+        let (a, b) = self.system.overlay().link_endpoints(link);
+        a == self.node || b == self.node
+    }
+
+    /// Precise resource availability of a covered node.
+    ///
+    /// # Errors
+    ///
+    /// [`OutOfScope`] when `v` is not in the neighbourhood.
+    pub fn node_available(&self, v: OverlayNodeId) -> Result<ResourceVector, OutOfScope> {
+        if self.covers(v) {
+            Ok(self.system.node_available(v))
+        } else {
+            Err(OutOfScope { view_node: self.node })
+        }
+    }
+
+    /// Precise effective QoS of a component hosted in the neighbourhood.
+    ///
+    /// # Errors
+    ///
+    /// [`OutOfScope`] when the hosting node is not covered.
+    pub fn component_qos(&self, c: ComponentId) -> Result<Qos, OutOfScope> {
+        if self.covers(c.node) {
+            Ok(self.system.effective_component_qos(c))
+        } else {
+            Err(OutOfScope { view_node: self.node })
+        }
+    }
+
+    /// Precise available bandwidth of an adjacent overlay link.
+    ///
+    /// # Errors
+    ///
+    /// [`OutOfScope`] when the link is not adjacent to the view's node.
+    pub fn link_available(&self, link: OverlayLinkId) -> Result<f64, OutOfScope> {
+        if self.covers_link(link) {
+            Ok(self.system.link_available(link))
+        } else {
+            Err(OutOfScope { view_node: self.node })
+        }
+    }
+
+    /// Precise state of the view's own node (always in scope).
+    pub fn own_available(&self) -> ResourceVector {
+        self.system.node_available(self.node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acp_topology::{InetConfig, Overlay, OverlayConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build() -> StreamSystem {
+        let mut rng = StdRng::seed_from_u64(33);
+        let ip = InetConfig { nodes: 120, ..InetConfig::default() }.generate(&mut rng);
+        let overlay = Overlay::build(&ip, &OverlayConfig { stream_nodes: 15, neighbors: 3 }, &mut rng);
+        StreamSystem::generate(overlay, FunctionRegistry::standard(), &SystemConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn covers_self_and_neighbors() {
+        let sys = build();
+        let v = OverlayNodeId(0);
+        let view = LocalStateView::new(&sys, v);
+        assert!(view.covers(v));
+        for (n, l) in sys.overlay().neighbors(v) {
+            assert!(view.covers(n));
+            assert!(view.covers_link(l));
+        }
+    }
+
+    #[test]
+    fn neighbourhood_reads_match_ground_truth() {
+        let sys = build();
+        let v = OverlayNodeId(0);
+        let view = LocalStateView::new(&sys, v);
+        assert_eq!(view.own_available(), sys.node_available(v));
+        for (n, l) in sys.overlay().neighbors(v) {
+            assert_eq!(view.node_available(n).unwrap(), sys.node_available(n));
+            assert_eq!(view.link_available(l).unwrap(), sys.link_available(l));
+            for c in sys.node(n).components() {
+                assert_eq!(view.component_qos(c.id).unwrap(), sys.effective_component_qos(c.id));
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_scope_is_rejected() {
+        let sys = build();
+        let v = OverlayNodeId(0);
+        let view = LocalStateView::new(&sys, v);
+        // find a node that is not a neighbour
+        let far = sys
+            .overlay()
+            .nodes()
+            .find(|&n| !view.covers(n))
+            .expect("15-node overlay with 3 neighbours has non-neighbours");
+        assert_eq!(view.node_available(far), Err(OutOfScope { view_node: v }));
+        // and a non-adjacent link
+        let far_link = sys
+            .overlay()
+            .links()
+            .find(|&l| !view.covers_link(l))
+            .expect("non-adjacent link exists");
+        assert!(view.link_available(far_link).is_err());
+    }
+}

@@ -1,0 +1,425 @@
+//! The stream-processing overlay mesh.
+//!
+//! Per §2.1 of the paper, `N ∈ [200, 500]` of the IP nodes are selected as
+//! stream processing nodes and connected by *application-level overlay
+//! links* into an overlay mesh; each node has a bounded number of overlay
+//! neighbours. An overlay link is realised by the delay-shortest IP path
+//! between its endpoints: its delay is the path delay, its capacity the
+//! bottleneck bandwidth, and its loss the composed path loss.
+//!
+//! The connection between two adjacent *components* is a **virtual link**
+//! — an overlay *path* (a set of overlay links). [`Overlay::virtual_path`]
+//! computes it with delay-based shortest-path routing on the mesh, again
+//! matching §4.1.
+
+use std::collections::HashMap;
+
+use acp_simcore::SimDuration;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::graph::{EdgeId, Graph, LinkProps, NodeId};
+use crate::routing::{RoutingTable, ShortestPathTree};
+
+/// Index of a stream-processing node within the overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OverlayNodeId(pub u32);
+
+impl OverlayNodeId {
+    /// The overlay node index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for OverlayNodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Index of an overlay link (an edge of the mesh).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OverlayLinkId(pub u32);
+
+impl OverlayLinkId {
+    /// The overlay link index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Overlay construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverlayConfig {
+    /// Number of stream-processing nodes to select (paper: 200–500).
+    pub stream_nodes: usize,
+    /// Overlay neighbours per node (nearest by IP delay).
+    pub neighbors: usize,
+}
+
+impl Default for OverlayConfig {
+    fn default() -> Self {
+        OverlayConfig { stream_nodes: 400, neighbors: 6 }
+    }
+}
+
+/// A multi-hop **virtual link**: the overlay path connecting two stream
+/// nodes, with aggregated QoS per §3.2 of the paper
+/// (`ba^l = min(ba^e…)`, delay = Σ, loss composed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlayPath {
+    /// Visited overlay nodes, source first.
+    pub nodes: Vec<OverlayNodeId>,
+    /// Traversed overlay links.
+    pub links: Vec<OverlayLinkId>,
+    /// Total delay (sum over overlay links).
+    pub delay: SimDuration,
+    /// Bottleneck capacity over the constituent overlay links, kbit/s.
+    pub bottleneck_kbps: f64,
+    /// Composed loss probability.
+    pub loss_rate: f64,
+}
+
+impl OverlayPath {
+    /// A zero-length path (both components co-located on one node). Per
+    /// the paper, co-located components have zero network delay and
+    /// unbounded virtual-link bandwidth.
+    pub fn colocated(node: OverlayNodeId) -> Self {
+        OverlayPath {
+            nodes: vec![node],
+            links: Vec::new(),
+            delay: SimDuration::ZERO,
+            bottleneck_kbps: f64::INFINITY,
+            loss_rate: 0.0,
+        }
+    }
+
+    /// Number of overlay hops.
+    pub fn hop_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// True when the path crosses no network link.
+    pub fn is_colocated(&self) -> bool {
+        self.links.is_empty()
+    }
+}
+
+/// The overlay mesh of stream-processing nodes.
+#[derive(Clone)]
+pub struct Overlay {
+    ip_nodes: Vec<NodeId>,
+    ip_index: HashMap<NodeId, OverlayNodeId>,
+    mesh: Graph,
+    ip_hops: Vec<usize>,
+    route_cache: HashMap<OverlayNodeId, ShortestPathTree>,
+}
+
+impl std::fmt::Debug for Overlay {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Overlay")
+            .field("nodes", &self.node_count())
+            .field("links", &self.link_count())
+            .finish()
+    }
+}
+
+impl Overlay {
+    /// Builds an overlay over `ip_graph`.
+    ///
+    /// Selects `config.stream_nodes` distinct IP nodes uniformly at random,
+    /// links each to its `config.neighbors` nearest overlay peers (by IP
+    /// routed delay), and then bridges any remaining components so the mesh
+    /// is connected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the IP graph has fewer nodes than `config.stream_nodes`,
+    /// if `config.stream_nodes < 2`, or if `config.neighbors == 0`.
+    pub fn build<R: Rng + ?Sized>(ip_graph: &Graph, config: &OverlayConfig, rng: &mut R) -> Self {
+        assert!(config.stream_nodes >= 2, "need at least two stream nodes");
+        assert!(config.neighbors >= 1, "need at least one neighbour per node");
+        assert!(
+            ip_graph.node_count() >= config.stream_nodes,
+            "IP graph smaller than requested overlay"
+        );
+
+        // 1. Select stream nodes.
+        let mut all: Vec<NodeId> = ip_graph.nodes().collect();
+        all.shuffle(rng);
+        let mut ip_nodes: Vec<NodeId> = all.into_iter().take(config.stream_nodes).collect();
+        ip_nodes.sort_unstable(); // canonical order for reproducibility
+        let ip_index: HashMap<NodeId, OverlayNodeId> = ip_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, OverlayNodeId(i as u32)))
+            .collect();
+
+        // 2. IP-layer routing from every stream node.
+        let mut routing = RoutingTable::new();
+        let n = ip_nodes.len();
+        let mut mesh = Graph::new(n);
+        let mut ip_hops: Vec<usize> = Vec::new();
+
+        // 3. k-nearest-neighbour mesh.
+        for i in 0..n {
+            let tree = routing.tree(ip_graph, ip_nodes[i]);
+            let mut dists: Vec<(SimDuration, usize)> = (0..n)
+                .filter(|&j| j != i)
+                .filter_map(|j| tree.distance(ip_nodes[j]).map(|d| (d, j)))
+                .collect();
+            dists.sort_unstable();
+            for &(_, j) in dists.iter().take(config.neighbors) {
+                let (a, b) = (OverlayNodeId(i as u32), OverlayNodeId(j as u32));
+                if !mesh.has_edge(NodeId(a.0), NodeId(b.0)) {
+                    let path = routing
+                        .path(ip_graph, ip_nodes[i], ip_nodes[j])
+                        .expect("distance implies path");
+                    mesh.add_edge(
+                        NodeId(a.0),
+                        NodeId(b.0),
+                        LinkProps::new(path.delay, path.bottleneck_kbps, path.loss_rate),
+                    );
+                    ip_hops.push(path.hop_count());
+                }
+            }
+        }
+
+        // 4. Bridge components (possible when the IP graph is disconnected
+        //    or k-NN selection forms islands).
+        loop {
+            let component = mesh.connected_component(NodeId(0));
+            if component.len() == mesh.node_count() {
+                break;
+            }
+            let inside: std::collections::HashSet<usize> = component.iter().map(|c| c.index()).collect();
+            let outside: Vec<usize> = (0..n).filter(|i| !inside.contains(i)).collect();
+            // Connect the closest inside/outside pair.
+            let mut best: Option<(SimDuration, usize, usize)> = None;
+            for &o in &outside {
+                let tree = routing.tree(ip_graph, ip_nodes[o]);
+                for &i in &inside {
+                    if let Some(d) = tree.distance(ip_nodes[i]) {
+                        if best.is_none_or(|(bd, _, _)| d < bd) {
+                            best = Some((d, o, i));
+                        }
+                    }
+                }
+            }
+            let (_, o, i) = best.expect("IP graph must connect the selected stream nodes");
+            let path = routing.path(ip_graph, ip_nodes[o], ip_nodes[i]).expect("distance implies path");
+            mesh.add_edge(
+                NodeId(o as u32),
+                NodeId(i as u32),
+                LinkProps::new(path.delay, path.bottleneck_kbps, path.loss_rate),
+            );
+            ip_hops.push(path.hop_count());
+        }
+
+        Overlay { ip_nodes, ip_index, mesh, ip_hops, route_cache: HashMap::new() }
+    }
+
+    /// Number of stream-processing nodes.
+    pub fn node_count(&self) -> usize {
+        self.ip_nodes.len()
+    }
+
+    /// Number of overlay links.
+    pub fn link_count(&self) -> usize {
+        self.mesh.edge_count()
+    }
+
+    /// Iterates over all overlay node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = OverlayNodeId> + '_ {
+        (0..self.ip_nodes.len() as u32).map(OverlayNodeId)
+    }
+
+    /// Iterates over all overlay link ids.
+    pub fn links(&self) -> impl Iterator<Item = OverlayLinkId> + '_ {
+        (0..self.mesh.edge_count() as u32).map(OverlayLinkId)
+    }
+
+    /// The IP node hosting an overlay node.
+    pub fn ip_node(&self, v: OverlayNodeId) -> NodeId {
+        self.ip_nodes[v.index()]
+    }
+
+    /// The overlay node hosted on `ip`, if any.
+    pub fn overlay_node(&self, ip: NodeId) -> Option<OverlayNodeId> {
+        self.ip_index.get(&ip).copied()
+    }
+
+    /// Attributes of an overlay link (delay/capacity/loss aggregated from
+    /// its IP path).
+    pub fn link_props(&self, l: OverlayLinkId) -> &LinkProps {
+        self.mesh.props(EdgeId(l.0))
+    }
+
+    /// Endpoints of an overlay link.
+    pub fn link_endpoints(&self, l: OverlayLinkId) -> (OverlayNodeId, OverlayNodeId) {
+        let (a, b) = self.mesh.endpoints(EdgeId(l.0));
+        (OverlayNodeId(a.0), OverlayNodeId(b.0))
+    }
+
+    /// Number of IP-layer hops underlying an overlay link.
+    pub fn link_ip_hops(&self, l: OverlayLinkId) -> usize {
+        self.ip_hops[l.index()]
+    }
+
+    /// Overlay neighbours of `v` with their connecting links.
+    pub fn neighbors(&self, v: OverlayNodeId) -> impl Iterator<Item = (OverlayNodeId, OverlayLinkId)> + '_ {
+        self.mesh
+            .neighbors(NodeId(v.0))
+            .iter()
+            .map(|&(n, e)| (OverlayNodeId(n.0), OverlayLinkId(e.0)))
+    }
+
+    /// True when every overlay node can reach every other.
+    pub fn is_connected(&self) -> bool {
+        self.mesh.is_connected()
+    }
+
+    /// The virtual link from `from` to `to`: the delay-shortest overlay
+    /// path, with aggregated delay / bottleneck bandwidth / loss.
+    /// Co-located endpoints yield [`OverlayPath::colocated`].
+    ///
+    /// Routing trees are cached per source; [`Self::invalidate_routes`]
+    /// clears the cache.
+    pub fn virtual_path(&mut self, from: OverlayNodeId, to: OverlayNodeId) -> Option<OverlayPath> {
+        if from == to {
+            return Some(OverlayPath::colocated(from));
+        }
+        let mesh = &self.mesh;
+        let tree = self
+            .route_cache
+            .entry(from)
+            .or_insert_with(|| ShortestPathTree::compute(mesh, NodeId(from.0)));
+        let ip = tree.path_to(mesh, NodeId(to.0))?;
+        Some(OverlayPath {
+            nodes: ip.nodes.iter().map(|n| OverlayNodeId(n.0)).collect(),
+            links: ip.edges.iter().map(|e| OverlayLinkId(e.0)).collect(),
+            delay: ip.delay,
+            bottleneck_kbps: ip.bottleneck_kbps,
+            loss_rate: ip.loss_rate,
+        })
+    }
+
+    /// Drops cached routing trees.
+    pub fn invalidate_routes(&mut self) {
+        self.route_cache.clear();
+    }
+
+    /// The underlying mesh graph (read-only).
+    pub fn mesh(&self) -> &Graph {
+        &self.mesh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inet::InetConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build_pair(seed: u64, stream_nodes: usize, neighbors: usize) -> Overlay {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ip = InetConfig { nodes: 300, ..InetConfig::default() }.generate(&mut rng);
+        Overlay::build(&ip, &OverlayConfig { stream_nodes, neighbors }, &mut rng)
+    }
+
+    #[test]
+    fn builds_connected_mesh() {
+        let ov = build_pair(1, 40, 4);
+        assert_eq!(ov.node_count(), 40);
+        assert!(ov.is_connected());
+        assert!(ov.link_count() >= 40, "each node should contribute links");
+    }
+
+    #[test]
+    fn every_node_has_neighbors() {
+        let ov = build_pair(2, 30, 3);
+        for v in ov.nodes() {
+            assert!(ov.neighbors(v).count() >= 1, "{v} isolated");
+        }
+    }
+
+    #[test]
+    fn ip_mapping_is_bijective() {
+        let ov = build_pair(3, 25, 3);
+        for v in ov.nodes() {
+            let ip = ov.ip_node(v);
+            assert_eq!(ov.overlay_node(ip), Some(v));
+        }
+    }
+
+    #[test]
+    fn virtual_path_between_all_pairs() {
+        let mut ov = build_pair(4, 20, 3);
+        let nodes: Vec<_> = ov.nodes().collect();
+        for &a in &nodes {
+            for &b in &nodes {
+                let p = ov.virtual_path(a, b).expect("connected overlay");
+                if a == b {
+                    assert!(p.is_colocated());
+                    assert_eq!(p.bottleneck_kbps, f64::INFINITY);
+                } else {
+                    assert!(p.hop_count() >= 1);
+                    assert_eq!(p.nodes.first(), Some(&a));
+                    assert_eq!(p.nodes.last(), Some(&b));
+                    assert!(p.delay > acp_simcore::SimDuration::ZERO);
+                    assert!(p.bottleneck_kbps.is_finite());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_path_aggregates_link_props() {
+        let mut ov = build_pair(5, 15, 2);
+        let a = OverlayNodeId(0);
+        let b = OverlayNodeId(ov.node_count() as u32 - 1);
+        let p = ov.virtual_path(a, b).unwrap();
+        let mut delay = SimDuration::ZERO;
+        let mut bw = f64::INFINITY;
+        let mut pass = 1.0;
+        for &l in &p.links {
+            let props = ov.link_props(l);
+            delay += props.delay;
+            bw = bw.min(props.bandwidth_kbps);
+            pass *= 1.0 - props.loss_rate;
+        }
+        assert_eq!(p.delay, delay);
+        assert_eq!(p.bottleneck_kbps, bw);
+        assert!((p.loss_rate - (1.0 - pass)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_endpoints_and_hops() {
+        let ov = build_pair(6, 15, 2);
+        for l in ov.links() {
+            let (a, b) = ov.link_endpoints(l);
+            assert_ne!(a, b);
+            assert!(ov.link_ip_hops(l) >= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = build_pair(7, 30, 4);
+        let b = build_pair(7, 30, 4);
+        assert_eq!(a.link_count(), b.link_count());
+        let ia: Vec<_> = a.nodes().map(|v| a.ip_node(v)).collect();
+        let ib: Vec<_> = b.nodes().map(|v| b.ip_node(v)).collect();
+        assert_eq!(ia, ib);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two stream nodes")]
+    fn rejects_tiny_overlay() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let ip = InetConfig { nodes: 50, ..InetConfig::default() }.generate(&mut rng);
+        let _ = Overlay::build(&ip, &OverlayConfig { stream_nodes: 1, neighbors: 2 }, &mut rng);
+    }
+}

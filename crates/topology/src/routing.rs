@@ -1,0 +1,321 @@
+//! Delay-based shortest-path routing.
+//!
+//! The paper's simulator "simulates both IP-layer and overlay data routing
+//! using delay-based shortest path routing" (§4.1). [`RoutingTable`] runs
+//! Dijkstra per source on demand and caches the result, which keeps
+//! all-pairs queries affordable on the 3 200-node IP graph.
+
+use std::collections::HashMap;
+
+use acp_simcore::SimDuration;
+
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// A concrete routed path through a [`Graph`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IpPath {
+    /// Visited nodes, source first, destination last.
+    pub nodes: Vec<NodeId>,
+    /// Traversed edges; `edges.len() == nodes.len() - 1`.
+    pub edges: Vec<EdgeId>,
+    /// Total propagation delay (sum over edges).
+    pub delay: SimDuration,
+    /// Bottleneck capacity (minimum over edges), kbit/s.
+    pub bottleneck_kbps: f64,
+    /// End-to-end loss probability `1 - Π(1 - l_e)`.
+    pub loss_rate: f64,
+}
+
+impl IpPath {
+    /// A zero-length path (source == destination).
+    pub fn trivial(node: NodeId) -> Self {
+        IpPath {
+            nodes: vec![node],
+            edges: Vec::new(),
+            delay: SimDuration::ZERO,
+            bottleneck_kbps: f64::INFINITY,
+            loss_rate: 0.0,
+        }
+    }
+
+    /// Number of hops (edges).
+    pub fn hop_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The source node.
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// The destination node.
+    pub fn destination(&self) -> NodeId {
+        *self.nodes.last().expect("paths contain at least one node")
+    }
+}
+
+/// Single-source shortest-path tree (by delay).
+#[derive(Debug, Clone)]
+pub struct ShortestPathTree {
+    source: NodeId,
+    dist: Vec<Option<SimDuration>>,
+    prev: Vec<Option<(NodeId, EdgeId)>>,
+}
+
+impl ShortestPathTree {
+    /// Runs Dijkstra from `source`, minimising total delay.
+    pub fn compute(graph: &Graph, source: NodeId) -> Self {
+        let n = graph.node_count();
+        let mut dist: Vec<Option<SimDuration>> = vec![None; n];
+        let mut prev: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
+        let mut done = vec![false; n];
+        let mut heap = std::collections::BinaryHeap::new();
+
+        dist[source.index()] = Some(SimDuration::ZERO);
+        heap.push(std::cmp::Reverse((SimDuration::ZERO, source.0)));
+
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            let u = NodeId(u);
+            if done[u.index()] {
+                continue;
+            }
+            done[u.index()] = true;
+            for &(v, e) in graph.neighbors(u) {
+                if done[v.index()] {
+                    continue;
+                }
+                let cand = d + graph.props(e).delay;
+                if dist[v.index()].is_none_or(|cur| cand < cur) {
+                    dist[v.index()] = Some(cand);
+                    prev[v.index()] = Some((u, e));
+                    heap.push(std::cmp::Reverse((cand, v.0)));
+                }
+            }
+        }
+        ShortestPathTree { source, dist, prev }
+    }
+
+    /// Delay from the source to `dst`; `None` when unreachable.
+    pub fn distance(&self, dst: NodeId) -> Option<SimDuration> {
+        self.dist[dst.index()]
+    }
+
+    /// Materialises the routed path to `dst`; `None` when unreachable.
+    pub fn path_to(&self, graph: &Graph, dst: NodeId) -> Option<IpPath> {
+        self.dist[dst.index()]?;
+        if dst == self.source {
+            return Some(IpPath::trivial(dst));
+        }
+        let mut nodes = vec![dst];
+        let mut edges = Vec::new();
+        let mut cur = dst;
+        while cur != self.source {
+            let (p, e) = self.prev[cur.index()].expect("reachable nodes have predecessors");
+            edges.push(e);
+            nodes.push(p);
+            cur = p;
+        }
+        nodes.reverse();
+        edges.reverse();
+
+        let delay = self.dist[dst.index()].expect("checked above");
+        let mut bottleneck = f64::INFINITY;
+        let mut pass = 1.0f64;
+        for &e in &edges {
+            let p = graph.props(e);
+            bottleneck = bottleneck.min(p.bandwidth_kbps);
+            pass *= 1.0 - p.loss_rate;
+        }
+        Some(IpPath { nodes, edges, delay, bottleneck_kbps: bottleneck, loss_rate: 1.0 - pass })
+    }
+}
+
+/// Lazily-populated all-pairs routing over a fixed graph.
+///
+/// # Example
+///
+/// ```
+/// use acp_topology::{Graph, LinkProps, NodeId, RoutingTable};
+/// use acp_simcore::SimDuration;
+///
+/// let mut g = Graph::new(3);
+/// g.add_edge(NodeId(0), NodeId(1), LinkProps::new(SimDuration::from_millis(5), 1e5, 0.0));
+/// g.add_edge(NodeId(1), NodeId(2), LinkProps::new(SimDuration::from_millis(5), 1e5, 0.0));
+/// let mut rt = RoutingTable::new();
+/// let p = rt.path(&g, NodeId(0), NodeId(2)).unwrap();
+/// assert_eq!(p.hop_count(), 2);
+/// assert_eq!(p.delay, SimDuration::from_millis(10));
+/// ```
+#[derive(Debug, Default)]
+pub struct RoutingTable {
+    trees: HashMap<NodeId, ShortestPathTree>,
+}
+
+impl RoutingTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        RoutingTable { trees: HashMap::new() }
+    }
+
+    /// Shortest-path tree rooted at `src`, computing it on first use.
+    pub fn tree(&mut self, graph: &Graph, src: NodeId) -> &ShortestPathTree {
+        self.trees.entry(src).or_insert_with(|| ShortestPathTree::compute(graph, src))
+    }
+
+    /// Delay of the routed path `src → dst`; `None` when unreachable.
+    pub fn distance(&mut self, graph: &Graph, src: NodeId, dst: NodeId) -> Option<SimDuration> {
+        self.tree(graph, src).distance(dst)
+    }
+
+    /// The routed path `src → dst`; `None` when unreachable.
+    pub fn path(&mut self, graph: &Graph, src: NodeId, dst: NodeId) -> Option<IpPath> {
+        let tree = self.trees.entry(src).or_insert_with(|| ShortestPathTree::compute(graph, src));
+        tree.path_to(graph, dst)
+    }
+
+    /// Number of cached source trees.
+    pub fn cached_sources(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Drops all cached trees (e.g. after the graph changes).
+    pub fn invalidate(&mut self) {
+        self.trees.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::LinkProps;
+
+    fn link(ms: u64, bw: f64, loss: f64) -> LinkProps {
+        LinkProps::new(SimDuration::from_millis(ms), bw, loss)
+    }
+
+    /// Diamond: 0-1 (1ms), 1-3 (1ms), 0-2 (5ms), 2-3 (5ms). Shortest 0→3 is
+    /// via 1.
+    fn diamond() -> Graph {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), link(1, 1_000.0, 0.01));
+        g.add_edge(NodeId(1), NodeId(3), link(1, 500.0, 0.01));
+        g.add_edge(NodeId(0), NodeId(2), link(5, 2_000.0, 0.0));
+        g.add_edge(NodeId(2), NodeId(3), link(5, 2_000.0, 0.0));
+        g
+    }
+
+    #[test]
+    fn picks_min_delay_route() {
+        let g = diamond();
+        let mut rt = RoutingTable::new();
+        let p = rt.path(&g, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(p.nodes, vec![NodeId(0), NodeId(1), NodeId(3)]);
+        assert_eq!(p.delay, SimDuration::from_millis(2));
+        assert_eq!(p.bottleneck_kbps, 500.0);
+        assert!((p.loss_rate - (1.0 - 0.99f64 * 0.99)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trivial_path() {
+        let g = diamond();
+        let mut rt = RoutingTable::new();
+        let p = rt.path(&g, NodeId(2), NodeId(2)).unwrap();
+        assert_eq!(p.hop_count(), 0);
+        assert_eq!(p.delay, SimDuration::ZERO);
+        assert_eq!(p.source(), p.destination());
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), link(1, 1_000.0, 0.0));
+        let mut rt = RoutingTable::new();
+        assert!(rt.path(&g, NodeId(0), NodeId(2)).is_none());
+        assert!(rt.distance(&g, NodeId(0), NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn caching_counts_sources() {
+        let g = diamond();
+        let mut rt = RoutingTable::new();
+        rt.path(&g, NodeId(0), NodeId(3));
+        rt.path(&g, NodeId(0), NodeId(2));
+        rt.path(&g, NodeId(1), NodeId(2));
+        assert_eq!(rt.cached_sources(), 2);
+        rt.invalidate();
+        assert_eq!(rt.cached_sources(), 0);
+    }
+
+    /// Cross-check Dijkstra against Floyd–Warshall on random graphs.
+    #[test]
+    fn agrees_with_floyd_warshall() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let n = rng.gen_range(4..12);
+            let mut g = Graph::new(n);
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    if rng.gen_bool(0.45) {
+                        g.add_edge(
+                            NodeId(a as u32),
+                            NodeId(b as u32),
+                            link(rng.gen_range(1..30), 1_000.0, 0.0),
+                        );
+                    }
+                }
+            }
+            // Floyd–Warshall oracle in microseconds.
+            const INF: u64 = u64::MAX / 4;
+            let mut d = vec![vec![INF; n]; n];
+            for (i, row) in d.iter_mut().enumerate() {
+                row[i] = 0;
+            }
+            for e in 0..g.edge_count() {
+                let (a, b) = g.endpoints(EdgeId(e as u32));
+                let w = g.props(EdgeId(e as u32)).delay.as_micros();
+                d[a.index()][b.index()] = d[a.index()][b.index()].min(w);
+                d[b.index()][a.index()] = d[b.index()][a.index()].min(w);
+            }
+            for k in 0..n {
+                for i in 0..n {
+                    for j in 0..n {
+                        let via = d[i][k].saturating_add(d[k][j]);
+                        if via < d[i][j] {
+                            d[i][j] = via;
+                        }
+                    }
+                }
+            }
+            let mut rt = RoutingTable::new();
+            for i in 0..n {
+                for j in 0..n {
+                    let got = rt.distance(&g, NodeId(i as u32), NodeId(j as u32));
+                    if d[i][j] >= INF {
+                        assert!(got.is_none());
+                    } else {
+                        assert_eq!(got.unwrap().as_micros(), d[i][j], "mismatch {i}->{j}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Path attributes must be internally consistent with the edge list.
+    #[test]
+    fn path_attributes_consistent() {
+        let g = diamond();
+        let mut rt = RoutingTable::new();
+        let p = rt.path(&g, NodeId(0), NodeId(3)).unwrap();
+        let mut delay = SimDuration::ZERO;
+        let mut bw = f64::INFINITY;
+        for &e in &p.edges {
+            delay += g.props(e).delay;
+            bw = bw.min(g.props(e).bandwidth_kbps);
+        }
+        assert_eq!(p.delay, delay);
+        assert_eq!(p.bottleneck_kbps, bw);
+        assert_eq!(p.edges.len() + 1, p.nodes.len());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the topology substrate.
+
+use acp_simcore::SimDuration;
+use acp_topology::{Graph, InetConfig, LinkProps, NodeId, RoutingTable};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng as _;
+use rand::SeedableRng;
+
+/// Builds a random connected graph from a seed.
+fn random_connected_graph(seed: u64, n: usize, extra_edge_prob: f64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    // Random spanning tree first.
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        g.add_edge(
+            NodeId(i as u32),
+            NodeId(j as u32),
+            LinkProps::new(SimDuration::from_millis(rng.gen_range(1..50)), rng.gen_range(100.0..10_000.0), 0.0),
+        );
+    }
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if !g.has_edge(NodeId(a as u32), NodeId(b as u32)) && rng.gen_bool(extra_edge_prob) {
+                g.add_edge(
+                    NodeId(a as u32),
+                    NodeId(b as u32),
+                    LinkProps::new(SimDuration::from_millis(rng.gen_range(1..50)), rng.gen_range(100.0..10_000.0), 0.0),
+                );
+            }
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The generator always produces a connected graph of the right size
+    /// with every degree at least 1.
+    #[test]
+    fn inet_invariants(seed in any::<u64>(), n in 10usize..150) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = InetConfig { nodes: n, ..InetConfig::default() }.generate(&mut rng);
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert!(g.is_connected());
+        for node in g.nodes() {
+            prop_assert!(g.degree(node) >= 1);
+        }
+        // Tree lower bound on edges; simple-graph upper bound.
+        prop_assert!(g.edge_count() >= n - 1);
+        prop_assert!(g.edge_count() <= n * (n - 1) / 2);
+    }
+
+    /// Shortest-path distances satisfy the triangle inequality
+    /// d(a,c) <= d(a,b) + d(b,c) and symmetry d(a,b) == d(b,a).
+    #[test]
+    fn routing_metric_properties(seed in any::<u64>(), n in 3usize..25) {
+        let g = random_connected_graph(seed, n, 0.2);
+        let mut rt = RoutingTable::new();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdead);
+        for _ in 0..10 {
+            let a = NodeId(rng.gen_range(0..n) as u32);
+            let b = NodeId(rng.gen_range(0..n) as u32);
+            let c = NodeId(rng.gen_range(0..n) as u32);
+            let dab = rt.distance(&g, a, b).unwrap();
+            let dba = rt.distance(&g, b, a).unwrap();
+            let dac = rt.distance(&g, a, c).unwrap();
+            let dbc = rt.distance(&g, b, c).unwrap();
+            prop_assert_eq!(dab, dba);
+            prop_assert!(dac <= dab + dbc);
+        }
+    }
+
+    /// A routed path's reported delay equals the sum of its edge delays and
+    /// never beats any single edge between the endpoints.
+    #[test]
+    fn path_delay_consistent(seed in any::<u64>(), n in 3usize..20) {
+        let g = random_connected_graph(seed, n, 0.3);
+        let mut rt = RoutingTable::new();
+        for a in 0..n {
+            for b in 0..n {
+                let p = rt.path(&g, NodeId(a as u32), NodeId(b as u32)).unwrap();
+                let sum = p.edges.iter().fold(SimDuration::ZERO, |acc, &e| acc + g.props(e).delay);
+                prop_assert_eq!(p.delay, sum);
+                // consecutive nodes in the path are joined by the listed edges
+                for (i, &e) in p.edges.iter().enumerate() {
+                    let (x, y) = g.endpoints(e);
+                    let (u, v) = (p.nodes[i], p.nodes[i + 1]);
+                    prop_assert!((x, y) == (u, v) || (x, y) == (v, u));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # acp-workload
+//!
+//! Workload generation and end-to-end experiment scenarios for the ACP
+//! reproduction:
+//!
+//! * [`arrivals`] — Poisson request arrivals under constant or
+//!   piecewise-constant (Fig. 8) rate schedules.
+//! * [`requests`] — request sampling from the 20-template library with
+//!   uniform QoS/resource requirement distributions and the Fig. 5(b)
+//!   QoS tiers; request traces for profiling replay.
+//! * [`scenario`] — the full simulation loop of §4.1: topology → overlay
+//!   → deployment → event-driven workload with state maintenance,
+//!   sampling, and optional probing-ratio tuning.
+
+pub mod arrivals;
+pub mod requests;
+pub mod scenario;
+
+pub use arrivals::RateSchedule;
+pub use requests::{standard_universe, QosTier, RequestConfig, RequestGenerator, RequestTrace};
+pub use scenario::{build_system, run_scenario, ScenarioConfig, ScenarioResult};

@@ -1,0 +1,478 @@
+//! End-to-end experiment scenarios.
+//!
+//! [`run_scenario`] wires everything together the way the paper's
+//! simulator does (§4.1): generate the IP-layer topology, select the
+//! overlay, deploy components, then drive Poisson request arrivals
+//! through a composition algorithm inside a discrete-event simulation —
+//! with periodic local-state refresh (10 s), virtual-link aggregation
+//! (10 min), success-rate sampling (5 min), transient-reservation expiry,
+//! session teardown after [5, 15] minutes, and (optionally) the
+//! probing-ratio tuner driven by trace replay.
+
+use acp_core::prelude::*;
+use acp_model::prelude::*;
+use acp_simcore::{
+    DeterministicRng, EventQueue, Histogram, Model, SimDuration, SimTime, Simulation, TimeSeries,
+    WindowedCounter,
+};
+use acp_state::{GlobalStateBoard, GlobalStateConfig};
+use acp_topology::{InetConfig, Overlay, OverlayConfig};
+use rand::rngs::StdRng;
+
+use crate::arrivals::RateSchedule;
+use crate::requests::{RequestConfig, RequestGenerator, RequestTrace};
+
+/// Full description of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Master seed; every random stream derives from it.
+    pub seed: u64,
+    /// IP-layer node count (paper: 3 200; smaller for quick runs).
+    pub ip_nodes: usize,
+    /// Stream-processing overlay size (paper: 200–600).
+    pub stream_nodes: usize,
+    /// Overlay neighbours per node.
+    pub overlay_neighbors: usize,
+    /// Size of the function catalogue (paper: 80). Smaller systems need a
+    /// smaller catalogue so every function keeps a healthy candidate pool
+    /// (the paper scales components proportionally with nodes instead).
+    pub functions: usize,
+    /// Component deployment / node capacity parameters.
+    pub system: SystemConfig,
+    /// Global-state maintenance parameters.
+    pub global_state: GlobalStateConfig,
+    /// Request requirement distributions.
+    pub requests: RequestConfig,
+    /// Arrival rate schedule (requests/minute).
+    pub schedule: RateSchedule,
+    /// Simulated duration (paper: 100–150 minutes).
+    pub duration: SimDuration,
+    /// Success-rate sampling period (paper: 5 minutes).
+    pub sampling_period: SimDuration,
+    /// Local-state refresh interval (paper: ~10 seconds).
+    pub local_refresh: SimDuration,
+    /// Virtual-link aggregation interval (paper: ~10 minutes).
+    pub aggregation_interval: SimDuration,
+    /// The composition algorithm under test.
+    pub algorithm: AlgorithmKind,
+    /// Probing configuration (for the probing algorithms).
+    pub probing: ProbingConfig,
+    /// Exhaustive-search configuration (for [`AlgorithmKind::Optimal`]).
+    pub optimal: OptimalConfig,
+    /// Profiling probing-ratio tuner (§3.4); `None` runs a fixed ratio.
+    pub tuner: Option<TunerConfig>,
+    /// Control-theoretic tuner (future-work extension); mutually
+    /// exclusive with `tuner`.
+    pub controller: Option<PiControllerConfig>,
+    /// Cap on requests kept for trace-replay profiling.
+    pub replay_capacity: usize,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 42,
+            ip_nodes: 3_200,
+            stream_nodes: 400,
+            overlay_neighbors: 6,
+            functions: 80,
+            system: SystemConfig {
+                components_per_node: (2, 3),
+                node_cpu: (40.0, 80.0),
+                node_memory_mb: (400.0, 1200.0),
+                ..SystemConfig::default()
+            },
+            global_state: GlobalStateConfig::default(),
+            requests: RequestConfig::default(),
+            schedule: RateSchedule::constant(40.0),
+            duration: SimDuration::from_minutes(100),
+            sampling_period: SimDuration::from_minutes(5),
+            local_refresh: SimDuration::from_secs(10),
+            aggregation_interval: SimDuration::from_minutes(10),
+            algorithm: AlgorithmKind::Acp,
+            probing: ProbingConfig::default(),
+            optimal: OptimalConfig::default(),
+            tuner: None,
+            controller: None,
+            replay_capacity: 60,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// A laptop-scale configuration for tests and examples: a small IP
+    /// graph and overlay, short duration.
+    pub fn small(seed: u64) -> Self {
+        ScenarioConfig {
+            seed,
+            ip_nodes: 400,
+            stream_nodes: 50,
+            overlay_neighbors: 4,
+            functions: 20,
+            system: SystemConfig { components_per_node: (3, 5), ..SystemConfig::default() },
+            duration: SimDuration::from_minutes(20),
+            schedule: RateSchedule::constant(10.0),
+            ..ScenarioConfig::default()
+        }
+    }
+}
+
+/// Aggregated results of one run.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Algorithm that produced the result.
+    pub algorithm: AlgorithmKind,
+    /// Per-sampling-period composition success rate.
+    pub success_series: TimeSeries,
+    /// Per-sampling-period probing ratio in force.
+    pub ratio_series: TimeSeries,
+    /// Success rate over the whole run.
+    pub overall_success: f64,
+    /// Total composition requests submitted.
+    pub total_requests: u64,
+    /// Total successful compositions.
+    pub total_successes: u64,
+    /// Total message overhead (probing + state maintenance).
+    pub overhead: OverheadStats,
+    /// `overhead.total_messages()` per simulated minute.
+    pub messages_per_minute: f64,
+    /// Probe messages alone per simulated minute.
+    pub probe_messages_per_minute: f64,
+    /// Live sessions at the end of the run.
+    pub final_sessions: usize,
+    /// Tuner profiling sweeps performed (0 without tuner).
+    pub profiling_runs: u64,
+    /// Distribution of probe messages per request (buckets of 5, range
+    /// 0–200, overflow collected).
+    pub probe_histogram: Histogram,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    Arrival,
+    SessionEnd(SessionId),
+    Sample,
+    LocalRefresh,
+    Aggregate,
+}
+
+struct ScenarioModel {
+    config: ScenarioConfig,
+    system: StreamSystem,
+    board: GlobalStateBoard,
+    composer: Box<dyn Composer>,
+    tuner: Option<ProbingRatioTuner>,
+    controller: Option<PiRatioController>,
+    generator: RequestGenerator,
+    trace: RequestTrace,
+    workload_rng: StdRng,
+    replay_seed: u64,
+    counter: WindowedCounter,
+    probe_histogram: Histogram,
+    success_series: TimeSeries,
+    ratio_series: TimeSeries,
+    overhead: OverheadStats,
+    total_requests: u64,
+    total_successes: u64,
+    replay_key_offset: u64,
+}
+
+impl ScenarioModel {
+    fn current_ratio(&self) -> f64 {
+        self.composer.probing_ratio().unwrap_or(1.0)
+    }
+
+    /// Trace replay used by the tuner: clones the current system state,
+    /// runs the recorded recent workload at `alpha`, and returns the
+    /// achieved success rate.
+    fn replay_success(&mut self, alpha: f64) -> f64 {
+        if self.trace.is_empty() {
+            return 1.0;
+        }
+        self.replay_key_offset += 1_000_000;
+        let requests = self.trace.replay_requests(u64::MAX / 2 + self.replay_key_offset);
+        let mut system = self.system.clone();
+        let mut replayer = AcpComposer::new(
+            ProbingConfig { probing_ratio: alpha, ..self.config.probing.clone() },
+            self.replay_seed ^ (alpha * 1_000.0) as u64,
+        );
+        let mut ok = 0usize;
+        for request in &requests {
+            let outcome = replayer.compose(&mut system, &self.board, request, SimTime::ZERO);
+            if outcome.session.is_some() {
+                ok += 1;
+            }
+        }
+        ok as f64 / requests.len() as f64
+    }
+}
+
+impl Model for ScenarioModel {
+    type Event = Event;
+
+    fn handle_event(&mut self, now: SimTime, event: Event, queue: &mut EventQueue<Event>) {
+        match event {
+            Event::Arrival => {
+                // Expire stale transients before admission, as nodes do.
+                self.system.expire_transients(now);
+                let (request, session_duration) = self.generator.next(&mut self.workload_rng);
+                self.trace.record(request.clone());
+                let outcome = self.composer.compose(&mut self.system, &self.board, &request, now);
+                self.probe_histogram.add(outcome.stats.probe_messages as f64);
+                self.overhead += outcome.stats;
+                self.total_requests += 1;
+                let success = outcome.session.is_some();
+                if success {
+                    self.total_successes += 1;
+                    let sid = outcome.session.expect("checked");
+                    queue.schedule(now + session_duration, Event::SessionEnd(sid));
+                }
+                self.counter.record(success);
+                if let Some(next) = self.config.schedule.next_arrival(now, &mut self.workload_rng) {
+                    if next <= SimTime::ZERO + self.config.duration {
+                        queue.schedule(next, Event::Arrival);
+                    }
+                }
+            }
+            Event::SessionEnd(sid) => {
+                self.system.close_session(sid);
+            }
+            Event::Sample => {
+                let (_, rate) = self.counter.roll(now);
+                if let Some(r) = rate {
+                    self.success_series.push(now, r);
+                }
+                self.ratio_series.push(now, self.current_ratio());
+                // Probing-ratio tuning on the fresh sample.
+                if let Some(mut tuner) = self.tuner.take() {
+                    // Split borrows: the closure needs &mut self.
+                    tuner.observe(rate, |alpha| self.replay_success(alpha));
+                    self.composer.set_probing_ratio(tuner.ratio());
+                    self.tuner = Some(tuner);
+                }
+                if let Some(controller) = self.controller.as_mut() {
+                    let alpha = controller.observe(rate);
+                    self.composer.set_probing_ratio(alpha);
+                }
+                self.trace.clear();
+                if now + self.config.sampling_period <= SimTime::ZERO + self.config.duration {
+                    queue.schedule(now + self.config.sampling_period, Event::Sample);
+                }
+            }
+            Event::LocalRefresh => {
+                self.system.expire_transients(now);
+                let msgs = self.board.refresh_nodes(&self.system);
+                self.overhead.state_update_messages += msgs;
+                if now + self.config.local_refresh <= SimTime::ZERO + self.config.duration {
+                    queue.schedule(now + self.config.local_refresh, Event::LocalRefresh);
+                }
+            }
+            Event::Aggregate => {
+                let msgs = self.board.aggregate_links(&self.system);
+                self.overhead.state_update_messages += msgs;
+                if now + self.config.aggregation_interval <= SimTime::ZERO + self.config.duration {
+                    queue.schedule(now + self.config.aggregation_interval, Event::Aggregate);
+                }
+            }
+        }
+    }
+}
+
+/// Builds the system of a scenario (topology → overlay → deployment)
+/// without running the workload. Useful for examples and benchmarks.
+pub fn build_system(config: &ScenarioConfig) -> (StreamSystem, GlobalStateBoard, TemplateLibrary) {
+    let streams = DeterministicRng::new(config.seed);
+    let mut topo_rng = streams.stream("topology");
+    let ip = InetConfig { nodes: config.ip_nodes, ..InetConfig::default() }.generate(&mut topo_rng);
+    let mut overlay_rng = streams.stream("overlay");
+    let overlay = Overlay::build(
+        &ip,
+        &OverlayConfig { stream_nodes: config.stream_nodes, neighbors: config.overlay_neighbors },
+        &mut overlay_rng,
+    );
+    let mut system_rng = streams.stream("system");
+    let registry = FunctionRegistry::with_size(config.functions);
+    let mut template_rng = streams.stream("templates");
+    let library = TemplateLibrary::standard(&registry, &mut template_rng);
+    let system = StreamSystem::generate(overlay, registry, &config.system, &mut system_rng);
+    let board = GlobalStateBoard::new(&system, config.global_state);
+    (system, board, library)
+}
+
+/// Runs one scenario to completion and reports the paper's measurements.
+pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
+    let (system, board, library) = build_system(&config);
+    let streams = DeterministicRng::new(config.seed);
+    let workload_rng = streams.stream("workload");
+    let composer_seed = streams.seed_for("composer");
+    let replay_seed = streams.seed_for("replay");
+
+    assert!(
+        config.tuner.is_none() || config.controller.is_none(),
+        "profiling tuner and PI controller are mutually exclusive"
+    );
+    let mut composer = config.algorithm.build_with(config.probing.clone(), config.optimal, composer_seed);
+    let tuner = config.tuner.map(|t| {
+        let tuner = ProbingRatioTuner::new(t);
+        composer.set_probing_ratio(tuner.ratio());
+        tuner
+    });
+    let controller = config.controller.map(|c| {
+        let controller = PiRatioController::new(c);
+        composer.set_probing_ratio(controller.ratio());
+        controller
+    });
+
+    let generator = RequestGenerator::new(library, config.requests.clone());
+    let sampling = config.sampling_period;
+    let local_refresh = config.local_refresh;
+    let aggregation = config.aggregation_interval;
+    let duration = config.duration;
+    let algorithm = config.algorithm;
+    let replay_capacity = config.replay_capacity;
+
+    let model = ScenarioModel {
+        system,
+        board,
+        composer,
+        tuner,
+        controller,
+        generator,
+        trace: RequestTrace::new(replay_capacity),
+        workload_rng,
+        replay_seed,
+        counter: WindowedCounter::new(sampling),
+        probe_histogram: Histogram::new(0.0, 200.0, 40),
+        success_series: TimeSeries::new("success_rate"),
+        ratio_series: TimeSeries::new("probing_ratio"),
+        overhead: OverheadStats::new(),
+        total_requests: 0,
+        total_successes: 0,
+        replay_key_offset: 0,
+        config,
+    };
+
+    let mut sim = Simulation::new(model);
+    sim.queue_mut().schedule(SimTime::ZERO + SimDuration::from_micros(1), Event::Arrival);
+    sim.queue_mut().schedule(SimTime::ZERO + sampling, Event::Sample);
+    sim.queue_mut().schedule(SimTime::ZERO + local_refresh, Event::LocalRefresh);
+    sim.queue_mut().schedule(SimTime::ZERO + aggregation, Event::Aggregate);
+    sim.run_until(SimTime::ZERO + duration);
+
+    let minutes = duration.as_minutes_f64();
+    let model = sim.into_model();
+    let overall = if model.total_requests == 0 {
+        0.0
+    } else {
+        model.total_successes as f64 / model.total_requests as f64
+    };
+    ScenarioResult {
+        algorithm,
+        overall_success: overall,
+        total_requests: model.total_requests,
+        total_successes: model.total_successes,
+        messages_per_minute: model.overhead.total_messages() as f64 / minutes,
+        probe_messages_per_minute: model.overhead.probe_messages as f64 / minutes,
+        overhead: model.overhead,
+        final_sessions: model.system.session_count(),
+        profiling_runs: model.tuner.as_ref().map_or(0, |t| t.profiling_runs()),
+        probe_histogram: model.probe_histogram,
+        success_series: model.success_series,
+        ratio_series: model.ratio_series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scenario_runs_and_composes() {
+        let result = run_scenario(ScenarioConfig::small(1));
+        assert!(result.total_requests > 200, "20 req/min × 20 min ≈ 400");
+        assert!(result.overall_success > 0.5, "success {}", result.overall_success);
+        assert!(result.messages_per_minute > 0.0);
+        assert!(!result.success_series.is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_reruns() {
+        let a = run_scenario(ScenarioConfig::small(7));
+        let b = run_scenario(ScenarioConfig::small(7));
+        assert_eq!(a.total_requests, b.total_requests);
+        assert_eq!(a.total_successes, b.total_successes);
+        assert_eq!(a.overhead, b.overhead);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_scenario(ScenarioConfig::small(1));
+        let b = run_scenario(ScenarioConfig::small(2));
+        // total arrival counts are Poisson; extremely unlikely to match
+        // exactly alongside identical success counts
+        assert!(
+            a.total_requests != b.total_requests || a.total_successes != b.total_successes,
+            "seeds should matter"
+        );
+    }
+
+    #[test]
+    fn sessions_end_and_release_resources() {
+        let mut config = ScenarioConfig::small(3);
+        // long enough that early sessions expire (5-15 min durations)
+        config.duration = SimDuration::from_minutes(30);
+        let result = run_scenario(config);
+        // fewer live sessions than total successes → teardown happened
+        assert!(
+            (result.final_sessions as u64) < result.total_successes,
+            "{} sessions vs {} successes",
+            result.final_sessions,
+            result.total_successes
+        );
+    }
+
+    #[test]
+    fn acp_beats_random_under_load() {
+        let mut acp_cfg = ScenarioConfig::small(5);
+        acp_cfg.schedule = RateSchedule::constant(60.0);
+        let mut rnd_cfg = acp_cfg.clone();
+        rnd_cfg.algorithm = AlgorithmKind::Random;
+        let acp = run_scenario(acp_cfg);
+        let random = run_scenario(rnd_cfg);
+        assert!(
+            acp.overall_success > random.overall_success,
+            "acp {} vs random {}",
+            acp.overall_success,
+            random.overall_success
+        );
+    }
+
+    #[test]
+    fn tuner_scenario_profiles_and_tracks_ratio() {
+        let mut config = ScenarioConfig::small(6);
+        config.tuner = Some(TunerConfig { target_success: 0.9, ..TunerConfig::default() });
+        config.duration = SimDuration::from_minutes(25);
+        let result = run_scenario(config);
+        assert!(result.profiling_runs >= 1, "first sample must profile");
+        assert!(!result.ratio_series.is_empty());
+        // ratio stays within bounds
+        for &(_, r) in result.ratio_series.samples() {
+            assert!((0.0..=1.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn probe_histogram_collects_per_request_traffic() {
+        let result = run_scenario(ScenarioConfig::small(12));
+        assert_eq!(result.probe_histogram.count(), result.total_requests);
+        // the median per-request probe count is positive and finite
+        let median = result.probe_histogram.quantile(0.5).unwrap();
+        assert!(median > 0.0, "median {median}");
+    }
+
+    #[test]
+    fn state_updates_are_counted() {
+        let result = run_scenario(ScenarioConfig::small(8));
+        assert!(result.overhead.state_update_messages > 0, "aggregation rounds alone publish");
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for workload generation.
+
+use acp_simcore::{SimDuration, SimTime};
+use acp_workload::{standard_universe, QosTier, RateSchedule, RequestConfig, RequestGenerator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Poisson arrival counts stay within loose bounds of rate × horizon.
+    #[test]
+    fn arrival_counts_track_rate(seed in any::<u64>(), rate in 5.0f64..120.0) {
+        let schedule = RateSchedule::constant(rate);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let horizon_min = 60.0;
+        let mut now = SimTime::ZERO;
+        let mut count = 0u64;
+        while let Some(next) = schedule.next_arrival(now, &mut rng) {
+            if next > SimTime::ZERO + SimDuration::from_secs_f64(horizon_min * 60.0) {
+                break;
+            }
+            now = next;
+            count += 1;
+        }
+        let expected = rate * horizon_min;
+        // 4-sigma Poisson bounds
+        let sigma = expected.sqrt();
+        prop_assert!(
+            (count as f64) > expected - 4.0 * sigma - 1.0 && (count as f64) < expected + 4.0 * sigma + 1.0,
+            "rate {rate}: got {count}, expected ~{expected}"
+        );
+    }
+
+    /// Inter-arrival times are strictly positive and schedule rates apply
+    /// at segment boundaries.
+    #[test]
+    fn arrivals_strictly_advance(seed in any::<u64>()) {
+        let schedule = RateSchedule::figure8();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut now = SimTime::ZERO;
+        for _ in 0..500 {
+            let next = schedule.next_arrival(now, &mut rng).expect("positive rates");
+            prop_assert!(next > now);
+            now = next;
+        }
+    }
+
+    /// Generated requests always satisfy their configured invariants:
+    /// sane QoS bounds, positive demands, graphs drawn from the library.
+    #[test]
+    fn request_invariants(seed in any::<u64>(), tier_idx in 0usize..3) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (_, library) = standard_universe(&mut rng);
+        let config = RequestConfig { qos_tier: QosTier::ALL[tier_idx], ..RequestConfig::default() };
+        let mut generator = RequestGenerator::new(library.clone(), config);
+        for _ in 0..50 {
+            let (request, duration) = generator.next(&mut rng);
+            prop_assert!(request.qos.max_delay > SimDuration::ZERO);
+            prop_assert!(request.qos.max_loss.probability() > 0.0);
+            prop_assert!(request.base_resources.cpu > 0.0);
+            prop_assert!(request.base_resources.memory_mb > 0.0);
+            prop_assert!(request.bandwidth_kbps > 0.0);
+            prop_assert!(duration >= SimDuration::from_minutes(5));
+            prop_assert!(duration <= SimDuration::from_minutes(15));
+            // the graph matches one of the library templates
+            prop_assert!(
+                library.iter().any(|t| t.graph == request.graph),
+                "request graph not from the library"
+            );
+        }
+    }
+
+    /// Stricter tiers never loosen a requirement: regenerating the same
+    /// seed under a stricter tier produces pointwise-tighter QoS.
+    #[test]
+    fn tiers_are_pointwise_monotone(seed in any::<u64>()) {
+        let build = |tier: QosTier| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (_, library) = standard_universe(&mut rng);
+            let mut generator = RequestGenerator::new(
+                library,
+                RequestConfig { qos_tier: tier, ..RequestConfig::default() },
+            );
+            (0..20).map(|_| generator.next(&mut rng).0).collect::<Vec<_>>()
+        };
+        let normal = build(QosTier::Normal);
+        let high = build(QosTier::High);
+        let very = build(QosTier::VeryHigh);
+        for ((n, h), v) in normal.iter().zip(&high).zip(&very) {
+            prop_assert!(h.qos.max_delay <= n.qos.max_delay);
+            prop_assert!(v.qos.max_delay <= h.qos.max_delay);
+            prop_assert!(h.qos.max_loss <= n.qos.max_loss);
+            prop_assert!(v.qos.max_loss <= h.qos.max_loss);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Failure-injection integration tests: fail-stop node failures, session
+//! failover, and post-failure invariants across the whole stack.
+
+use acp_stream::prelude::*;
+
+fn loaded_middleware(seed: u64) -> (Middleware<AcpComposer>, Vec<SessionId>) {
+    let (system, board, library) = build_system(&ScenarioConfig::small(seed));
+    let mut mw = Middleware::new(system, board, AcpComposer::new(ProbingConfig::default(), 3));
+    let mut generator = RequestGenerator::new(library, RequestConfig::default());
+    let mut rng = DeterministicRng::new(seed).stream("failover");
+    let mut sessions = Vec::new();
+    for _ in 0..30 {
+        let (request, _) = generator.next(&mut rng);
+        if let Some(sid) = mw.find(&request, SimTime::ZERO) {
+            sessions.push(sid);
+        }
+    }
+    assert!(sessions.len() >= 20, "idle system should admit most requests");
+    (mw, sessions)
+}
+
+#[test]
+fn failover_preserves_resource_conservation() {
+    let (mut mw, _sessions) = loaded_middleware(91);
+    // Snapshot healthy-node capacities before the failure.
+    let victim = OverlayNodeId(3);
+    let survivors: Vec<OverlayNodeId> =
+        mw.system().overlay().nodes().filter(|&v| v != victim).collect();
+
+    let report = mw.handle_node_failure(victim, SimTime::from_secs(5));
+
+    // Close everything that remains; all surviving nodes must return to
+    // full capacity (nothing leaked through the failover path).
+    let sids: Vec<SessionId> = mw.system().sessions().map(|s| s.id).collect();
+    for sid in sids {
+        assert!(mw.close(sid));
+    }
+    for v in survivors {
+        let node = mw.system().node(v);
+        let free = node.available();
+        let cap = node.capacity();
+        assert!((free.cpu - cap.cpu).abs() < 1e-9, "cpu leak on {v}");
+        assert!((free.memory_mb - cap.memory_mb).abs() < 1e-9, "mem leak on {v}");
+        assert_eq!(node.transient_count(), 0);
+    }
+    // The failed node stays dead until explicitly recovered.
+    assert!(mw.system().is_node_failed(victim));
+    let _ = report;
+}
+
+#[test]
+fn recovered_sessions_are_fully_functional() {
+    let (mut mw, _) = loaded_middleware(92);
+    let victim = mw
+        .system()
+        .sessions()
+        .flat_map(|s| s.composition.assignment.iter().map(|c| c.node))
+        .next()
+        .expect("sessions exist");
+    let report = mw.handle_node_failure(victim, SimTime::from_secs(1));
+    for &(_, sid) in &report.recovered {
+        let processed = mw.process(sid, 500).expect("recovered session processes");
+        assert!(processed.expected_units_out > 0.0);
+    }
+}
+
+#[test]
+fn cascading_failures_degrade_gracefully() {
+    let (mut mw, _) = loaded_middleware(93);
+    let nodes: Vec<OverlayNodeId> = mw.system().overlay().nodes().take(10).collect();
+    let mut lost_total = 0;
+    for (i, v) in nodes.into_iter().enumerate() {
+        let report = mw.handle_node_failure(v, SimTime::from_secs(i as u64 + 1));
+        lost_total += report.lost.len();
+        // Invariants hold after every failure.
+        assert_eq!(mw.system().node(v).component_count(), 0);
+        for s in mw.system().sessions() {
+            assert!(
+                s.composition.assignment.iter().all(|c| !mw.system().is_node_failed(c.node)),
+                "live session placed on a failed node"
+            );
+        }
+    }
+    // Some sessions may be lost, but the middleware keeps functioning:
+    let _ = lost_total;
+    let (_, _, library) = build_system(&ScenarioConfig::small(93));
+    let mut generator = RequestGenerator::new(library, RequestConfig::default());
+    let mut rng = DeterministicRng::new(95).stream("post-failure");
+    let mut admitted = 0;
+    for _ in 0..20 {
+        let (request, _) = generator.next(&mut rng);
+        if mw.find(&request, SimTime::from_minutes(2)).is_some() {
+            admitted += 1;
+        }
+    }
+    assert!(admitted > 0, "the surviving 40 nodes still compose requests");
+}
+
+#[test]
+fn board_reflects_failure_immediately() {
+    let (mut mw, _) = loaded_middleware(96);
+    let victim = OverlayNodeId(1);
+    let components_before: Vec<ComponentId> =
+        mw.system().node(victim).components().map(|c| c.id).collect();
+    assert!(!components_before.is_empty());
+    mw.handle_node_failure(victim, SimTime::ZERO);
+    // Coarse board: zero availability, no component entries.
+    assert_eq!(mw.board().node_available(victim), ResourceVector::ZERO);
+    for c in components_before {
+        assert!(mw.board().component_qos(c).is_none(), "stale board entry for {c}");
+    }
+}
