@@ -1,0 +1,93 @@
+//! Probe-path hot-loop benchmarks.
+//!
+//! Quantifies the two probe-path optimisations:
+//!
+//! * `Overlay::virtual_path` memoisation — cache hit vs the cold compute
+//!   (tree extraction behind a `(from, to)` lookup),
+//! * the `probe_compose` inner loop with shared `Arc` paths and reused
+//!   selection/frontier scratch buffers.
+
+use acp_core::prelude::*;
+use acp_simcore::{DeterministicRng, SimTime};
+use acp_topology::{InetConfig, Overlay, OverlayConfig, OverlayNodeId};
+use acp_workload::{build_system, RequestConfig, RequestGenerator, ScenarioConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn built_overlay(stream_nodes: usize) -> Overlay {
+    let mut rng = StdRng::seed_from_u64(11);
+    let graph = InetConfig { nodes: (stream_nodes * 8).max(400), ..InetConfig::default() }
+        .generate(&mut rng);
+    Overlay::build(&graph, &OverlayConfig { stream_nodes, neighbors: 6 }, &mut rng)
+}
+
+fn bench_virtual_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("virtual_path");
+    group.sample_size(30);
+
+    for &nodes in &[50usize, 200] {
+        // Cache hit: the pair has been resolved once; every further query
+        // is a HashMap lookup plus an Arc clone.
+        group.bench_with_input(BenchmarkId::new("hit", nodes), &nodes, |b, &nodes| {
+            let mut overlay = built_overlay(nodes);
+            let (from, to) = (OverlayNodeId(0), OverlayNodeId(nodes as u32 - 1));
+            overlay.virtual_path(from, to);
+            b.iter(|| overlay.virtual_path(from, to));
+        });
+
+        // Cache miss: a full invalidation forces the shortest-path-tree
+        // rebuild and path extraction every iteration (the pre-memo cost
+        // of a first-touch query).
+        group.bench_with_input(BenchmarkId::new("miss", nodes), &nodes, |b, &nodes| {
+            let mut overlay = built_overlay(nodes);
+            let (from, to) = (OverlayNodeId(0), OverlayNodeId(nodes as u32 - 1));
+            b.iter(|| {
+                overlay.invalidate_routes();
+                overlay.virtual_path(from, to)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_probe_compose_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probe_compose_loop");
+    group.sample_size(20);
+
+    for &nodes in &[50usize, 100] {
+        let mut config = ScenarioConfig::small(7);
+        config.ip_nodes = (nodes * 8).max(400);
+        config.stream_nodes = nodes;
+        let (mut system, board, library) = build_system(&config);
+        let mut generator = RequestGenerator::new(library, RequestConfig::default());
+        let mut request_rng = DeterministicRng::new(13).stream("bench-probe-path");
+        let (request, _) = generator.next(&mut request_rng);
+        let probing = ProbingConfig::default();
+
+        // Warm the path memo so the measured loop reflects steady-state
+        // composition cost (selection, qualification, probe extension).
+        probe_compose(
+            &mut system,
+            &board,
+            &request,
+            SimTime::ZERO,
+            &probing,
+            &mut DeterministicRng::new(17).stream("warmup"),
+        );
+
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter_batched(
+                || (system.clone(), DeterministicRng::new(17).stream("probe")),
+                |(mut sys, mut rng)| {
+                    probe_compose(&mut sys, &board, &request, SimTime::ZERO, &probing, &mut rng)
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_virtual_path, bench_probe_compose_loop);
+criterion_main!(benches);

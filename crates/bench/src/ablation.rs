@@ -14,11 +14,18 @@
 //!   workload.
 //! * **bounded probing budget** — the prototype's BCP variant (fixed
 //!   per-function budget) against ratio-based ACP.
+//!
+//! Every sweep fans its variants over [`run_indexed`] worker threads.
+//! Unlike the figures, ablation points share the **base seed**: each
+//! variant sees the same workload, so differences in a row are caused by
+//! the knob alone (and the tables stay byte-identical to the original
+//! sequential implementation).
 
 use acp_core::prelude::*;
 use acp_workload::{RateSchedule, ScenarioResult};
 
 use crate::experiments::Scale;
+use crate::parallel::{run_indexed, thread_count};
 use crate::report::Table;
 
 fn pct(x: f64) -> String {
@@ -31,11 +38,14 @@ pub fn ablation_risk_epsilon(scale: &Scale, seed: u64) -> Table {
         "Ablation: risk-tie epsilon (per-hop ranking, ACP)",
         vec!["epsilon", "success %", "probe msgs/min"],
     );
-    for &eps in &[0.0, 0.02, 0.05, 0.2, 1_000.0] {
+    let epsilons = [0.0, 0.02, 0.05, 0.2, 1_000.0];
+    let results = run_indexed(thread_count(), &epsilons, |_, &eps| {
         let mut config = scale.base_config(seed);
         config.schedule = RateSchedule::constant(scale.anchor_rate);
         config.probing.risk_epsilon = eps;
-        let result = acp_workload::run_scenario(config);
+        acp_workload::run_scenario(config)
+    });
+    for (&eps, result) in epsilons.iter().zip(&results) {
         let label = if eps >= 1_000.0 { "inf (pure V)".to_string() } else { format!("{eps:.2}") };
         table.push_row(vec![
             label,
@@ -52,11 +62,14 @@ pub fn ablation_state_threshold(scale: &Scale, seed: u64) -> Table {
         "Ablation: global-state publish threshold (ACP)",
         vec!["theta", "success %", "state msgs/min", "total msgs/min"],
     );
-    for &theta in &[0.0, 0.05, 0.10, 0.30, 1_000.0] {
+    let thetas = [0.0, 0.05, 0.10, 0.30, 1_000.0];
+    let results = run_indexed(thread_count(), &thetas, |_, &theta| {
         let mut config = scale.base_config(seed);
         config.schedule = RateSchedule::constant(scale.anchor_rate);
         config.global_state.threshold = theta;
-        let result = acp_workload::run_scenario(config);
+        acp_workload::run_scenario(config)
+    });
+    for (&theta, result) in thetas.iter().zip(&results) {
         let state_per_min = result.overhead.state_update_messages as f64 / scale.duration.as_minutes_f64();
         let label = if theta >= 1_000.0 { "frozen board".to_string() } else { format!("{theta:.2}") };
         table.push_row(vec![
@@ -77,41 +90,42 @@ pub fn ablation_tuning(scale: &Scale, seed: u64) -> Table {
         "Ablation: probing-ratio governance under dynamic workload",
         vec!["strategy", "success %", "mean ratio", "probe msgs/min", "profiling sweeps"],
     );
-    let run = |tuner: Option<TunerConfig>, controller: Option<PiControllerConfig>| -> ScenarioResult {
+    let mean_ratio = |r: &ScenarioResult| r.ratio_series.mean().unwrap_or(f64::NAN);
+
+    type Strategy = (&'static str, Option<TunerConfig>, Option<PiControllerConfig>);
+    let strategies: Vec<Strategy> = vec![
+        ("fixed 0.30", None, None),
+        (
+            "profiling tuner",
+            Some(TunerConfig { target_success: 0.90, ..TunerConfig::default() }),
+            None,
+        ),
+        (
+            "PI controller",
+            None,
+            Some(PiControllerConfig { target_success: 0.90, ..PiControllerConfig::default() }),
+        ),
+    ];
+    let results = run_indexed(thread_count(), &strategies, |_, (_, tuner, controller)| {
         let mut config = scale.base_config(seed);
         config.schedule = scale.fig8_schedule.clone();
         config.duration = scale.fig8_duration;
         config.probing.probing_ratio = 0.3;
-        config.tuner = tuner;
-        config.controller = controller;
+        config.tuner = *tuner;
+        config.controller = *controller;
         acp_workload::run_scenario(config)
-    };
-    let mean_ratio = |r: &ScenarioResult| r.ratio_series.mean().unwrap_or(f64::NAN);
-
-    let fixed = run(None, None);
-    table.push_row(vec![
-        "fixed 0.30".to_string(),
-        pct(fixed.overall_success),
-        format!("{:.2}", mean_ratio(&fixed)),
-        format!("{:.0}", fixed.probe_messages_per_minute),
-        "0".to_string(),
-    ]);
-    let profiled = run(Some(TunerConfig { target_success: 0.90, ..TunerConfig::default() }), None);
-    table.push_row(vec![
-        "profiling tuner".to_string(),
-        pct(profiled.overall_success),
-        format!("{:.2}", mean_ratio(&profiled)),
-        format!("{:.0}", profiled.probe_messages_per_minute),
-        profiled.profiling_runs.to_string(),
-    ]);
-    let controlled = run(None, Some(PiControllerConfig { target_success: 0.90, ..PiControllerConfig::default() }));
-    table.push_row(vec![
-        "PI controller".to_string(),
-        pct(controlled.overall_success),
-        format!("{:.2}", mean_ratio(&controlled)),
-        format!("{:.0}", controlled.probe_messages_per_minute),
-        "0".to_string(),
-    ]);
+    });
+    for ((label, tuner, _), result) in strategies.iter().zip(&results) {
+        // Only the profiling tuner reports sweep counts.
+        let sweeps = if tuner.is_some() { result.profiling_runs.to_string() } else { "0".to_string() };
+        table.push_row(vec![
+            label.to_string(),
+            pct(result.overall_success),
+            format!("{:.2}", mean_ratio(result)),
+            format!("{:.0}", result.probe_messages_per_minute),
+            sweeps,
+        ]);
+    }
     table
 }
 
@@ -136,7 +150,18 @@ pub fn ablation_bcp(scale: &Scale, seed: u64) -> Table {
         (0..300).map(|_| generator.next(&mut rng).0).collect()
     };
 
-    let mut run = |label: String, mut composer: Box<dyn Composer>| {
+    // Variants as data (`Some(budget)` = BCP, `None` = ACP) so the
+    // non-`Send` boxed composer is constructed inside each worker.
+    let variants: Vec<Option<usize>> = vec![Some(1), Some(2), Some(4), Some(8), None];
+    let rows = run_indexed(thread_count(), &variants, |_, &variant| {
+        let mut composer: Box<dyn Composer> = match variant {
+            Some(budget) => Box::new(BoundedProbingComposer::new(budget, ProbingConfig::default(), 11)),
+            None => Box::new(AcpComposer::new(ProbingConfig::default(), 11)),
+        };
+        let label = match variant {
+            Some(budget) => format!("bcp budget {budget}"),
+            None => "acp alpha 0.30".to_string(),
+        };
         let mut sys = system.clone();
         let mut ok = 0u32;
         let mut probes = 0u64;
@@ -147,20 +172,15 @@ pub fn ablation_bcp(scale: &Scale, seed: u64) -> Table {
                 ok += 1;
             }
         }
-        table.push_row(vec![
+        vec![
             label,
             pct(ok as f64 / requests.len() as f64),
             format!("{:.1}", probes as f64 / requests.len() as f64),
-        ]);
-    };
-
-    for budget in [1usize, 2, 4, 8] {
-        run(
-            format!("bcp budget {budget}"),
-            Box::new(BoundedProbingComposer::new(budget, ProbingConfig::default(), 11)),
-        );
+        ]
+    });
+    for row in rows {
+        table.push_row(row);
     }
-    run("acp alpha 0.30".to_string(), Box::new(AcpComposer::new(ProbingConfig::default(), 11)));
     table
 }
 

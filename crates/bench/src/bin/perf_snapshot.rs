@@ -1,0 +1,141 @@
+//! Performance snapshot for the figure-regeneration harness.
+//!
+//! Times every figure sweep at the chosen scale, samples the
+//! `Overlay::virtual_path` memo hit rate on a Fig. 6 workload, and writes
+//! the numbers to `BENCH_1.json` (override with `--out-file`):
+//!
+//! ```text
+//! cargo run --release -p acp-bench --bin perf_snapshot -- --scale quick
+//! ACP_BENCH_THREADS=8 cargo run --release -p acp-bench --bin perf_snapshot
+//! ```
+//!
+//! The parallel driver is deterministic, so the snapshot only measures
+//! wall-clock — the tables themselves are identical at any thread count.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use acp_bench::experiments::{
+    fig5_threads, fig6_threads, fig7_threads, fig8_threads, run_point, Scale,
+};
+use acp_bench::report::json_string;
+use acp_bench::thread_count;
+use acp_core::prelude::AlgorithmKind;
+
+struct FigureTiming {
+    name: &'static str,
+    points: usize,
+    wall_seconds: f64,
+}
+
+impl FigureTiming {
+    fn points_per_sec(&self) -> f64 {
+        self.points as f64 / self.wall_seconds.max(1e-9)
+    }
+}
+
+fn main() {
+    // Reuse the figure binaries' flags; `--out-file` picks the JSON path.
+    let mut args = std::env::args().skip(1);
+    let mut scale_name = "quick".to_string();
+    let mut seed = 42u64;
+    let mut out_file = PathBuf::from("BENCH_1.json");
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--scale" => scale_name = args.next().expect("--scale needs a value"),
+            "--seed" => {
+                seed = args.next().expect("--seed needs a value").parse().expect("seed must be u64");
+            }
+            "--out-file" => out_file = PathBuf::from(args.next().expect("--out-file needs a value")),
+            "--help" | "-h" => {
+                eprintln!("usage: [--scale quick|paper] [--seed N] [--out-file FILE]");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let scale = Scale::from_name(&scale_name);
+    let threads = thread_count();
+
+    eprintln!("perf snapshot: scale={scale_name} seed={seed} threads={threads}");
+
+    let mut timings = Vec::new();
+    let mut time = |name: &'static str, points: usize, run: &mut dyn FnMut()| {
+        let start = Instant::now();
+        run();
+        let wall_seconds = start.elapsed().as_secs_f64();
+        eprintln!("  {name}: {points} points in {wall_seconds:.2}s");
+        timings.push(FigureTiming { name, points, wall_seconds });
+    };
+
+    let algos = AlgorithmKind::ALL.len();
+    time(
+        "fig5",
+        scale.alphas.len() * (scale.fig5_rates.len() + acp_workload::QosTier::ALL.len()),
+        &mut || {
+            fig5_threads(&scale, seed, threads);
+        },
+    );
+    time("fig6", scale.rates.len() * algos, &mut || {
+        fig6_threads(&scale, seed, threads);
+    });
+    time("fig7", scale.node_counts.len() * algos, &mut || {
+        fig7_threads(&scale, seed, threads);
+    });
+    time("fig8", 2, &mut || {
+        fig8_threads(&scale, seed, threads);
+    });
+
+    // Path-memo effectiveness over one Fig. 6 sweep point (ACP at the
+    // anchor rate): hits/misses accumulated across the whole scenario.
+    let probe_point =
+        run_point(&scale, seed, AlgorithmKind::Acp, scale.anchor_rate, scale.stream_nodes);
+    let cache = probe_point.path_cache;
+    eprintln!(
+        "  fig6 path cache: {} hits / {} misses ({:.1}% hit rate)",
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0
+    );
+
+    let total_points: usize = timings.iter().map(|t| t.points).sum();
+    let total_wall: f64 = timings.iter().map(|t| t.wall_seconds).sum();
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"scale\": {},\n", json_string(&scale_name)));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str("  \"figures\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": {}, \"points\": {}, \"wall_seconds\": {:.3}, \"points_per_sec\": {:.3}}}{}\n",
+            json_string(t.name),
+            t.points,
+            t.wall_seconds,
+            t.points_per_sec(),
+            if i + 1 < timings.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"total_points\": {total_points},\n"));
+    json.push_str(&format!("  \"total_wall_seconds\": {total_wall:.3},\n"));
+    json.push_str(&format!(
+        "  \"total_points_per_sec\": {:.3},\n",
+        total_points as f64 / total_wall.max(1e-9)
+    ));
+    json.push_str("  \"fig6_path_cache\": {\n");
+    json.push_str(&format!("    \"hits\": {},\n", cache.hits));
+    json.push_str(&format!("    \"misses\": {},\n", cache.misses));
+    json.push_str(&format!("    \"hit_rate\": {:.4}\n", cache.hit_rate()));
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&out_file, &json).expect("writing the snapshot file");
+    eprintln!("wrote {}", out_file.display());
+
+    if cache.hit_rate() < 0.90 {
+        eprintln!(
+            "WARNING: fig6 path-cache hit rate {:.1}% below the 90% target",
+            cache.hit_rate() * 100.0
+        );
+    }
+}

@@ -15,11 +15,21 @@
 //!
 //! Absolute numbers are simulator-dependent; the *shapes* are the
 //! reproduction target (see EXPERIMENTS.md).
+//!
+//! Every sweep point runs as an independent job on the deterministic
+//! parallel driver ([`crate::parallel::run_indexed`]): each point's
+//! scenario is seeded by `seed_for_indexed(figure, point_index)` from
+//! the master seed, so the output is a pure function of `(scale, seed)`
+//! and byte-identical at any thread count. The `*_threads` variants
+//! expose the worker count for the determinism regression test; the
+//! plain functions use [`crate::parallel::thread_count`]
+//! (`ACP_BENCH_THREADS` overrides it).
 
 use acp_core::prelude::*;
-use acp_simcore::{SimDuration, SimTime};
+use acp_simcore::{DeterministicRng, SimDuration, SimTime};
 use acp_workload::{QosTier, RateSchedule, ScenarioConfig, ScenarioResult};
 
+use crate::parallel::{run_indexed, thread_count};
 use crate::report::Table;
 
 /// Experiment scale: `paper` mirrors §4.1, `quick` is a laptop smoke run.
@@ -138,35 +148,57 @@ fn pct(x: f64) -> String {
 /// ratio, (a) under increasing request rate and (b) under increasingly
 /// strict QoS tiers. Returns `(fig5a, fig5b)`.
 pub fn fig5(scale: &Scale, seed: u64) -> (Table, Table) {
-    // (a) — success vs α per request rate.
+    fig5_threads(scale, seed, thread_count())
+}
+
+/// [`fig5`] with an explicit worker-thread count. Output depends only on
+/// `(scale, seed)`, never on `threads`.
+pub fn fig5_threads(scale: &Scale, seed: u64, threads: usize) -> (Table, Table) {
+    let streams = DeterministicRng::new(seed);
+
+    // (a) — success vs α per request rate; one sweep point per cell.
+    let points_a: Vec<(f64, f64)> = scale
+        .alphas
+        .iter()
+        .flat_map(|&alpha| scale.fig5_rates.iter().map(move |&rate| (alpha, rate)))
+        .collect();
+    let success_a = run_indexed(threads, &points_a, |i, &(alpha, rate)| {
+        let mut config = scale.base_config(streams.seed_for_indexed("fig5a", i as u64));
+        config.schedule = RateSchedule::constant(rate);
+        config.probing.probing_ratio = alpha;
+        acp_workload::run_scenario(config).overall_success
+    });
     let mut header_a: Vec<String> = vec!["alpha".into()];
     header_a.extend(scale.fig5_rates.iter().map(|r| format!("{r:.0} reqs/min")));
     let mut table_a = Table::new("Fig 5(a) success rate vs probing ratio under request rates", header_a);
-    for &alpha in &scale.alphas {
+    for (ai, &alpha) in scale.alphas.iter().enumerate() {
         let mut row = vec![format!("{alpha:.2}")];
-        for &rate in &scale.fig5_rates {
-            let mut config = scale.base_config(seed);
-            config.schedule = RateSchedule::constant(rate);
-            config.probing.probing_ratio = alpha;
-            let result = acp_workload::run_scenario(config);
-            row.push(pct(result.overall_success));
+        for ri in 0..scale.fig5_rates.len() {
+            row.push(pct(success_a[ai * scale.fig5_rates.len() + ri]));
         }
         table_a.push_row(row);
     }
 
     // (b) — success vs α per QoS tier at the anchor rate.
+    let points_b: Vec<(f64, QosTier)> = scale
+        .alphas
+        .iter()
+        .flat_map(|&alpha| QosTier::ALL.iter().map(move |&tier| (alpha, tier)))
+        .collect();
+    let success_b = run_indexed(threads, &points_b, |i, &(alpha, tier)| {
+        let mut config = scale.base_config(streams.seed_for_indexed("fig5b", i as u64));
+        config.schedule = RateSchedule::constant(scale.anchor_rate);
+        config.probing.probing_ratio = alpha;
+        config.requests.qos_tier = tier;
+        acp_workload::run_scenario(config).overall_success
+    });
     let mut header_b: Vec<String> = vec!["alpha".into()];
     header_b.extend(QosTier::ALL.iter().map(|t| format!("{} QoS", t.label())));
     let mut table_b = Table::new("Fig 5(b) success rate vs probing ratio under QoS tiers", header_b);
-    for &alpha in &scale.alphas {
+    for (ai, &alpha) in scale.alphas.iter().enumerate() {
         let mut row = vec![format!("{alpha:.2}")];
-        for &tier in &QosTier::ALL {
-            let mut config = scale.base_config(seed);
-            config.schedule = RateSchedule::constant(scale.anchor_rate);
-            config.probing.probing_ratio = alpha;
-            config.requests.qos_tier = tier;
-            let result = acp_workload::run_scenario(config);
-            row.push(pct(result.overall_success));
+        for ti in 0..QosTier::ALL.len() {
+            row.push(pct(success_b[ai * QosTier::ALL.len() + ti]));
         }
         table_b.push_row(row);
     }
@@ -174,7 +206,11 @@ pub fn fig5(scale: &Scale, seed: u64) -> (Table, Table) {
 }
 
 /// One Fig. 6/7 sweep point.
-fn run_point(scale: &Scale, seed: u64, algorithm: AlgorithmKind, rate: f64, nodes: usize) -> ScenarioResult {
+/// Runs one sweep point: `algorithm` at `rate` requests/min on a
+/// `nodes`-node overlay, for `scale.duration` simulated time. The
+/// building block of Figs. 6–7 (also used by the perf-snapshot binary to
+/// sample the path-cache hit rate of a Fig. 6 workload).
+pub fn run_point(scale: &Scale, seed: u64, algorithm: AlgorithmKind, rate: f64, nodes: usize) -> ScenarioResult {
     let mut config = scale.base_config(seed);
     config.algorithm = algorithm;
     config.schedule = RateSchedule::constant(rate);
@@ -197,7 +233,23 @@ fn charted_overhead(result: &ScenarioResult, minutes: f64) -> f64 {
 /// Runs Fig. 6 (efficiency, 400 nodes, α = 0.3): returns
 /// `(success table, overhead table)`.
 pub fn fig6(scale: &Scale, seed: u64) -> (Table, Table) {
+    fig6_threads(scale, seed, thread_count())
+}
+
+/// [`fig6`] with an explicit worker-thread count. Output depends only on
+/// `(scale, seed)`, never on `threads`.
+pub fn fig6_threads(scale: &Scale, seed: u64, threads: usize) -> (Table, Table) {
+    let streams = DeterministicRng::new(seed);
     let algos = AlgorithmKind::ALL;
+    let points: Vec<(f64, AlgorithmKind)> = scale
+        .rates
+        .iter()
+        .flat_map(|&rate| algos.iter().map(move |&algo| (rate, algo)))
+        .collect();
+    let results = run_indexed(threads, &points, |i, &(rate, algo)| {
+        run_point(scale, streams.seed_for_indexed("fig6", i as u64), algo, rate, scale.stream_nodes)
+    });
+
     let mut header: Vec<String> = vec!["rate".into()];
     header.extend(algos.iter().map(|a| a.label().to_string()));
     let mut success = Table::new("Fig 6(a) success rate vs request rate", header);
@@ -207,18 +259,15 @@ pub fn fig6(scale: &Scale, seed: u64) -> (Table, Table) {
         vec!["rate", "optimal", "acp", "rp", "centralized-n2"],
     );
 
-    for &rate in &scale.rates {
+    let minutes = scale.duration.as_minutes_f64();
+    for (ri, &rate) in scale.rates.iter().enumerate() {
+        let per_algo = &results[ri * algos.len()..(ri + 1) * algos.len()];
         let mut srow = vec![format!("{rate:.0}")];
+        srow.extend(per_algo.iter().map(|r| pct(r.overall_success)));
         let mut orow = vec![format!("{rate:.0}")];
-        let minutes = scale.duration.as_minutes_f64();
-        let mut per_algo = std::collections::HashMap::new();
-        for &algo in &algos {
-            let result = run_point(scale, seed, algo, rate, scale.stream_nodes);
-            srow.push(pct(result.overall_success));
-            per_algo.insert(algo, result);
-        }
         for algo in [AlgorithmKind::Optimal, AlgorithmKind::Acp, AlgorithmKind::Rp] {
-            orow.push(format!("{:.0}", charted_overhead(&per_algo[&algo], minutes)));
+            let at = algos.iter().position(|&a| a == algo).expect("charted algorithm in ALL");
+            orow.push(format!("{:.0}", charted_overhead(&per_algo[at], minutes)));
         }
         orow.push(format!("{}", centralized_update_messages_per_minute(scale.stream_nodes)));
         success.push_row(srow);
@@ -230,7 +279,23 @@ pub fn fig6(scale: &Scale, seed: u64) -> (Table, Table) {
 /// Runs Fig. 7 (scalability, 80 req/min, 200–600 nodes): returns
 /// `(success table, overhead table)`.
 pub fn fig7(scale: &Scale, seed: u64) -> (Table, Table) {
+    fig7_threads(scale, seed, thread_count())
+}
+
+/// [`fig7`] with an explicit worker-thread count. Output depends only on
+/// `(scale, seed)`, never on `threads`.
+pub fn fig7_threads(scale: &Scale, seed: u64, threads: usize) -> (Table, Table) {
+    let streams = DeterministicRng::new(seed);
     let algos = AlgorithmKind::ALL;
+    let points: Vec<(usize, AlgorithmKind)> = scale
+        .node_counts
+        .iter()
+        .flat_map(|&nodes| algos.iter().map(move |&algo| (nodes, algo)))
+        .collect();
+    let results = run_indexed(threads, &points, |i, &(nodes, algo)| {
+        run_point(scale, streams.seed_for_indexed("fig7", i as u64), algo, scale.anchor_rate, nodes)
+    });
+
     let mut header: Vec<String> = vec!["nodes".into()];
     header.extend(algos.iter().map(|a| a.label().to_string()));
     let mut success = Table::new("Fig 7(a) success rate vs node count", header);
@@ -240,18 +305,15 @@ pub fn fig7(scale: &Scale, seed: u64) -> (Table, Table) {
         vec!["nodes", "optimal", "acp", "rp", "centralized-n2"],
     );
 
-    for &nodes in &scale.node_counts {
+    let minutes = scale.duration.as_minutes_f64();
+    for (ni, &nodes) in scale.node_counts.iter().enumerate() {
+        let per_algo = &results[ni * algos.len()..(ni + 1) * algos.len()];
         let mut srow = vec![format!("{nodes}")];
+        srow.extend(per_algo.iter().map(|r| pct(r.overall_success)));
         let mut orow = vec![format!("{nodes}")];
-        let minutes = scale.duration.as_minutes_f64();
-        let mut per_algo = std::collections::HashMap::new();
-        for &algo in &algos {
-            let result = run_point(scale, seed, algo, scale.anchor_rate, nodes);
-            srow.push(pct(result.overall_success));
-            per_algo.insert(algo, result);
-        }
         for algo in [AlgorithmKind::Optimal, AlgorithmKind::Acp, AlgorithmKind::Rp] {
-            orow.push(format!("{:.0}", charted_overhead(&per_algo[&algo], minutes)));
+            let at = algos.iter().position(|&a| a == algo).expect("charted algorithm in ALL");
+            orow.push(format!("{:.0}", charted_overhead(&per_algo[at], minutes)));
         }
         orow.push(format!("{}", centralized_update_messages_per_minute(nodes)));
         success.push_row(srow);
@@ -263,8 +325,16 @@ pub fn fig7(scale: &Scale, seed: u64) -> (Table, Table) {
 /// Runs Fig. 8 (adaptability under the dynamic workload): returns
 /// `(fixed-ratio timeline, adaptive-tuning timeline)`.
 pub fn fig8(scale: &Scale, seed: u64) -> (Table, Table) {
-    let make = |tuned: bool| {
-        let mut config = scale.base_config(seed);
+    fig8_threads(scale, seed, thread_count())
+}
+
+/// [`fig8`] with an explicit worker-thread count. Output depends only on
+/// `(scale, seed)`, never on `threads`.
+pub fn fig8_threads(scale: &Scale, seed: u64, threads: usize) -> (Table, Table) {
+    let streams = DeterministicRng::new(seed);
+    let points = [false, true];
+    let mut results = run_indexed(threads, &points, |i, &tuned| {
+        let mut config = scale.base_config(streams.seed_for_indexed("fig8", i as u64));
         config.schedule = scale.fig8_schedule.clone();
         config.duration = scale.fig8_duration;
         config.probing.probing_ratio = 0.3;
@@ -272,10 +342,9 @@ pub fn fig8(scale: &Scale, seed: u64) -> (Table, Table) {
             config.tuner = Some(TunerConfig { target_success: 0.90, ..TunerConfig::default() });
         }
         acp_workload::run_scenario(config)
-    };
-
-    let fixed = make(false);
-    let tuned = make(true);
+    });
+    let tuned = results.pop().expect("two points");
+    let fixed = results.pop().expect("two points");
 
     let timeline = |result: &ScenarioResult, title: &str, with_ratio: bool| {
         let mut header = vec!["minute".to_string(), "success rate %".to_string()];

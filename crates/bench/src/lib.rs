@@ -5,12 +5,16 @@
 //!
 //! * [`experiments`] — one function per figure (5–8), parameterised by a
 //!   [`experiments::Scale`] (`paper` or `quick`).
+//! * [`parallel`] — the deterministic work-queue driver fanning sweep
+//!   points over worker threads (`ACP_BENCH_THREADS` overrides the
+//!   count); outputs are byte-identical to a sequential run.
 //! * [`report`] — aligned-table rendering plus CSV/JSON export.
 //!
 //! Binaries `fig5`–`fig8` drive the experiments from the command line:
 //!
 //! ```text
 //! cargo run -p acp-bench --release --bin fig6 -- --scale paper --seed 42
+//! ACP_BENCH_THREADS=4 cargo run -p acp-bench --release --bin fig6 -- --scale quick
 //! ```
 //!
 //! Criterion micro-benchmarks (composition latency per algorithm,
@@ -19,8 +23,12 @@
 
 pub mod ablation;
 pub mod experiments;
+pub mod parallel;
 pub mod report;
 
 pub use ablation::{ablation_bcp, ablation_risk_epsilon, ablation_state_threshold, ablation_tuning};
-pub use experiments::{fig5, fig6, fig7, fig8, Scale};
+pub use experiments::{
+    fig5, fig5_threads, fig6, fig6_threads, fig7, fig7_threads, fig8, fig8_threads, Scale,
+};
+pub use parallel::{run_indexed, thread_count};
 pub use report::{write_results, CliArgs, Table};

@@ -5,7 +5,7 @@ use std::path::{Path, PathBuf};
 
 /// A rectangular table with a header row, printed with aligned columns
 /// and exportable as CSV.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table {
     /// Table title (figure/series name).
     pub title: String,
@@ -65,6 +65,27 @@ impl Table {
         out
     }
 
+    /// Renders the table as a JSON object (`{title, header, rows}`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n    \"title\": ");
+        out.push_str(&json_string(&self.title));
+        out.push_str(",\n    \"header\": ");
+        out.push_str(&json_string_array(&self.header));
+        out.push_str(",\n    \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n      ");
+            out.push_str(&json_string_array(row));
+        }
+        if !self.rows.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push_str("]\n  }");
+        out
+    }
+
     /// Renders the table as CSV.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
@@ -76,6 +97,47 @@ impl Table {
         }
         out
     }
+}
+
+/// Escapes a string as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_string_array(items: &[String]) -> String {
+    let cells: Vec<String> = items.iter().map(|s| json_string(s)).collect();
+    format!("[{}]", cells.join(", "))
+}
+
+/// Renders a slice of tables as a pretty-printed JSON array.
+pub fn tables_to_json(tables: &[Table]) -> String {
+    let mut out = String::from("[");
+    for (i, table) in tables.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  ");
+        out.push_str(&table.to_json());
+    }
+    if !tables.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
 }
 
 /// Writes tables to `dir` as CSV plus one combined JSON file, creating
@@ -104,7 +166,7 @@ pub fn write_results(dir: &Path, name: &str, tables: &[Table]) -> std::io::Resul
     }
     let json_path = dir.join(format!("{name}.json"));
     let mut f = std::fs::File::create(&json_path)?;
-    f.write_all(serde_json::to_string_pretty(tables)?.as_bytes())?;
+    f.write_all(tables_to_json(tables).as_bytes())?;
     written.push(json_path);
     Ok(written)
 }

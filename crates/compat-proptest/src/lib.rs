@@ -1,0 +1,222 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment is offline, so this crate reimplements the small
+//! slice of proptest's API the workspace's property tests use: the
+//! [`proptest!`] macro over `pattern in strategy` arguments, range and
+//! [`any`] strategies, [`collection::vec`], `ProptestConfig::with_cases`,
+//! and the `prop_assert*` macros.
+//!
+//! Semantics differ from upstream in one deliberate way: there is **no
+//! shrinking**. Failures report the sampled inputs via the panic message
+//! of the underlying `assert!`, and every run is deterministic — the RNG
+//! seed derives from the test function's name, so a failing case
+//! reproduces exactly under `cargo test`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Test-case generator handed to [`Strategy::sample`].
+pub type TestRng = StdRng;
+
+/// Per-test configuration (only `cases` is honoured).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the deterministic offline
+        // suite fast while still exercising the input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! strategy_for_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng as _;
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng as _;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+strategy_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The full-domain strategy for primitive `T`.
+pub fn any<T>() -> Any<T>
+where
+    rand::distributions::Standard: rand::distributions::Distribution<T>,
+{
+    Any(std::marker::PhantomData)
+}
+
+impl<T> Strategy for Any<T>
+where
+    rand::distributions::Standard: rand::distributions::Distribution<T>,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        use rand::Rng as _;
+        rng.gen()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// A vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::Rng as _;
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Deterministic per-test RNG: seeded from the test function's name.
+pub fn test_rng(test_name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ 0x70726f_70746573) // "proptes"
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:pat_param in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut prop_rng = $crate::test_rng(stringify!($name));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut prop_rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Commonly imported items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges respect their bounds.
+        #[test]
+        fn ranges_in_bounds(x in 0u64..100, y in -2.0f64..2.0) {
+            prop_assert!(x < 100);
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        /// Vec strategies honour the size range.
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(any::<bool>(), 1..10)) {
+            prop_assert!((1..10).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        /// Default config works without the inner attribute.
+        #[test]
+        fn default_config_runs(x in 5u32..6) {
+            prop_assert_eq!(x, 5);
+            prop_assert_ne!(x, 6);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        use crate::Strategy as _;
+        let mut a = crate::test_rng("t");
+        let mut b = crate::test_rng("t");
+        let s = 0u64..1_000_000;
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+}

@@ -86,7 +86,9 @@ pub mod prelude {
     pub use crate::overhead::{centralized_update_messages_per_minute, OverheadStats};
     pub use crate::probe::Probe;
     pub use crate::protocol::{probe_compose, FinalSelection, ProbingConfig, ProbingOutcome};
-    pub use crate::selection::{probe_quota, HopSelection};
+    pub use crate::selection::{
+        probe_quota, select_candidates, select_candidates_with, HopSelection, SelectionScratch,
+    };
     pub use crate::tuning::{ProbingRatioTuner, TunerConfig};
     pub use crate::tuning_control::{PiControllerConfig, PiRatioController};
 }

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 
 use acp_model::prelude::*;
 use acp_simcore::SimTime;
-use acp_topology::{OverlayLinkId, OverlayNodeId, OverlayPath};
+use acp_topology::{OverlayLinkId, OverlayNodeId, SharedPath};
 
 use crate::overhead::OverheadStats;
 
@@ -116,20 +116,20 @@ struct Search<'a> {
     request: &'a Request,
     order: Vec<VertexId>,
     assignment: Vec<Option<ComponentId>>,
-    links: Vec<Option<OverlayPath>>,
+    links: Vec<Option<SharedPath>>,
     accumulated: Vec<Qos>,
     node_used: HashMap<OverlayNodeId, ResourceVector>,
     link_used: HashMap<OverlayLinkId, f64>,
     phi: f64,
     best_phi: f64,
-    best: Option<(Vec<ComponentId>, Vec<OverlayPath>, f64)>,
+    best: Option<(Vec<ComponentId>, Vec<SharedPath>, f64)>,
     expansions: u64,
     max_expansions: u64,
 }
 
 struct Move {
     component: ComponentId,
-    incoming: Vec<(usize, OverlayPath)>,
+    incoming: Vec<(usize, SharedPath)>,
     arrival: Qos,
     delta_phi: f64,
 }

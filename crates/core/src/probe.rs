@@ -9,7 +9,7 @@
 //! per-path probes (§3.3 step 3).
 
 use acp_model::prelude::*;
-use acp_topology::OverlayPath;
+use acp_topology::SharedPath;
 
 /// The state a probe has accumulated while traversing candidate
 /// components in topological order.
@@ -18,8 +18,10 @@ pub struct Probe {
     /// Component chosen per function-graph vertex (`None` = not yet
     /// reached).
     pub assignment: Vec<Option<ComponentId>>,
-    /// Virtual link chosen per function-graph edge.
-    pub links: Vec<Option<OverlayPath>>,
+    /// Virtual link chosen per function-graph edge. Shared with the
+    /// overlay's path memo, so cloning a probe (which happens on every
+    /// hop extension) bumps reference counts instead of copying paths.
+    pub links: Vec<Option<SharedPath>>,
     /// Accumulated critical-path QoS at each assigned vertex: the
     /// per-metric maximum over incoming branches of
     /// `acc(pred) + q(link) + q(candidate)` — precise values collected at
@@ -77,7 +79,7 @@ impl Probe {
         &self,
         vertex: VertexId,
         component: ComponentId,
-        incoming: &[(usize, OverlayPath)],
+        incoming: &[(usize, SharedPath)],
         arrival_accumulated: Qos,
     ) -> Probe {
         assert!(self.assignment[vertex].is_none(), "vertex {vertex} assigned twice");
@@ -109,7 +111,7 @@ impl Probe {
 mod tests {
     use super::*;
     use acp_simcore::SimDuration;
-    use acp_topology::OverlayNodeId;
+    use acp_topology::{OverlayNodeId, OverlayPath};
 
     fn graph() -> FunctionGraph {
         FunctionGraph::path(vec![FunctionId(0), FunctionId(1)])
@@ -139,7 +141,7 @@ mod tests {
         let p = Probe::initial(&g).extend(0, cid(0), &[], qos_ms(5));
         assert_eq!(p.assigned_count(), 1);
         assert_eq!(p.hops, 1);
-        let path = OverlayPath::colocated(OverlayNodeId(0));
+        let path = SharedPath::new(OverlayPath::colocated(OverlayNodeId(0)));
         let p2 = p.extend(1, cid(0), &[(0, path)], qos_ms(9));
         assert!(p2.is_complete());
         assert_eq!(p2.worst_accumulated(), qos_ms(9));

@@ -26,7 +26,9 @@ use acp_state::GlobalStateBoard;
 use rand::Rng;
 
 use crate::overhead::OverheadStats;
-use crate::selection::{arrival_accumulated, select_candidates, HopContext, HopSelection};
+use crate::selection::{
+    arrival_accumulated, select_candidates_with, HopContext, HopSelection, SelectionScratch,
+};
 
 /// How the deputy picks among qualified completed compositions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,6 +125,15 @@ pub fn probe_compose<R: Rng + ?Sized>(
     // probes never exceeds the per-function quota. This is what makes the
     // per-hop selection decision matter: a wasted pick cannot be papered
     // over by exponential probe fan-out.
+    // Scratch buffers hoisted out of the per-vertex loop: probing a
+    // figure-scale workload runs this loop thousands of times, and the
+    // per-hop vectors/sets below otherwise reallocate on every vertex.
+    let mut proposals: Vec<(usize, usize, crate::selection::CandidatePlan)> = Vec::new();
+    let mut contexts: Vec<HopContext<'_>> = Vec::new();
+    let mut probed: std::collections::HashSet<ComponentId> = std::collections::HashSet::new();
+    let mut next_frontier: Vec<crate::probe::Probe> = Vec::new();
+    let mut scratch = SelectionScratch::default();
+
     for &vertex in &order {
         let function = request.graph.function(vertex);
         let k = system.candidates(function).len();
@@ -133,8 +144,8 @@ pub fn probe_compose<R: Rng + ?Sized>(
         .min(config.max_live_probes);
 
         // Every live probe proposes its ranked candidate plans.
-        let mut proposals: Vec<(usize, usize, crate::selection::CandidatePlan)> = Vec::new();
-        let mut contexts: Vec<HopContext<'_>> = Vec::new();
+        proposals.clear();
+        contexts.clear();
         for (probe_idx, probe) in frontier.iter().enumerate() {
             // Gather assigned predecessors: (edge index, component, acc).
             let predecessors: Vec<(usize, ComponentId, Qos)> = request
@@ -157,7 +168,7 @@ pub fn probe_compose<R: Rng + ?Sized>(
                 })
                 .collect();
             let ctx = HopContext { request, vertex, predecessors };
-            let plans = select_candidates(
+            let plans = select_candidates_with(
                 system,
                 board,
                 &ctx,
@@ -166,6 +177,7 @@ pub fn probe_compose<R: Rng + ?Sized>(
                 config.risk_epsilon,
                 rng,
                 &mut stats,
+                &mut scratch,
             );
             for (rank, plan) in plans.into_iter().enumerate() {
                 proposals.push((rank, probe_idx, plan));
@@ -183,9 +195,9 @@ pub fn probe_compose<R: Rng + ?Sized>(
             })
         });
 
-        let mut probed: std::collections::HashSet<ComponentId> = std::collections::HashSet::new();
-        let mut next_frontier = Vec::new();
-        for (_, probe_idx, plan) in proposals {
+        probed.clear();
+        next_frontier.clear();
+        for (_, probe_idx, plan) in proposals.drain(..) {
             if probed.len() >= quota {
                 break;
             }
@@ -245,7 +257,7 @@ pub fn probe_compose<R: Rng + ?Sized>(
             }
             next_frontier.push(probe.extend(vertex, plan.component, &plan.incoming, acc));
         }
-        frontier = next_frontier;
+        std::mem::swap(&mut frontier, &mut next_frontier);
         if frontier.is_empty() {
             break;
         }

@@ -11,7 +11,7 @@
 
 use acp_model::prelude::*;
 use acp_state::GlobalStateBoard;
-use acp_topology::OverlayPath;
+use acp_topology::SharedPath;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -34,7 +34,18 @@ pub struct CandidatePlan {
     pub component: ComponentId,
     /// The virtual link from each already-assigned predecessor: pairs of
     /// `(graph edge index, overlay path)`. Empty for the source vertex.
-    pub incoming: Vec<(usize, OverlayPath)>,
+    /// Paths are shared with the overlay's memo — cheap to clone.
+    pub incoming: Vec<(usize, SharedPath)>,
+}
+
+/// Reusable buffers for [`select_candidates_with`]. One selection call
+/// per probe per hop allocates a candidate-id list and (for `Ranked`) a
+/// scored list; threading one scratch through a whole probing run keeps
+/// those allocations out of the hot loop.
+#[derive(Debug, Default)]
+pub struct SelectionScratch {
+    ids: Vec<ComponentId>,
+    scored: Vec<(f64, f64, CandidatePlan)>,
 }
 
 /// Inputs to one hop's selection decision.
@@ -75,10 +86,29 @@ pub fn select_candidates<R: Rng + ?Sized>(
     rng: &mut R,
     stats: &mut OverheadStats,
 ) -> Vec<CandidatePlan> {
+    let mut scratch = SelectionScratch::default();
+    select_candidates_with(system, board, ctx, strategy, alpha, risk_epsilon, rng, stats, &mut scratch)
+}
+
+/// [`select_candidates`] with caller-provided scratch buffers; the hot
+/// probing loop threads one [`SelectionScratch`] through every hop.
+#[allow(clippy::too_many_arguments)] // one parameter per protocol input (Fig. 3)
+pub fn select_candidates_with<R: Rng + ?Sized>(
+    system: &mut StreamSystem,
+    board: &GlobalStateBoard,
+    ctx: &HopContext<'_>,
+    strategy: HopSelection,
+    alpha: f64,
+    risk_epsilon: f64,
+    rng: &mut R,
+    stats: &mut OverheadStats,
+    scratch: &mut SelectionScratch,
+) -> Vec<CandidatePlan> {
     let function = ctx.request.graph.function(ctx.vertex);
     stats.discovery_lookups += 1;
-    let candidates: Vec<ComponentId> = system.candidates(function).to_vec();
-    let quota = probe_quota(candidates.len(), alpha);
+    scratch.ids.clear();
+    scratch.ids.extend_from_slice(system.candidates(function));
+    let quota = probe_quota(scratch.ids.len(), alpha);
     if quota == 0 {
         return Vec::new();
     }
@@ -86,29 +116,30 @@ pub fn select_candidates<R: Rng + ?Sized>(
     // Interface compatibility and placement constraints (both static
     // specifications known without probing).
     let rate = ctx.request.stream_rate_kbps;
-    let compatible: Vec<ComponentId> = candidates
-        .into_iter()
-        .filter(|&c| {
-            let component = system.component(c);
-            component.accepts_rate(rate) && ctx.request.constraints.admits(&component.attributes)
-        })
-        .collect();
+    let request = ctx.request;
+    scratch.ids.retain(|&c| {
+        let component = system.component(c);
+        component.accepts_rate(rate) && request.constraints.admits(&component.attributes)
+    });
 
     match strategy {
         HopSelection::Random => {
-            let mut picks = compatible;
-            picks.shuffle(rng);
-            picks.truncate(quota);
-            picks
-                .into_iter()
-                .filter_map(|c| plan_for(system, c, ctx))
-                .collect()
+            scratch.ids.shuffle(rng);
+            scratch.ids.truncate(quota);
+            let mut plans = Vec::with_capacity(scratch.ids.len());
+            for &c in &scratch.ids {
+                if let Some(plan) = plan_for(system, c, ctx) {
+                    plans.push(plan);
+                }
+            }
+            plans
         }
         HopSelection::Ranked => {
             stats.global_state_queries += 1;
             let demand = ctx.request.vertex_demand(system.registry(), ctx.vertex);
-            let mut scored: Vec<(f64, f64, CandidatePlan)> = Vec::new();
-            for c in compatible {
+            let scored = &mut scratch.scored;
+            scored.clear();
+            for &c in &scratch.ids {
                 let Some(plan) = plan_for(system, c, ctx) else { continue };
                 // Coarse states from the board. Candidates the board has
                 // not learnt about yet (freshly migrated) are skipped —
@@ -155,7 +186,9 @@ pub fn select_candidates<R: Rng + ?Sized>(
                 });
             }
             scored.truncate(quota);
-            scored.into_iter().map(|(_, _, plan)| plan).collect()
+            // Drain (rather than move) so the buffer's capacity is kept
+            // for the next hop.
+            scored.drain(..).map(|(_, _, plan)| plan).collect()
         }
     }
 }
@@ -363,7 +396,7 @@ mod tests {
 
     #[test]
     fn arrival_accumulated_takes_worst_branch() {
-        let path_a = OverlayPath::colocated(OverlayNodeId(0));
+        let path_a = SharedPath::new(acp_topology::OverlayPath::colocated(OverlayNodeId(0)));
         let request = Request {
             id: RequestId(1),
             graph: FunctionGraph::path(vec![FunctionId(0), FunctionId(1)]),

@@ -5,7 +5,7 @@
 //! path) realising every dependency edge — the paper's component graph
 //! `λ = (C, L)`.
 
-use acp_topology::{OverlayLinkId, OverlayPath};
+use acp_topology::{OverlayLinkId, SharedPath};
 
 use crate::component::ComponentId;
 use crate::fgraph::{FunctionGraph, VertexId};
@@ -18,8 +18,10 @@ pub struct Composition {
     /// with the request graph's vertices).
     pub assignment: Vec<ComponentId>,
     /// Virtual link for each dependency edge (index-aligned with
-    /// [`FunctionGraph::edges`]).
-    pub links: Vec<OverlayPath>,
+    /// [`FunctionGraph::edges`]). Shared with the overlay's path memo:
+    /// cloning a composition bumps reference counts instead of copying
+    /// node/link vectors.
+    pub links: Vec<SharedPath>,
 }
 
 impl Composition {
@@ -121,21 +123,21 @@ impl std::fmt::Display for Composition {
 mod tests {
     use super::*;
     use acp_simcore::SimDuration;
-    use acp_topology::OverlayNodeId;
+    use acp_topology::{OverlayNodeId, OverlayPath};
     use crate::function::FunctionId;
 
     fn comp(node: u32, slot: u16) -> ComponentId {
         ComponentId::new(OverlayNodeId(node), slot)
     }
 
-    fn link_path(from: u32, to: u32, ms: u64, loss: f64) -> OverlayPath {
-        OverlayPath {
+    fn link_path(from: u32, to: u32, ms: u64, loss: f64) -> SharedPath {
+        SharedPath::new(OverlayPath {
             nodes: vec![OverlayNodeId(from), OverlayNodeId(to)],
             links: vec![OverlayLinkId(0)],
             delay: SimDuration::from_millis(ms),
             bottleneck_kbps: 1_000.0,
             loss_rate: loss,
-        }
+        })
     }
 
     fn qos_ms(ms: u64) -> Qos {
@@ -178,7 +180,7 @@ mod tests {
         let g = FunctionGraph::path(vec![FunctionId(0), FunctionId(1)]);
         let c = Composition {
             assignment: vec![comp(3, 0), comp(3, 1)],
-            links: vec![OverlayPath::colocated(OverlayNodeId(3))],
+            links: vec![SharedPath::new(OverlayPath::colocated(OverlayNodeId(3)))],
         };
         assert!(c.is_shape_valid(&g));
     }
@@ -227,12 +229,12 @@ mod tests {
     #[test]
     fn overlay_links_enumerates_with_multiplicity() {
         let _g = FunctionGraph::path(vec![FunctionId(0), FunctionId(1), FunctionId(2)]);
-        let mut p2 = link_path(1, 2, 3, 0.0);
+        let mut p2 = OverlayPath::clone(&link_path(1, 2, 3, 0.0));
         p2.links = vec![OverlayLinkId(1), OverlayLinkId(2)];
         p2.nodes = vec![OverlayNodeId(1), OverlayNodeId(9), OverlayNodeId(2)];
         let c = Composition {
             assignment: vec![comp(0, 0), comp(1, 0), comp(2, 0)],
-            links: vec![link_path(0, 1, 5, 0.0), p2],
+            links: vec![link_path(0, 1, 5, 0.0), SharedPath::new(p2)],
         };
         let used: Vec<_> = c.overlay_links().collect();
         assert_eq!(used, vec![(0, OverlayLinkId(0)), (1, OverlayLinkId(1)), (1, OverlayLinkId(2))]);

@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 
 use acp_simcore::SimTime;
-use acp_topology::{Overlay, OverlayLinkId, OverlayNodeId, OverlayPath};
+use acp_topology::{Overlay, OverlayLinkId, OverlayNodeId, OverlayPath, SharedPath};
 use rand::Rng;
 
 use crate::component::{Component, ComponentId};
@@ -362,10 +362,15 @@ impl StreamSystem {
         self.links[l.index()].capacity_kbps
     }
 
-    /// The virtual link (overlay path) between two nodes; see
-    /// [`Overlay::virtual_path`].
-    pub fn virtual_path(&mut self, from: OverlayNodeId, to: OverlayNodeId) -> Option<OverlayPath> {
+    /// The virtual link (overlay path) between two nodes, memoized per
+    /// `(from, to)` pair; see [`Overlay::virtual_path`].
+    pub fn virtual_path(&mut self, from: OverlayNodeId, to: OverlayNodeId) -> Option<SharedPath> {
         self.overlay.virtual_path(from, to)
+    }
+
+    /// Hit/miss counters of the overlay's virtual-path memo.
+    pub fn path_cache_stats(&self) -> acp_topology::PathCacheStats {
+        self.overlay.path_cache_stats()
     }
 
     /// Available bandwidth of a virtual link: the bottleneck over its
@@ -632,6 +637,10 @@ impl StreamSystem {
             }
             self.close_session(sid);
         }
+        // Drop only the cached routes this failure could affect (trees
+        // and memoized paths touching `v`); everything else stays warm
+        // for the failover recompositions that follow.
+        self.overlay.invalidate_routes_for(v);
         (undeployed_ids, orphaned)
     }
 

@@ -13,6 +13,7 @@
 //! matching §4.1.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use acp_simcore::SimDuration;
 use rand::seq::SliceRandom;
@@ -81,6 +82,37 @@ pub struct OverlayPath {
     pub loss_rate: f64,
 }
 
+/// A shared, immutable [`OverlayPath`].
+///
+/// Virtual links are memoized per `(from, to)` pair inside [`Overlay`],
+/// and a composition holding `h` hops would otherwise clone each path's
+/// node and link vectors on every probe extension. Handing out
+/// `Arc<OverlayPath>` makes those clones reference bumps; deref coercion
+/// keeps every `&OverlayPath`-taking API unchanged.
+pub type SharedPath = Arc<OverlayPath>;
+
+/// Hit/miss counters for the `(from, to)` virtual-path memo inside
+/// [`Overlay`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathCacheStats {
+    /// Lookups answered from the memo.
+    pub hits: u64,
+    /// Lookups that had to extract a path from a routing tree.
+    pub misses: u64,
+}
+
+impl PathCacheStats {
+    /// Fraction of lookups answered from the memo (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 impl OverlayPath {
     /// A zero-length path (both components co-located on one node). Per
     /// the paper, co-located components have zero network delay and
@@ -114,6 +146,8 @@ pub struct Overlay {
     mesh: Graph,
     ip_hops: Vec<usize>,
     route_cache: HashMap<OverlayNodeId, ShortestPathTree>,
+    path_cache: HashMap<(OverlayNodeId, OverlayNodeId), Option<SharedPath>>,
+    cache_stats: PathCacheStats,
 }
 
 impl std::fmt::Debug for Overlay {
@@ -217,7 +251,15 @@ impl Overlay {
             ip_hops.push(path.hop_count());
         }
 
-        Overlay { ip_nodes, ip_index, mesh, ip_hops, route_cache: HashMap::new() }
+        Overlay {
+            ip_nodes,
+            ip_index,
+            mesh,
+            ip_hops,
+            route_cache: HashMap::new(),
+            path_cache: HashMap::new(),
+            cache_stats: PathCacheStats::default(),
+        }
     }
 
     /// Number of stream-processing nodes.
@@ -284,9 +326,26 @@ impl Overlay {
     /// path, with aggregated delay / bottleneck bandwidth / loss.
     /// Co-located endpoints yield [`OverlayPath::colocated`].
     ///
-    /// Routing trees are cached per source; [`Self::invalidate_routes`]
-    /// clears the cache.
-    pub fn virtual_path(&mut self, from: OverlayNodeId, to: OverlayNodeId) -> Option<OverlayPath> {
+    /// Full paths are memoized per `(from, to)` pair (on top of the
+    /// per-source routing-tree cache), so repeated queries — the common
+    /// case during probing, where every candidate pair is examined many
+    /// times per session — are a single hash lookup plus an `Arc` clone.
+    /// [`Self::invalidate_routes`] drops everything;
+    /// [`Self::invalidate_routes_for`] drops only entries a failed node
+    /// could affect.
+    pub fn virtual_path(&mut self, from: OverlayNodeId, to: OverlayNodeId) -> Option<SharedPath> {
+        if let Some(cached) = self.path_cache.get(&(from, to)) {
+            self.cache_stats.hits += 1;
+            return cached.clone();
+        }
+        self.cache_stats.misses += 1;
+        let computed = self.compute_virtual_path(from, to).map(Arc::new);
+        self.path_cache.insert((from, to), computed.clone());
+        computed
+    }
+
+    /// Uncached path extraction (still reuses the per-source tree cache).
+    fn compute_virtual_path(&mut self, from: OverlayNodeId, to: OverlayNodeId) -> Option<OverlayPath> {
         if from == to {
             return Some(OverlayPath::colocated(from));
         }
@@ -305,9 +364,36 @@ impl Overlay {
         })
     }
 
-    /// Drops cached routing trees.
+    /// Hit/miss counters of the `(from, to)` path memo (cumulative; not
+    /// reset by invalidation).
+    pub fn path_cache_stats(&self) -> PathCacheStats {
+        self.cache_stats
+    }
+
+    /// Number of memoized `(from, to)` entries.
+    pub fn path_cache_len(&self) -> usize {
+        self.path_cache.len()
+    }
+
+    /// Drops all cached routing trees and memoized paths.
     pub fn invalidate_routes(&mut self) {
         self.route_cache.clear();
+        self.path_cache.clear();
+    }
+
+    /// Drops only the cached routes a failure of `node` could change:
+    /// the tree rooted at `node`, any tree where `node` forwards traffic
+    /// (its failure would reroute those paths), and memoized paths that
+    /// start at, end at, or traverse `node`. Trees and paths that never
+    /// touch `node` remain valid — removing a node can only remove
+    /// routes, never create shorter ones.
+    pub fn invalidate_routes_for(&mut self, node: OverlayNodeId) {
+        self.route_cache.retain(|_, tree| !tree.routes_through(NodeId(node.0)));
+        self.path_cache.retain(|&(from, to), path| {
+            from != node
+                && to != node
+                && path.as_ref().is_none_or(|p| !p.nodes.contains(&node))
+        });
     }
 
     /// The underlying mesh graph (read-only).
@@ -413,6 +499,57 @@ mod tests {
         let ia: Vec<_> = a.nodes().map(|v| a.ip_node(v)).collect();
         let ib: Vec<_> = b.nodes().map(|v| b.ip_node(v)).collect();
         assert_eq!(ia, ib);
+    }
+
+    #[test]
+    fn virtual_path_memoizes_pairs() {
+        let mut ov = build_pair(8, 20, 3);
+        let (a, b) = (OverlayNodeId(0), OverlayNodeId(5));
+        let first = ov.virtual_path(a, b).unwrap();
+        let second = ov.virtual_path(a, b).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "second lookup must come from the memo");
+        let stats = ov.path_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        ov.invalidate_routes();
+        assert_eq!(ov.path_cache_len(), 0);
+        // Counters are cumulative across invalidations.
+        assert_eq!(ov.path_cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn colocated_paths_are_memoized_too() {
+        let mut ov = build_pair(8, 15, 2);
+        let v = OverlayNodeId(3);
+        let first = ov.virtual_path(v, v).unwrap();
+        let second = ov.virtual_path(v, v).unwrap();
+        assert!(first.is_colocated());
+        assert!(Arc::ptr_eq(&first, &second));
+    }
+
+    #[test]
+    fn targeted_invalidation_preserves_correctness() {
+        let mut ov = build_pair(9, 25, 3);
+        let nodes: Vec<_> = ov.nodes().collect();
+        for &a in &nodes {
+            for &b in &nodes {
+                ov.virtual_path(a, b);
+            }
+        }
+        let before = ov.path_cache_len();
+        let failed = nodes[3];
+        ov.invalidate_routes_for(failed);
+        assert!(ov.path_cache_len() < before, "entries touching the node must be dropped");
+        // Every answer after targeted invalidation (mix of surviving
+        // memo entries and recomputations) must match a fresh overlay.
+        let mut reference = build_pair(9, 25, 3);
+        for &a in &nodes {
+            for &b in &nodes {
+                let got = ov.virtual_path(a, b);
+                let want = reference.virtual_path(a, b);
+                assert_eq!(got.as_deref(), want.as_deref(), "{a}->{b} diverged");
+            }
+        }
     }
 
     #[test]

@@ -100,6 +100,19 @@ impl ShortestPathTree {
         self.dist[dst.index()]
     }
 
+    /// The node this tree is rooted at.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// True when `node` forwards traffic in this tree: it is the source
+    /// or the predecessor of some reachable node. Paths to nodes whose
+    /// chain never passes through `node` are unaffected by its failure,
+    /// so trees for which this is false stay valid when `node` dies.
+    pub fn routes_through(&self, node: NodeId) -> bool {
+        self.source == node || self.prev.iter().flatten().any(|&(p, _)| p == node)
+    }
+
     /// Materialises the routed path to `dst`; `None` when unreachable.
     pub fn path_to(&self, graph: &Graph, dst: NodeId) -> Option<IpPath> {
         self.dist[dst.index()]?;
@@ -289,13 +302,13 @@ mod tests {
                 }
             }
             let mut rt = RoutingTable::new();
-            for i in 0..n {
-                for j in 0..n {
+            for (i, row) in d.iter().enumerate() {
+                for (j, &dij) in row.iter().enumerate() {
                     let got = rt.distance(&g, NodeId(i as u32), NodeId(j as u32));
-                    if d[i][j] >= INF {
+                    if dij >= INF {
                         assert!(got.is_none());
                     } else {
-                        assert_eq!(got.unwrap().as_micros(), d[i][j], "mismatch {i}->{j}");
+                        assert_eq!(got.unwrap().as_micros(), dij, "mismatch {i}->{j}");
                     }
                 }
             }

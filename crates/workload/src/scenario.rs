@@ -145,6 +145,9 @@ pub struct ScenarioResult {
     /// Distribution of probe messages per request (buckets of 5, range
     /// 0–200, overflow collected).
     pub probe_histogram: Histogram,
+    /// Hit/miss counters of the overlay's virtual-path memo over the
+    /// whole run.
+    pub path_cache: acp_topology::PathCacheStats,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -377,6 +380,7 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
         final_sessions: model.system.session_count(),
         profiling_runs: model.tuner.as_ref().map_or(0, |t| t.profiling_runs()),
         probe_histogram: model.probe_histogram,
+        path_cache: model.system.path_cache_stats(),
         success_series: model.success_series,
         ratio_series: model.ratio_series,
     }
@@ -389,7 +393,11 @@ mod tests {
     #[test]
     fn small_scenario_runs_and_composes() {
         let result = run_scenario(ScenarioConfig::small(1));
-        assert!(result.total_requests > 200, "20 req/min × 20 min ≈ 400");
+        // `small` runs 10 req/min × 20 min ⇒ ~200 Poisson arrivals; 150
+        // is > 4σ below the mean, so this never flakes on a valid run
+        // (the old `> 200` bound sat exactly at the mean and failed for
+        // roughly half of all seeds).
+        assert!(result.total_requests > 150, "10 req/min × 20 min ≈ 200, got {}", result.total_requests);
         assert!(result.overall_success > 0.5, "success {}", result.overall_success);
         assert!(result.messages_per_minute > 0.0);
         assert!(!result.success_series.is_empty());

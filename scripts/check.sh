@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo-wide gate: build, tests, lints, and the parallel-driver
+# determinism regression. Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> determinism regression (sequential vs 4 threads)"
+cargo test -q -p acp-bench --test determinism
+
+echo "All checks passed."

@@ -57,15 +57,14 @@ fn acp_success_implies_optimal_success() {
         let mut opt = OptimalComposer::new(OptimalConfig::default());
         let opt_out = opt.compose(&mut opt_sys, &board, &request, SimTime::ZERO);
 
-        if acp_out.session.is_some() {
+        if let Some(acp_sid) = acp_out.session {
             acp_successes += 1;
-            assert!(
-                opt_out.session.is_some(),
-                "ACP admitted a request the exhaustive search rejected"
-            );
+            let opt_sid = opt_out
+                .session
+                .expect("ACP admitted a request the exhaustive search rejected");
             // φ comparison on the pristine system.
-            let acp_comp = acp_sys.session(acp_out.session.unwrap()).unwrap().composition.clone();
-            let opt_comp = opt_sys.session(opt_out.session.unwrap()).unwrap().composition.clone();
+            let acp_comp = acp_sys.session(acp_sid).unwrap().composition.clone();
+            let opt_comp = opt_sys.session(opt_sid).unwrap().composition.clone();
             let fresh = system.clone();
             let acp_phi = acp_stream::model::metrics::congestion_aggregation(&fresh, &request, &acp_comp);
             let opt_phi = acp_stream::model::metrics::congestion_aggregation(&fresh, &request, &opt_comp);
