@@ -27,7 +27,7 @@ fn bench_candidate_selection(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(label), &strategy, |b, &strategy| {
             let mut rng = DeterministicRng::new(12).stream("sel-rng");
             b.iter(|| {
-                let ctx = HopContext { request: &request, vertex: 0, predecessors: vec![] };
+                let ctx = HopContext { request: &request, vertex: 0, predecessors: &[] };
                 let mut stats = OverheadStats::new();
                 select_candidates(&mut system, &board, &ctx, strategy, 0.3, 0.05, &mut rng, &mut stats)
             });

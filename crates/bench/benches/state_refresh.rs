@@ -1,0 +1,90 @@
+//! Micro-benchmarks of the global-state maintenance hot path: node
+//! refresh and link aggregation with full scans vs. version-skipping
+//! incremental scans, plus the ranked candidate-selection throughput that
+//! consumes the board (scratch-buffer + dense-lookup path).
+
+use acp_core::overhead::OverheadStats;
+use acp_core::selection::{select_candidates_with, HopContext, HopSelection, SelectionScratch};
+use acp_model::prelude::*;
+use acp_simcore::{DeterministicRng, SimTime};
+use acp_state::{GlobalStateBoard, GlobalStateConfig};
+use acp_workload::{build_system, RequestConfig, RequestGenerator, ScenarioConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn setup(incremental: bool) -> (StreamSystem, GlobalStateBoard, Request) {
+    let mut config = ScenarioConfig::small(23);
+    config.stream_nodes = 100;
+    config.ip_nodes = 800;
+    config.global_state = GlobalStateConfig { incremental, ..GlobalStateConfig::default() };
+    let (system, board, library) = build_system(&config);
+    let mut generator = RequestGenerator::new(library, RequestConfig::default());
+    let mut rng = DeterministicRng::new(23).stream("refresh");
+    let (request, _) = generator.next(&mut rng);
+    (system, board, request)
+}
+
+/// Commits a handful of sessions so a fraction of the nodes/links are
+/// dirty — the steady-state shape refresh scans see mid-run.
+fn dirty_some(system: &mut StreamSystem, request: &Request) {
+    let board = GlobalStateBoard::new(system, GlobalStateConfig::default());
+    let mut composer = acp_core::AcpComposer::new(acp_core::ProbingConfig::default(), 5);
+    use acp_core::Composer as _;
+    for _ in 0..4 {
+        let _ = composer.compose(system, &board, request, SimTime::ZERO);
+    }
+}
+
+fn bench_refresh_nodes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refresh_nodes_100_nodes");
+    for (label, incremental) in [("full", false), ("incremental", true)] {
+        let (mut system, mut board, request) = setup(incremental);
+        dirty_some(&mut system, &request);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, ()| {
+            b.iter(|| board.refresh_nodes(&system));
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregate_links(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregate_links");
+    for (label, incremental) in [("full", false), ("incremental", true)] {
+        let (mut system, mut board, request) = setup(incremental);
+        dirty_some(&mut system, &request);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, ()| {
+            b.iter(|| board.aggregate_links(&system));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ranked_selection_throughput(c: &mut Criterion) {
+    let (mut system, board, request) = setup(true);
+    let mut scratch = SelectionScratch::default();
+    c.bench_function("select_candidates_with_ranked", |b| {
+        let mut rng = DeterministicRng::new(24).stream("sel-rng");
+        b.iter(|| {
+            let ctx = HopContext { request: &request, vertex: 0, predecessors: &[] };
+            let mut stats = OverheadStats::new();
+            select_candidates_with(
+                &mut system,
+                &board,
+                &ctx,
+                HopSelection::Ranked,
+                0.3,
+                0.05,
+                &mut rng,
+                &mut stats,
+                &mut scratch,
+            )
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_refresh_nodes,
+    bench_aggregate_links,
+    bench_ranked_selection_throughput
+);
+criterion_main!(benches);

@@ -1,8 +1,9 @@
 //! Performance snapshot for the figure-regeneration harness.
 //!
 //! Times every figure sweep at the chosen scale, samples the
-//! `Overlay::virtual_path` memo hit rate on a Fig. 6 workload, and writes
-//! the numbers to `BENCH_1.json` (override with `--out-file`):
+//! `Overlay::virtual_path` memo hit rate and the global-state board's
+//! refresh-scan savings on a Fig. 6 workload, and writes the numbers to
+//! `BENCH_2.json` (override with `--out-file`):
 //!
 //! ```text
 //! cargo run --release -p acp-bench --bin perf_snapshot -- --scale quick
@@ -39,7 +40,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let mut scale_name = "quick".to_string();
     let mut seed = 42u64;
-    let mut out_file = PathBuf::from("BENCH_1.json");
+    let mut out_file = PathBuf::from("BENCH_2.json");
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => scale_name = args.next().expect("--scale needs a value"),
@@ -86,16 +87,27 @@ fn main() {
         fig8_threads(&scale, seed, threads);
     });
 
-    // Path-memo effectiveness over one Fig. 6 sweep point (ACP at the
-    // anchor rate): hits/misses accumulated across the whole scenario.
+    // Path-memo effectiveness and board scan savings over one Fig. 6
+    // sweep point (ACP at the anchor rate), accumulated across the whole
+    // scenario.
     let probe_point =
         run_point(&scale, seed, AlgorithmKind::Acp, scale.anchor_rate, scale.stream_nodes);
     let cache = probe_point.path_cache;
+    let scans = probe_point.state_scans;
     eprintln!(
         "  fig6 path cache: {} hits / {} misses ({:.1}% hit rate)",
         cache.hits,
         cache.misses,
         cache.hit_rate() * 100.0
+    );
+    eprintln!(
+        "  fig6 board scans: nodes {}/{} ({:.1}% skipped), links {}/{} ({:.1}% skipped)",
+        scans.nodes_scanned,
+        scans.nodes_total,
+        scans.node_skip_rate() * 100.0,
+        scans.links_scanned,
+        scans.links_total,
+        scans.link_skip_rate() * 100.0
     );
 
     let total_points: usize = timings.iter().map(|t| t.points).sum();
@@ -127,6 +139,14 @@ fn main() {
     json.push_str(&format!("    \"hits\": {},\n", cache.hits));
     json.push_str(&format!("    \"misses\": {},\n", cache.misses));
     json.push_str(&format!("    \"hit_rate\": {:.4}\n", cache.hit_rate()));
+    json.push_str("  },\n");
+    json.push_str("  \"fig6_state_scans\": {\n");
+    json.push_str(&format!("    \"nodes_scanned\": {},\n", scans.nodes_scanned));
+    json.push_str(&format!("    \"nodes_total\": {},\n", scans.nodes_total));
+    json.push_str(&format!("    \"node_skip_rate\": {:.4},\n", scans.node_skip_rate()));
+    json.push_str(&format!("    \"links_scanned\": {},\n", scans.links_scanned));
+    json.push_str(&format!("    \"links_total\": {},\n", scans.links_total));
+    json.push_str(&format!("    \"link_skip_rate\": {:.4}\n", scans.link_skip_rate()));
     json.push_str("  }\n}\n");
 
     std::fs::write(&out_file, &json).expect("writing the snapshot file");

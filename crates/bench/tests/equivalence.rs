@@ -1,0 +1,63 @@
+//! Regression test for the incremental global-state board: a full
+//! Fig. 6-style scenario run with version-skipping state maintenance must
+//! produce **byte-identical** results to the same run with exhaustive
+//! full scans — same compositions, same update-message counts, same
+//! aggregation rounds. The incremental path may only change how much scan
+//! work the board performs, never what it publishes.
+
+use acp_bench::experiments::Scale;
+use acp_core::AlgorithmKind;
+use acp_simcore::SimDuration;
+use acp_state::GlobalStateConfig;
+use acp_workload::{run_scenario, RateSchedule, ScenarioResult};
+
+fn fig6_style_point(incremental: bool) -> ScenarioResult {
+    // Long enough that the 10-minute virtual-link aggregation fires at
+    // least once (so link-scan skipping is exercised too).
+    let mut scale = Scale::quick();
+    scale.duration = SimDuration::from_minutes(12);
+    let mut config = scale.base_config(42);
+    config.algorithm = AlgorithmKind::Acp;
+    config.schedule = RateSchedule::constant(scale.anchor_rate);
+    config.global_state = GlobalStateConfig { incremental, ..GlobalStateConfig::default() };
+    run_scenario(config)
+}
+
+#[test]
+fn incremental_board_matches_full_scan_scenario() {
+    let full = fig6_style_point(false);
+    let inc = fig6_style_point(true);
+
+    // Identical composition results: every session (id, request,
+    // component assignment) matches.
+    assert_eq!(full.session_digest, inc.session_digest, "compositions diverged");
+    assert_eq!(full.total_requests, inc.total_requests);
+    assert_eq!(full.total_successes, inc.total_successes);
+    assert_eq!(full.final_sessions, inc.final_sessions);
+
+    // Identical maintenance accounting: update messages (inside the
+    // OverheadStats equality) and aggregation rounds.
+    assert_eq!(full.overhead, inc.overhead, "message ledger diverged");
+    assert_eq!(full.aggregation_rounds, inc.aggregation_rounds);
+    assert_eq!(full.success_series.samples(), inc.success_series.samples());
+
+    // The two runs did the same logical work but different scan work.
+    let fs = full.state_scans;
+    let is = inc.state_scans;
+    assert_eq!(fs.nodes_scanned, fs.nodes_total, "full mode must visit everything");
+    assert_eq!(fs.links_scanned, fs.links_total, "full mode must visit everything");
+    assert_eq!(fs.nodes_total, is.nodes_total, "same refresh schedule");
+    assert_eq!(fs.links_total, is.links_total, "same aggregation schedule");
+    assert!(
+        is.nodes_scanned < is.nodes_total,
+        "incremental mode should skip untouched nodes ({}/{})",
+        is.nodes_scanned,
+        is.nodes_total
+    );
+    assert!(
+        is.links_scanned < is.links_total,
+        "incremental mode should skip untouched links ({}/{})",
+        is.links_scanned,
+        is.links_total
+    );
+}

@@ -12,11 +12,9 @@
 //! brute-force result while the reported message count reflects the
 //! exhaustive search the paper's optimal algorithm performs.
 
-use std::collections::HashMap;
-
 use acp_model::prelude::*;
 use acp_simcore::SimTime;
-use acp_topology::{OverlayLinkId, OverlayNodeId, SharedPath};
+use acp_topology::SharedPath;
 
 use crate::overhead::OverheadStats;
 
@@ -74,15 +72,66 @@ pub fn optimal_compose(
         stats.probes_returned = in_flight;
     }
 
+    // Ground truth is frozen for the duration of the search (the only
+    // system mutation below is route memoisation), so availability,
+    // effective QoS, static admissibility, predecessor edges, and vertex
+    // demands can all be resolved ONCE here instead of per DFS node. The
+    // search then runs entirely on flat index-addressed vectors.
+    let node_avail: Vec<ResourceVector> =
+        system.overlay().nodes().map(|v| system.node_available(v)).collect();
+    let link_avail: Vec<f64> = system.overlay().links().map(|l| system.link_available(l)).collect();
+    let preds: Vec<Vec<(usize, VertexId)>> = request
+        .graph
+        .vertices()
+        .map(|vertex| {
+            request
+                .graph
+                .edges()
+                .iter()
+                .enumerate()
+                .filter(|(_, &(_, v))| v == vertex)
+                .map(|(e, &(u, _))| (e, u))
+                .collect()
+        })
+        .collect();
+    let demands: Vec<ResourceVector> =
+        request.graph.vertices().map(|v| request.vertex_demand(system.registry(), v)).collect();
+    let cands: Vec<Vec<CandInfo>> = request
+        .graph
+        .vertices()
+        .map(|vertex| {
+            let function = request.graph.function(vertex);
+            system
+                .candidates(function)
+                .to_vec()
+                .into_iter()
+                .map(|c| {
+                    let component = system.component(c);
+                    let static_ok = component.accepts_rate(request.stream_rate_kbps)
+                        && request.constraints.admits(&component.attributes);
+                    CandInfo { id: c, qos: system.effective_component_qos(c), static_ok }
+                })
+                .collect()
+        })
+        .collect();
+
+    let depth_count = order.len();
+    let (node_count, link_count) = (node_avail.len(), link_avail.len());
     let mut search = Search {
         system,
         request,
         order,
+        preds,
+        cands,
+        demands,
         assignment: vec![None; request.graph.len()],
         links: vec![None; request.graph.edges().len()],
         accumulated: vec![Qos::ZERO; request.graph.len()],
-        node_used: HashMap::new(),
-        link_used: HashMap::new(),
+        node_avail,
+        link_avail,
+        node_used: vec![ResourceVector::ZERO; node_count],
+        link_used: vec![0.0; link_count],
+        move_pool: (0..depth_count).map(|_| Vec::new()).collect(),
         phi: 0.0,
         best_phi: f64::INFINITY,
         best: None,
@@ -111,15 +160,38 @@ pub fn optimal_compose(
     OptimalOutcome { session, stats, best_phi, truncated }
 }
 
+/// Per-candidate facts resolved once per request: the candidate's id, its
+/// (precise) effective QoS, and whether it passes the static
+/// rate/constraint admissibility checks.
+#[derive(Clone, Copy)]
+struct CandInfo {
+    id: ComponentId,
+    qos: Qos,
+    static_ok: bool,
+}
+
 struct Search<'a> {
     system: &'a mut StreamSystem,
     request: &'a Request,
     order: Vec<VertexId>,
+    /// Per vertex: incoming `(edge index, predecessor vertex)` pairs.
+    preds: Vec<Vec<(usize, VertexId)>>,
+    /// Per vertex: the discovery result with cached per-candidate facts.
+    cands: Vec<Vec<CandInfo>>,
+    /// Per vertex: end-system resource demand.
+    demands: Vec<ResourceVector>,
     assignment: Vec<Option<ComponentId>>,
     links: Vec<Option<SharedPath>>,
     accumulated: Vec<Qos>,
-    node_used: HashMap<OverlayNodeId, ResourceVector>,
-    link_used: HashMap<OverlayLinkId, f64>,
+    /// Availability snapshots by node/link index (ground truth is frozen
+    /// during the search); actual availability = snapshot − used.
+    node_avail: Vec<ResourceVector>,
+    link_avail: Vec<f64>,
+    node_used: Vec<ResourceVector>,
+    link_used: Vec<f64>,
+    /// Per-depth reusable move buffers (the DFS visits each depth many
+    /// times; recycling keeps the allocation out of the hot path).
+    move_pool: Vec<Vec<Move>>,
     phi: f64,
     best_phi: f64,
     best: Option<(Vec<ComponentId>, Vec<SharedPath>, f64)>,
@@ -151,67 +223,66 @@ impl Search<'_> {
             return;
         }
         let vertex = self.order[depth];
-        let mut moves = self.feasible_moves(vertex);
+        let mut moves = self.feasible_moves(depth, vertex);
         // Best-first: descending into the cheapest candidate early makes
         // the φ-dominance bound effective.
         moves.sort_by(|a, b| a.delta_phi.total_cmp(&b.delta_phi));
-        for m in moves {
+        for m in &moves {
             if self.phi + m.delta_phi >= self.best_phi {
                 break; // sorted: every later move is at least as expensive
             }
-            self.apply(vertex, &m);
+            self.apply(vertex, m);
             self.dfs(depth + 1);
-            self.undo(vertex, &m);
+            self.undo(vertex, m);
             if self.expansions >= self.max_expansions {
-                return;
+                break;
             }
         }
+        moves.clear();
+        self.move_pool[depth] = moves;
     }
 
     /// Enumerates qualified candidate moves at `vertex` (Eqs. 6–8 with
     /// precise state, adjusted for this partial composition's own usage).
-    fn feasible_moves(&mut self, vertex: VertexId) -> Vec<Move> {
-        let function = self.request.graph.function(vertex);
-        let demand = self.request.vertex_demand(self.system.registry(), vertex);
-        let preds: Vec<(usize, ComponentId, Qos)> = self
-            .request
-            .graph
-            .edges()
-            .iter()
-            .enumerate()
-            .filter(|(_, &(_, v))| v == vertex)
-            .map(|(e, &(u, _))| (e, self.assignment[u].expect("topo order"), self.accumulated[u]))
-            .collect();
-        let candidates: Vec<ComponentId> = self.system.candidates(function).to_vec();
-        let mut moves = Vec::new();
-        'candidates: for c in candidates {
+    fn feasible_moves(&mut self, depth: usize, vertex: VertexId) -> Vec<Move> {
+        let mut moves = std::mem::take(&mut self.move_pool[depth]);
+        let demand = self.demands[vertex];
+        let b = self.request.bandwidth_kbps;
+        let n_preds = self.preds[vertex].len();
+        let n_cands = self.cands[vertex].len();
+        'candidates: for ci in 0..n_cands {
             self.expansions += 1;
             if self.expansions >= self.max_expansions {
                 break;
             }
-            {
-                let component = self.system.component(c);
-                if !component.accepts_rate(self.request.stream_rate_kbps)
-                    || !self.request.constraints.admits(&component.attributes)
-                {
-                    continue;
-                }
+            let cand = self.cands[vertex][ci];
+            if !cand.static_ok {
+                continue;
+            }
+            let c = cand.id;
+            // Resources, net of this partial composition's own usage —
+            // cheapest filter first, and it needs no path lookups.
+            let avail =
+                self.node_avail[c.node.index()].saturating_sub(&self.node_used[c.node.index()]);
+            if !avail.dominates(&demand) {
+                continue;
             }
             // Virtual links from each predecessor.
-            let mut incoming = Vec::with_capacity(preds.len());
-            for &(e, p, _) in &preds {
+            let mut incoming = Vec::with_capacity(n_preds);
+            for pi in 0..n_preds {
+                let (e, u) = self.preds[vertex][pi];
+                let p = self.assignment[u].expect("topo order");
                 match self.system.virtual_path(p.node, c.node) {
                     Some(path) => incoming.push((e, path)),
                     None => continue 'candidates,
                 }
             }
             // Arrival QoS (critical path over incoming branches).
-            let cand_qos = self.system.effective_component_qos(c);
-            let mut arrival = cand_qos;
-            if !preds.is_empty() {
+            let mut arrival = cand.qos;
+            if n_preds > 0 {
                 let mut worst = Qos::ZERO;
-                for (i, &(_, _, acc)) in preds.iter().enumerate() {
-                    let path = &incoming[i].1;
+                for (&(_, u), (_, path)) in self.preds[vertex].iter().zip(&incoming) {
+                    let acc = self.accumulated[u];
                     let q = acc + Qos::new(path.delay, LossRate::from_probability(path.loss_rate));
                     if q.delay > worst.delay {
                         worst.delay = q.delay;
@@ -220,19 +291,12 @@ impl Search<'_> {
                         worst.loss = q.loss;
                     }
                 }
-                arrival = worst + cand_qos;
+                arrival = worst + cand.qos;
             }
             if !arrival.satisfies(&self.request.qos) {
                 continue;
             }
-            // Resources, net of this partial composition's own usage.
-            let prior = self.node_used.get(&c.node).copied().unwrap_or(ResourceVector::ZERO);
-            let avail = self.system.node_available(c.node).saturating_sub(&prior);
-            if !avail.dominates(&demand) {
-                continue;
-            }
-            // Bandwidth per incoming virtual link + φ link terms.
-            let b = self.request.bandwidth_kbps;
+            // Bandwidth per incoming virtual link + φ terms.
             let mut delta_phi = 0.0;
             for (kind, r) in demand.iter() {
                 if r > 0.0 {
@@ -249,8 +313,7 @@ impl Search<'_> {
                 }
                 let mut ba = f64::INFINITY;
                 for &l in &path.links {
-                    let used = self.link_used.get(&l).copied().unwrap_or(0.0);
-                    ba = ba.min(self.system.link_available(l) - used);
+                    ba = ba.min(self.link_avail[l.index()] - self.link_used[l.index()]);
                 }
                 if ba < b {
                     continue 'candidates;
@@ -268,31 +331,28 @@ impl Search<'_> {
     }
 
     fn apply(&mut self, vertex: VertexId, m: &Move) {
-        let demand = self.request.vertex_demand(self.system.registry(), vertex);
         self.assignment[vertex] = Some(m.component);
         self.accumulated[vertex] = m.arrival;
-        *self.node_used.entry(m.component.node).or_insert(ResourceVector::ZERO) += demand;
+        self.node_used[m.component.node.index()] += self.demands[vertex];
         for (e, path) in &m.incoming {
             self.links[*e] = Some(path.clone());
             for &l in &path.links {
-                *self.link_used.entry(l).or_insert(0.0) += self.request.bandwidth_kbps;
+                self.link_used[l.index()] += self.request.bandwidth_kbps;
             }
         }
         self.phi += m.delta_phi;
     }
 
     fn undo(&mut self, vertex: VertexId, m: &Move) {
-        let demand = self.request.vertex_demand(self.system.registry(), vertex);
+        let demand = self.demands[vertex];
         self.assignment[vertex] = None;
-        if let Some(used) = self.node_used.get_mut(&m.component.node) {
-            *used = used.saturating_sub(&demand);
-        }
+        let used = &mut self.node_used[m.component.node.index()];
+        *used = used.saturating_sub(&demand);
         for (e, path) in &m.incoming {
             self.links[*e] = None;
             for &l in &path.links {
-                if let Some(used) = self.link_used.get_mut(&l) {
-                    *used = (*used - self.request.bandwidth_kbps).max(0.0);
-                }
+                let used = &mut self.link_used[l.index()];
+                *used = (*used - self.request.bandwidth_kbps).max(0.0);
             }
         }
         self.phi -= m.delta_phi;

@@ -129,7 +129,12 @@ pub fn probe_compose<R: Rng + ?Sized>(
     // figure-scale workload runs this loop thousands of times, and the
     // per-hop vectors/sets below otherwise reallocate on every vertex.
     let mut proposals: Vec<(usize, usize, crate::selection::CandidatePlan)> = Vec::new();
-    let mut contexts: Vec<HopContext<'_>> = Vec::new();
+    // Predecessor arena: all probes' `(edge, component, acc)` triples for
+    // the current vertex live contiguously in `pred_buf`; `pred_ranges`
+    // maps probe index → its slice. Hop contexts borrow from the arena, so
+    // advancing a vertex allocates nothing per probe.
+    let mut pred_buf: Vec<(usize, ComponentId, Qos)> = Vec::new();
+    let mut pred_ranges: Vec<(usize, usize)> = Vec::new();
     let mut probed: std::collections::HashSet<ComponentId> = std::collections::HashSet::new();
     let mut next_frontier: Vec<crate::probe::Probe> = Vec::new();
     let mut scratch = SelectionScratch::default();
@@ -143,31 +148,29 @@ pub fn probe_compose<R: Rng + ?Sized>(
         }
         .min(config.max_live_probes);
 
-        // Every live probe proposes its ranked candidate plans.
+        // Every live probe proposes its ranked candidate plans. First
+        // gather all probes' assigned predecessors — (edge index,
+        // component, acc) — into the arena, then run selection borrowing
+        // slices of it.
         proposals.clear();
-        contexts.clear();
-        for (probe_idx, probe) in frontier.iter().enumerate() {
-            // Gather assigned predecessors: (edge index, component, acc).
-            let predecessors: Vec<(usize, ComponentId, Qos)> = request
-                .graph
-                .edges()
-                .iter()
-                .enumerate()
-                .filter(|(_, &(u, v))| {
-                    v == vertex && {
-                        debug_assert!(probe.assignment[u].is_some(), "topological order violated");
-                        true
-                    }
-                })
-                .map(|(e, &(u, _))| {
-                    (
+        pred_buf.clear();
+        pred_ranges.clear();
+        for probe in &frontier {
+            let start = pred_buf.len();
+            for (e, &(u, v)) in request.graph.edges().iter().enumerate() {
+                if v == vertex {
+                    debug_assert!(probe.assignment[u].is_some(), "topological order violated");
+                    pred_buf.push((
                         e,
                         probe.assignment[u].expect("predecessor assigned in topo order"),
                         probe.accumulated[u].expect("accumulated set with assignment"),
-                    )
-                })
-                .collect();
-            let ctx = HopContext { request, vertex, predecessors };
+                    ));
+                }
+            }
+            pred_ranges.push((start, pred_buf.len()));
+        }
+        for (probe_idx, &(s, e)) in pred_ranges.iter().enumerate() {
+            let ctx = HopContext { request, vertex, predecessors: &pred_buf[s..e] };
             let plans = select_candidates_with(
                 system,
                 board,
@@ -182,7 +185,6 @@ pub fn probe_compose<R: Rng + ?Sized>(
             for (rank, plan) in plans.into_iter().enumerate() {
                 proposals.push((rank, probe_idx, plan));
             }
-            contexts.push(ctx);
         }
         // Fill the per-function quota best-rank-first, breaking rank ties
         // by the proposing probe's accumulated risk; at most one probe is
@@ -204,7 +206,8 @@ pub fn probe_compose<R: Rng + ?Sized>(
             if !probed.insert(plan.component) {
                 continue; // candidate already probed for this request
             }
-            let ctx = &contexts[probe_idx];
+            let (s, e) = pred_ranges[probe_idx];
+            let ctx = HopContext { request, vertex, predecessors: &pred_buf[s..e] };
             let probe = &frontier[probe_idx];
 
             // Spawn and forward the probe (one hop message).
@@ -214,7 +217,7 @@ pub fn probe_compose<R: Rng + ?Sized>(
             // --- per-hop processing at the candidate's node, against
             // --- precise local state ---
             let cand_qos = system.effective_component_qos(plan.component);
-            let acc = arrival_accumulated(&plan, ctx, cand_qos);
+            let acc = arrival_accumulated(&plan, &ctx, cand_qos);
             let demand = request.vertex_demand(system.registry(), vertex);
             let avail = system.node_available(plan.component.node);
             let link_avail = plan

@@ -56,8 +56,9 @@ pub struct HopContext<'a> {
     /// The vertex being assigned at this hop.
     pub vertex: VertexId,
     /// Already-assigned predecessors: `(graph edge index, component,
-    /// accumulated QoS at that predecessor)`.
-    pub predecessors: Vec<(usize, ComponentId, Qos)>,
+    /// accumulated QoS at that predecessor)`. Borrowed so the probing
+    /// loop can carve contexts out of one reusable arena.
+    pub predecessors: &'a [(usize, ComponentId, Qos)],
 }
 
 /// The number of candidates to probe for a function with `k` candidates at
@@ -143,8 +144,10 @@ pub fn select_candidates_with<R: Rng + ?Sized>(
                 let Some(plan) = plan_for(system, c, ctx) else { continue };
                 // Coarse states from the board. Candidates the board has
                 // not learnt about yet (freshly migrated) are skipped —
-                // they become visible after their node's next update.
-                let Some(cand_qos) = board.component_qos(c) else { continue };
+                // they become visible after their node's next update. The
+                // dense-id lookup is a flat array read, no hashing.
+                let Some(dense) = system.dense_of(c) else { continue };
+                let Some(cand_qos) = board.component_qos_dense(dense) else { continue };
                 let avail = board.node_available(c.node);
                 let (link_qos, link_avail, acc) = incoming_summary(board, &plan, ctx);
                 if is_unqualified(
@@ -197,7 +200,7 @@ pub fn select_candidates_with<R: Rng + ?Sized>(
 /// predecessor. `None` when some predecessor cannot reach the candidate.
 fn plan_for(system: &mut StreamSystem, component: ComponentId, ctx: &HopContext<'_>) -> Option<CandidatePlan> {
     let mut incoming = Vec::with_capacity(ctx.predecessors.len());
-    for &(edge, pred, _) in &ctx.predecessors {
+    for &(edge, pred, _) in ctx.predecessors {
         let path = system.virtual_path(pred.node, component.node)?;
         incoming.push((edge, path));
     }
@@ -309,7 +312,7 @@ mod tests {
     fn ranked_selection_respects_quota_and_function() {
         let (mut sys, board) = build();
         let request = request_for(&sys);
-        let ctx = HopContext { request: &request, vertex: 0, predecessors: vec![] };
+        let ctx = HopContext { request: &request, vertex: 0, predecessors: &[] };
         let mut rng = StdRng::seed_from_u64(1);
         let mut stats = OverheadStats::new();
         let k = sys.candidates(request.graph.function(0)).len();
@@ -328,7 +331,7 @@ mod tests {
     fn random_selection_skips_board() {
         let (mut sys, board) = build();
         let request = request_for(&sys);
-        let ctx = HopContext { request: &request, vertex: 0, predecessors: vec![] };
+        let ctx = HopContext { request: &request, vertex: 0, predecessors: &[] };
         let mut rng = StdRng::seed_from_u64(2);
         let mut stats = OverheadStats::new();
         let plans = select_candidates(&mut sys, &board, &ctx, HopSelection::Random, 0.5, 0.05, &mut rng, &mut stats);
@@ -343,7 +346,7 @@ mod tests {
         let f = request.graph.function(0);
         let mut rng = StdRng::seed_from_u64(3);
         let mut stats = OverheadStats::new();
-        let ctx = HopContext { request: &request, vertex: 0, predecessors: vec![] };
+        let ctx = HopContext { request: &request, vertex: 0, predecessors: &[] };
         let plans = select_candidates(&mut sys, &board, &ctx, HopSelection::Ranked, 0.3, 0.05, &mut rng, &mut stats);
         let quota = probe_quota(sys.candidates(f).len(), 0.3);
         assert_eq!(plans.len(), quota.min(plans.len()));
@@ -363,7 +366,7 @@ mod tests {
         let ctx = HopContext {
             request: &request,
             vertex: 1,
-            predecessors: vec![(0, first, Qos::ZERO)],
+            predecessors: &[(0, first, Qos::ZERO)],
         };
         let mut rng = StdRng::seed_from_u64(4);
         let mut stats = OverheadStats::new();
@@ -387,7 +390,7 @@ mod tests {
         let (mut sys, board) = build();
         let mut request = request_for(&sys);
         request.stream_rate_kbps = 1e12; // no interface accepts this
-        let ctx = HopContext { request: &request, vertex: 0, predecessors: vec![] };
+        let ctx = HopContext { request: &request, vertex: 0, predecessors: &[] };
         let mut rng = StdRng::seed_from_u64(5);
         let mut stats = OverheadStats::new();
         let plans = select_candidates(&mut sys, &board, &ctx, HopSelection::Ranked, 1.0, 0.05, &mut rng, &mut stats);
@@ -411,7 +414,7 @@ mod tests {
         let ctx = HopContext {
             request: &request,
             vertex: 1,
-            predecessors: vec![
+            predecessors: &[
                 (0, ComponentId::new(OverlayNodeId(0), 0), slow),
                 (1, ComponentId::new(OverlayNodeId(0), 1), fast),
             ],

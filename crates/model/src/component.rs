@@ -34,6 +34,29 @@ impl std::fmt::Display for ComponentId {
     }
 }
 
+/// Dense per-system component index, assigned by
+/// [`crate::system::StreamSystem`] at deployment time and never reused.
+/// Migration deploys the component under a **new** dense id (the old one
+/// becomes a tombstone), so a dense id always names one immutable
+/// `(node, slot, incarnation)`. Flat `Vec`-indexed stores (the global
+/// state board's component QoS table) use it in place of a
+/// `HashMap<ComponentId, _>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DenseComponentId(pub u32);
+
+impl DenseComponentId {
+    /// The id as a `Vec` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for DenseComponentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
 /// A deployed stream-processing component.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Component {

@@ -55,7 +55,7 @@ pub mod system;
 
 /// One-stop imports for downstream crates.
 pub mod prelude {
-    pub use crate::component::{Component, ComponentId};
+    pub use crate::component::{Component, ComponentId, DenseComponentId};
     pub use crate::constraints::{
         ComponentAttributes, LicenseClass, LicenseClassOrDefault, LicenseSet, PlacementConstraints,
         SecurityLevel,

@@ -7,8 +7,6 @@
 //! * **Congestion function** `V(c_i)` (Eq. 10) — per-candidate load
 //!   measure, the tie-breaker among low-risk candidates.
 
-use std::collections::HashMap;
-
 use acp_topology::{OverlayLinkId, OverlayNodeId, OverlayPath};
 
 use crate::composition::Composition;
@@ -39,11 +37,19 @@ pub fn congestion_aggregation(system: &StreamSystem, request: &Request, composit
 
     // End-system terms, grouping per node so that co-located components of
     // this composition see the availability left by the previous ones.
-    let mut used_on_node: HashMap<OverlayNodeId, ResourceVector> = HashMap::new();
+    // A composition touches a handful of nodes/links: small linear-scan
+    // vecs beat hash maps here.
+    let mut used_on_node: Vec<(OverlayNodeId, ResourceVector)> = Vec::with_capacity(request.graph.len());
     for v in request.graph.vertices() {
         let id = composition.assignment[v];
         let demand = request.vertex_demand(system.registry(), v);
-        let prior = used_on_node.entry(id.node).or_insert(ResourceVector::ZERO);
+        let prior = match used_on_node.iter_mut().find(|(n, _)| *n == id.node) {
+            Some((_, r)) => r,
+            None => {
+                used_on_node.push((id.node, ResourceVector::ZERO));
+                &mut used_on_node.last_mut().expect("just pushed").1
+            }
+        };
         let avail = system.node_available(id.node).saturating_sub(prior);
         for (kind, r) in demand.iter() {
             let ra = avail.get(kind);
@@ -61,7 +67,7 @@ pub fn congestion_aggregation(system: &StreamSystem, request: &Request, composit
     // Virtual-link terms: Σ b / ba with ba the bottleneck availability of
     // the virtual link after accounting for this composition's own prior
     // claims on shared overlay links.
-    let mut used_on_link: HashMap<OverlayLinkId, f64> = HashMap::new();
+    let mut used_on_link: Vec<(OverlayLinkId, f64)> = Vec::new();
     let b = request.bandwidth_kbps;
     for path in &composition.links {
         if path.is_colocated() {
@@ -69,7 +75,7 @@ pub fn congestion_aggregation(system: &StreamSystem, request: &Request, composit
         }
         let mut ba = f64::INFINITY;
         for &l in &path.links {
-            let prior = used_on_link.get(&l).copied().unwrap_or(0.0);
+            let prior = used_on_link.iter().find(|(x, _)| *x == l).map_or(0.0, |&(_, u)| u);
             ba = ba.min(system.link_available(l) - prior);
         }
         if b > 0.0 {
@@ -79,7 +85,10 @@ pub fn congestion_aggregation(system: &StreamSystem, request: &Request, composit
             phi += b / ba;
         }
         for &l in &path.links {
-            *used_on_link.entry(l).or_insert(0.0) += b;
+            match used_on_link.iter_mut().find(|(x, _)| *x == l) {
+                Some((_, u)) => *u += b,
+                None => used_on_link.push((l, b)),
+            }
         }
     }
     phi

@@ -194,6 +194,14 @@ impl StreamNode {
         Some(self.transient.swap_remove(idx).amount)
     }
 
+    /// Releases every transient reservation held by `request` (any
+    /// component). Returns how many reservations were dropped.
+    pub fn release_request_transients(&mut self, request: u64) -> usize {
+        let before = self.transient.len();
+        self.transient.retain(|t| t.key.request != request);
+        before - self.transient.len()
+    }
+
     /// Converts `key`'s transient reservation into a permanent commitment
     /// ("the confirmation message makes transient resource allocation
     /// permanent", §3.3 step 4). Returns the committed amount, or `None`

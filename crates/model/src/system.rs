@@ -12,7 +12,7 @@ use acp_simcore::SimTime;
 use acp_topology::{Overlay, OverlayLinkId, OverlayNodeId, OverlayPath, SharedPath};
 use rand::Rng;
 
-use crate::component::{Component, ComponentId};
+use crate::component::{Component, ComponentId, DenseComponentId};
 use crate::composition::Composition;
 use crate::constraints::{ComponentAttributes, LicenseClass, LicenseClassOrDefault, SecurityLevel};
 use crate::function::{FunctionId, FunctionRegistry};
@@ -135,6 +135,17 @@ pub struct StreamSystem {
     sessions: HashMap<SessionId, Session>,
     next_session: u64,
     load_delay_factor: f64,
+    /// Per-node change counters: bumped on every mutation observable
+    /// through [`Self::node_available`] / the node's component list
+    /// (admission, teardown, transients, failure, migration). Incremental
+    /// state maintenance skips nodes whose counter it has already seen.
+    node_versions: Vec<u64>,
+    /// Per-link change counters, mirroring `node_versions` for bandwidth.
+    link_versions: Vec<u64>,
+    /// Per node, per slot: the slot's [`DenseComponentId`] value, or
+    /// `u32::MAX` for tombstones. Dense ids are never reused.
+    dense_ids: Vec<Vec<u32>>,
+    dense_count: u32,
 }
 
 impl std::fmt::Debug for StreamSystem {
@@ -269,7 +280,7 @@ impl StreamSystem {
             nodes.push(StreamNode::new(v, capacity, components));
         }
 
-        let links = overlay
+        let links: Vec<LinkState> = overlay
             .links()
             .map(|l| LinkState {
                 capacity_kbps: overlay.link_props(l).bandwidth_kbps,
@@ -278,8 +289,26 @@ impl StreamSystem {
             })
             .collect();
 
+        let mut dense_count = 0u32;
+        let dense_ids: Vec<Vec<u32>> = nodes
+            .iter()
+            .map(|node| {
+                (0..node.component_count())
+                    .map(|_| {
+                        let d = dense_count;
+                        dense_count += 1;
+                        d
+                    })
+                    .collect()
+            })
+            .collect();
+
         StreamSystem {
             registry,
+            node_versions: vec![0; nodes.len()],
+            link_versions: vec![0; links.len()],
+            dense_ids,
+            dense_count,
             overlay,
             nodes,
             links,
@@ -288,6 +317,52 @@ impl StreamSystem {
             next_session: 0,
             load_delay_factor: config.load_delay_factor,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Change tracking and dense component indices
+    // ------------------------------------------------------------------
+
+    /// Per-node change counters. A node's counter is bumped by every
+    /// mutation observable through [`Self::node_available`],
+    /// [`Self::effective_component_qos`], or its component list, so a
+    /// consumer holding a previously seen counter value may skip the node
+    /// entirely: its state is bit-identical to the last look.
+    pub fn node_versions(&self) -> &[u64] {
+        &self.node_versions
+    }
+
+    /// Per-link change counters; see [`Self::node_versions`].
+    pub fn link_versions(&self) -> &[u64] {
+        &self.link_versions
+    }
+
+    /// Total dense component ids ever assigned (live + tombstoned).
+    /// Dense-indexed side tables size themselves by this.
+    pub fn dense_component_count(&self) -> usize {
+        self.dense_count as usize
+    }
+
+    /// The dense index of a live component, or `None` for unknown /
+    /// undeployed ids. A migrated component gets a fresh dense id on its
+    /// new node; the old id is never reused.
+    pub fn dense_of(&self, id: ComponentId) -> Option<DenseComponentId> {
+        self.dense_ids
+            .get(id.node.index())?
+            .get(id.slot as usize)
+            .copied()
+            .filter(|&d| d != u32::MAX)
+            .map(DenseComponentId)
+    }
+
+    #[inline]
+    fn touch_node(&mut self, v: OverlayNodeId) {
+        self.node_versions[v.index()] += 1;
+    }
+
+    #[inline]
+    fn touch_link_index(&mut self, i: usize) {
+        self.link_versions[i] += 1;
     }
 
     /// The function catalogue.
@@ -395,13 +470,23 @@ impl StreamSystem {
         expires: SimTime,
     ) -> bool {
         let key = ReservationKey { request: request.0, component };
-        self.nodes[component.node.index()].reserve_transient(key, amount, expires)
+        let node = &mut self.nodes[component.node.index()];
+        // An idempotent re-reservation only refreshes the expiry — no
+        // observable availability change, so the version stays put.
+        let before = node.transient_count();
+        let ok = node.reserve_transient(key, amount, expires);
+        if ok && node.transient_count() != before {
+            self.touch_node(component.node);
+        }
+        ok
     }
 
     /// Releases the transient reservation for `(request, component)`.
     pub fn release_component_transient(&mut self, request: RequestId, component: ComponentId) {
         let key = ReservationKey { request: request.0, component };
-        self.nodes[component.node.index()].release_transient(key);
+        if self.nodes[component.node.index()].release_transient(key).is_some() {
+            self.touch_node(component.node);
+        }
     }
 
     /// Transiently reserves `kbps` along every overlay link of `path` for
@@ -428,13 +513,15 @@ impl StreamSystem {
             }
         }
         for &l in &path.links {
-            let state = &mut self.links[l.index()];
+            let i = l.index();
+            let state = &mut self.links[i];
             if let Some(existing) = state.transient.iter_mut().find(|t| t.key == key) {
                 if expires > existing.expires {
                     existing.expires = expires;
                 }
             } else {
                 state.transient.push(LinkTransient { key, kbps, expires });
+                self.touch_link_index(i);
             }
         }
         true
@@ -443,8 +530,12 @@ impl StreamSystem {
     /// Releases all transient bandwidth held by `(request, edge)`.
     pub fn release_path_transient(&mut self, request: RequestId, edge: usize) {
         let key = LinkReservationKey { request: request.0, edge };
-        for state in &mut self.links {
+        for (i, state) in self.links.iter_mut().enumerate() {
+            let before = state.transient.len();
             state.transient.retain(|t| t.key != key);
+            if state.transient.len() != before {
+                self.link_versions[i] += 1;
+            }
         }
     }
 
@@ -452,12 +543,19 @@ impl StreamSystem {
     /// or before `now`. Returns the number dropped.
     pub fn expire_transients(&mut self, now: SimTime) -> usize {
         let mut dropped = 0;
-        for node in &mut self.nodes {
-            dropped += node.expire_transients(now);
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let d = node.expire_transients(now);
+            if d > 0 {
+                self.node_versions[i] += 1;
+            }
+            dropped += d;
         }
-        for state in &mut self.links {
+        for (i, state) in self.links.iter_mut().enumerate() {
             let before = state.transient.len();
             state.transient.retain(|t| t.expires > now);
+            if state.transient.len() != before {
+                self.link_versions[i] += 1;
+            }
             dropped += before - state.transient.len();
         }
         dropped
@@ -466,14 +564,17 @@ impl StreamSystem {
     /// Releases **all** transient reservations belonging to `request`
     /// (dropped probes, failed compositions).
     pub fn release_request_transients(&mut self, request: RequestId) {
-        for node in &mut self.nodes {
-            let ids: Vec<ComponentId> = node.components().map(|c| c.id).collect();
-            for id in ids {
-                node.release_transient(ReservationKey { request: request.0, component: id });
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            if node.release_request_transients(request.0) > 0 {
+                self.node_versions[i] += 1;
             }
         }
-        for state in &mut self.links {
+        for (i, state) in self.links.iter_mut().enumerate() {
+            let before = state.transient.len();
             state.transient.retain(|t| t.key.request != request.0);
+            if state.transient.len() != before {
+                self.link_versions[i] += 1;
+            }
         }
     }
 
@@ -507,13 +608,11 @@ impl StreamSystem {
             return Err(AdmissionError::QosViolated);
         }
         // Eq. 4 — end-system resources, grouped per node so co-located
-        // components of this request share availability correctly.
-        let mut per_node: HashMap<OverlayNodeId, ResourceVector> = HashMap::new();
-        for v in request.graph.vertices() {
-            let id = composition.assignment[v];
-            let demand = request.vertex_demand(&self.registry, v);
-            *per_node.entry(id.node).or_insert(ResourceVector::ZERO) += demand;
-        }
+        // components of this request share availability correctly. A
+        // composition touches only a handful of nodes/links, so linear
+        // scans over small vecs beat hash maps here (and keep iteration
+        // order deterministic).
+        let per_node = group_node_demand(self, request, composition);
         for (node, demand) in &per_node {
             // Own transient holds are counted as *unavailable*; releasing
             // them before committing (as `commit_session` does) can only
@@ -524,10 +623,7 @@ impl StreamSystem {
         }
         // Eq. 5 — bandwidth per overlay link (a link may carry several
         // edges of the same composition).
-        let mut per_link: HashMap<OverlayLinkId, f64> = HashMap::new();
-        for (_, l) in composition.overlay_links() {
-            *per_link.entry(l).or_insert(0.0) += request.bandwidth_kbps;
-        }
+        let per_link = group_link_demand(request, composition);
         for (link, demand) in &per_link {
             if self.link_available(*link) < *demand {
                 return Err(AdmissionError::InsufficientBandwidth { link: *link });
@@ -552,26 +648,16 @@ impl StreamSystem {
         self.qualify(request, &composition)?;
 
         // Group node demand and link demand (validated above), then apply.
-        let mut per_node: HashMap<OverlayNodeId, ResourceVector> = HashMap::new();
-        for v in request.graph.vertices() {
-            let id = composition.assignment[v];
-            *per_node.entry(id.node).or_insert(ResourceVector::ZERO) +=
-                request.vertex_demand(&self.registry, v);
-        }
-        let mut node_allocs = Vec::with_capacity(per_node.len());
-        for (node, demand) in per_node {
+        let node_allocs = group_node_demand(self, request, &composition);
+        for &(node, demand) in &node_allocs {
             let ok = self.nodes[node.index()].commit(demand);
             debug_assert!(ok, "qualify() guaranteed feasibility");
-            node_allocs.push((node, demand));
+            self.touch_node(node);
         }
-        let mut per_link: HashMap<OverlayLinkId, f64> = HashMap::new();
-        for (_, l) in composition.overlay_links() {
-            *per_link.entry(l).or_insert(0.0) += request.bandwidth_kbps;
-        }
-        let mut link_allocs = Vec::with_capacity(per_link.len());
-        for (link, kbps) in per_link {
+        let link_allocs = group_link_demand(request, &composition);
+        for &(link, kbps) in &link_allocs {
             self.links[link.index()].committed_kbps += kbps;
-            link_allocs.push((link, kbps));
+            self.touch_link_index(link.index());
         }
 
         let id = SessionId(self.next_session);
@@ -598,10 +684,12 @@ impl StreamSystem {
         };
         for (node, amount) in &session.node_allocs {
             self.nodes[node.index()].release(*amount);
+            self.node_versions[node.index()] += 1;
         }
         for (link, kbps) in &session.link_allocs {
             let state = &mut self.links[link.index()];
             state.committed_kbps = (state.committed_kbps - kbps).max(0.0);
+            self.link_versions[link.index()] += 1;
         }
         true
     }
@@ -617,7 +705,11 @@ impl StreamSystem {
     /// request specifications (for failover recomposition).
     pub fn fail_node(&mut self, v: OverlayNodeId) -> (Vec<ComponentId>, Vec<Request>) {
         let undeployed: Vec<Component> = self.nodes[v.index()].fail();
+        self.touch_node(v);
         let undeployed_ids: Vec<ComponentId> = undeployed.iter().map(|c| c.id).collect();
+        for id in &undeployed_ids {
+            self.dense_ids[v.index()][id.slot as usize] = u32::MAX;
+        }
         for component in &undeployed {
             if let Some(entry) = self.discovery.get_mut(&component.function) {
                 entry.retain(|&c| c != component.id);
@@ -648,6 +740,7 @@ impl StreamSystem {
     /// redeployed (e.g. via [`Self::migrate_component`]).
     pub fn recover_node(&mut self, v: OverlayNodeId) {
         self.nodes[v.index()].recover();
+        self.touch_node(v);
     }
 
     /// True when the node's processing plane is failed.
@@ -691,9 +784,18 @@ impl StreamSystem {
         if self.nodes[to.index()].is_failed() {
             return Err(MigrationError::TargetFailed);
         }
-        // Undeploy, re-deploy, fix the discovery index.
+        // Undeploy, re-deploy, fix the discovery and dense indices.
         let taken = self.nodes[id.node.index()].undeploy(id.slot).expect("checked live");
         let new_id = self.nodes[to.index()].deploy_with(|new_id| Component { id: new_id, ..taken });
+        self.dense_ids[id.node.index()][id.slot as usize] = u32::MAX;
+        let slots = &mut self.dense_ids[to.index()];
+        if slots.len() <= new_id.slot as usize {
+            slots.resize(new_id.slot as usize + 1, u32::MAX);
+        }
+        slots[new_id.slot as usize] = self.dense_count;
+        self.dense_count += 1;
+        self.touch_node(id.node);
+        self.touch_node(to);
         let entry = self.discovery.entry(component.function).or_default();
         entry.retain(|&c| c != id);
         entry.push(new_id);
@@ -714,6 +816,39 @@ impl StreamSystem {
     pub fn sessions(&self) -> impl Iterator<Item = &Session> {
         self.sessions.values()
     }
+}
+
+/// Groups a composition's per-vertex demand by hosting node, in graph
+/// order. A composition touches only a handful of nodes, so a linear scan
+/// beats a hash map and keeps iteration deterministic.
+fn group_node_demand(
+    system: &StreamSystem,
+    request: &Request,
+    composition: &Composition,
+) -> Vec<(OverlayNodeId, ResourceVector)> {
+    let mut grouped: Vec<(OverlayNodeId, ResourceVector)> = Vec::with_capacity(request.graph.len());
+    for v in request.graph.vertices() {
+        let node = composition.assignment[v].node;
+        let demand = request.vertex_demand(&system.registry, v);
+        match grouped.iter_mut().find(|(n, _)| *n == node) {
+            Some((_, total)) => *total += demand,
+            None => grouped.push((node, demand)),
+        }
+    }
+    grouped
+}
+
+/// Groups a composition's bandwidth demand by overlay link (a link may
+/// carry several edges of the same composition), in edge order.
+fn group_link_demand(request: &Request, composition: &Composition) -> Vec<(OverlayLinkId, f64)> {
+    let mut grouped: Vec<(OverlayLinkId, f64)> = Vec::new();
+    for (_, l) in composition.overlay_links() {
+        match grouped.iter_mut().find(|(x, _)| *x == l) {
+            Some((_, total)) => *total += request.bandwidth_kbps,
+            None => grouped.push((l, request.bandwidth_kbps)),
+        }
+    }
+    grouped
 }
 
 fn sample_attributes<R: Rng + ?Sized>(rng: &mut R, config: &SystemConfig) -> ComponentAttributes {

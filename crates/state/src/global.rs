@@ -23,11 +23,53 @@ pub struct GlobalStateConfig {
     /// (paper: 0.10 — "update is triggered when the value variation of a
     /// resource or QoS metric exceeds 10 % of its maximum value").
     pub threshold: f64,
+    /// Skip nodes/links whose [`StreamSystem`] change counter is
+    /// unchanged since the board's last look. An untouched entry's ground
+    /// truth is bit-identical to what the previous scan already compared
+    /// against, so the published values and message counts are **exactly**
+    /// those of a full scan — only the scan work differs. `false` forces
+    /// the full rescan (the equivalence baseline).
+    pub incremental: bool,
 }
 
 impl Default for GlobalStateConfig {
     fn default() -> Self {
-        GlobalStateConfig { threshold: 0.10 }
+        GlobalStateConfig { threshold: 0.10, incremental: true }
+    }
+}
+
+/// Scan-effort counters: entries visited vs. entries the dirty tracking
+/// allowed the board to skip. Purely observational — identical published
+/// state either way.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Nodes actually compared against their published state.
+    pub nodes_scanned: u64,
+    /// Node visits a full scan would have performed.
+    pub nodes_total: u64,
+    /// Links actually compared during aggregation rounds.
+    pub links_scanned: u64,
+    /// Link visits a full scan would have performed.
+    pub links_total: u64,
+}
+
+impl ScanStats {
+    /// Fraction of node entries skipped (`0.0` when nothing ran).
+    pub fn node_skip_rate(&self) -> f64 {
+        if self.nodes_total == 0 {
+            0.0
+        } else {
+            1.0 - self.nodes_scanned as f64 / self.nodes_total as f64
+        }
+    }
+
+    /// Fraction of link entries skipped (`0.0` when nothing ran).
+    pub fn link_skip_rate(&self) -> f64 {
+        if self.links_total == 0 {
+            0.0
+        } else {
+            1.0 - self.links_scanned as f64 / self.links_total as f64
+        }
     }
 }
 
@@ -37,9 +79,19 @@ pub struct GlobalStateBoard {
     config: GlobalStateConfig,
     node_available: Vec<ResourceVector>,
     node_capacity: Vec<ResourceVector>,
-    component_qos: std::collections::HashMap<ComponentId, Qos>,
+    /// Published component QoS, indexed by [`DenseComponentId`]. `None`
+    /// for dense ids the board has not (or no longer) published.
+    component_qos: Vec<Option<Qos>>,
+    /// Per node: the published component list as `(slot, dense id)`
+    /// pairs, mirroring the node's component list as of its last publish.
+    published: Vec<Vec<(u16, u32)>>,
     link_available: Vec<f64>,
     link_capacity: Vec<f64>,
+    /// Last [`StreamSystem::node_versions`] values this board compared
+    /// against; unchanged counters mean a rescan would publish nothing.
+    seen_node_versions: Vec<u64>,
+    seen_link_versions: Vec<u64>,
+    scan: ScanStats,
     update_messages: u64,
     aggregation_rounds: u64,
     aggregation_cursor: u32,
@@ -52,13 +104,18 @@ impl GlobalStateBoard {
         let n = system.node_count();
         let mut node_available = Vec::with_capacity(n);
         let mut node_capacity = Vec::with_capacity(n);
-        let mut component_qos = std::collections::HashMap::new();
+        let mut component_qos = vec![None; system.dense_component_count()];
+        let mut published = Vec::with_capacity(n);
         for v in system.overlay().nodes() {
             node_available.push(system.node_available(v));
             node_capacity.push(system.node(v).capacity());
+            let mut list = Vec::new();
             for c in system.node(v).components() {
-                component_qos.insert(c.id, system.effective_component_qos(c.id));
+                let dense = system.dense_of(c.id).expect("live component has a dense id");
+                component_qos[dense.index()] = Some(system.effective_component_qos(c.id));
+                list.push((c.id.slot, dense.0));
             }
+            published.push(list);
         }
         let link_available: Vec<f64> = system.overlay().links().map(|l| system.link_available(l)).collect();
         let link_capacity: Vec<f64> = system.overlay().links().map(|l| system.link_capacity(l)).collect();
@@ -67,8 +124,12 @@ impl GlobalStateBoard {
             node_available,
             node_capacity,
             component_qos,
+            published,
             link_available,
             link_capacity,
+            seen_node_versions: system.node_versions().to_vec(),
+            seen_link_versions: system.link_versions().to_vec(),
+            scan: ScanStats::default(),
             update_messages: 0,
             aggregation_rounds: 0,
             aggregation_cursor: 0,
@@ -88,8 +149,20 @@ impl GlobalStateBoard {
     /// Coarse QoS of component `c` as of its node's last published
     /// update. `None` for components the board has not yet learnt about
     /// (e.g. freshly migrated ones before their node's next update).
+    ///
+    /// Resolves the slot through the node's published list, so a slot
+    /// reused by a *different* component after a migration correctly
+    /// reads as unknown rather than aliasing the old occupant's QoS.
     pub fn component_qos(&self, c: ComponentId) -> Option<Qos> {
-        self.component_qos.get(&c).copied()
+        let list = self.published.get(c.node.index())?;
+        let &(_, dense) = list.iter().find(|&&(slot, _)| slot == c.slot)?;
+        self.component_qos[dense as usize]
+    }
+
+    /// Coarse QoS of the component with dense id `d` — the allocation-free
+    /// hot-path lookup used by candidate selection.
+    pub fn component_qos_dense(&self, d: DenseComponentId) -> Option<Qos> {
+        self.component_qos.get(d.index()).copied().flatten()
     }
 
     /// Coarse available bandwidth of overlay link `l`.
@@ -114,9 +187,23 @@ impl GlobalStateBoard {
     /// any resource dimension or component QoS metric moved more than
     /// `threshold × maximum`. Returns the number of update messages sent.
     pub fn refresh_nodes(&mut self, system: &StreamSystem) -> u64 {
+        // Migrations append fresh dense ids; grow the dense-indexed store
+        // to cover them (new slots start unpublished).
+        if self.component_qos.len() < system.dense_component_count() {
+            self.component_qos.resize(system.dense_component_count(), None);
+        }
+        let versions = system.node_versions();
         let mut messages = 0;
         for v in system.overlay().nodes() {
             let i = v.index();
+            self.scan.nodes_total += 1;
+            if self.config.incremental && self.seen_node_versions[i] == versions[i] {
+                // Unchanged since our last comparison ⇒ a rescan would
+                // find exactly the state it already declined to publish.
+                continue;
+            }
+            self.scan.nodes_scanned += 1;
+            self.seen_node_versions[i] = versions[i];
             let actual = system.node_available(v);
             let published = self.node_available[i];
             let cap = self.node_capacity[i];
@@ -130,8 +217,10 @@ impl GlobalStateBoard {
                 // deployment changes (new/undeployed components are always
                 // significant).
                 for comp in system.node(v).components() {
+                    let dense = system.dense_of(comp.id).expect("live component has a dense id");
+                    let known = self.published[i].contains(&(comp.id.slot, dense.0));
                     let actual_q = system.effective_component_qos(comp.id);
-                    match self.component_qos.get(&comp.id) {
+                    match self.component_qos[dense.index()].filter(|_| known) {
                         None => {
                             significant = true; // newly deployed here
                             break;
@@ -154,8 +243,7 @@ impl GlobalStateBoard {
                 // Undeployment (migration away) is also always
                 // significant: the published list has entries the node no
                 // longer hosts.
-                let published = self.component_qos.keys().filter(|id| id.node == v).count();
-                if published != system.node(v).component_count() {
+                if self.published[i].len() != system.node(v).component_count() {
                     significant = true;
                 }
             }
@@ -163,9 +251,14 @@ impl GlobalStateBoard {
                 self.node_available[i] = actual;
                 // Re-publish this node's full component list; drop stale
                 // entries for components that left the node.
-                self.component_qos.retain(|id, _| id.node != v);
+                for &(_, dense) in &self.published[i] {
+                    self.component_qos[dense as usize] = None;
+                }
+                self.published[i].clear();
                 for comp in system.node(v).components() {
-                    self.component_qos.insert(comp.id, system.effective_component_qos(comp.id));
+                    let dense = system.dense_of(comp.id).expect("live component has a dense id");
+                    self.component_qos[dense.index()] = Some(system.effective_component_qos(comp.id));
+                    self.published[i].push((comp.id.slot, dense.0));
                 }
                 messages += 1;
             }
@@ -181,9 +274,16 @@ impl GlobalStateBoard {
     /// once. The aggregation role rotates round-robin "for load sharing".
     /// Returns the number of messages.
     pub fn aggregate_links(&mut self, system: &StreamSystem) -> u64 {
+        let versions = system.link_versions();
         let mut messages = 0;
         for l in system.overlay().links() {
             let i = l.index();
+            self.scan.links_total += 1;
+            if self.config.incremental && self.seen_link_versions[i] == versions[i] {
+                continue;
+            }
+            self.scan.links_scanned += 1;
+            self.seen_link_versions[i] = versions[i];
             let actual = system.link_available(l);
             let max = self.link_capacity[i];
             if max > 0.0 && (actual - self.link_available[i]).abs() > self.config.threshold * max {
@@ -223,6 +323,12 @@ impl GlobalStateBoard {
     /// The configured publish threshold.
     pub fn config(&self) -> &GlobalStateConfig {
         &self.config
+    }
+
+    /// Cumulative scan-effort counters (entries visited vs. a full scan's
+    /// visit count) since construction.
+    pub fn scan_stats(&self) -> ScanStats {
+        self.scan
     }
 }
 
@@ -365,9 +471,48 @@ mod tests {
     #[test]
     fn zero_threshold_publishes_everything() {
         let mut sys = build();
-        let mut board = GlobalStateBoard::new(&sys, GlobalStateConfig { threshold: 0.0 });
+        let mut board =
+            GlobalStateBoard::new(&sys, GlobalStateConfig { threshold: 0.0, ..Default::default() });
         load_some_node(&mut sys, 1, false);
         let msgs = board.refresh_nodes(&sys);
         assert!(msgs >= 1, "zero threshold behaves like precise maintenance");
+    }
+
+    #[test]
+    fn incremental_matches_full_scan() {
+        let mut sys = build();
+        let mut full =
+            GlobalStateBoard::new(&sys, GlobalStateConfig { incremental: false, ..Default::default() });
+        let mut inc = GlobalStateBoard::new(&sys, GlobalStateConfig::default());
+        // Interleave mutations with refreshes/aggregations and check the
+        // two boards publish the same values and message counts.
+        for round in 0..4u64 {
+            load_some_node(&mut sys, round + 1, round % 2 == 0);
+            if round == 2 {
+                sys.expire_transients(acp_simcore::SimTime::ZERO);
+            }
+            assert_eq!(full.refresh_nodes(&sys), inc.refresh_nodes(&sys), "round {round}");
+            assert_eq!(full.aggregate_links(&sys), inc.aggregate_links(&sys), "round {round}");
+            for v in sys.overlay().nodes() {
+                assert_eq!(full.node_available(v), inc.node_available(v));
+                for c in sys.node(v).components() {
+                    assert_eq!(full.component_qos(c.id), inc.component_qos(c.id));
+                    assert_eq!(
+                        inc.component_qos(c.id),
+                        inc.component_qos_dense(sys.dense_of(c.id).expect("dense")),
+                    );
+                }
+            }
+            for l in sys.overlay().links() {
+                assert_eq!(full.link_available(l), inc.link_available(l));
+            }
+            assert_eq!(full.update_messages(), inc.update_messages());
+        }
+        let full_scan = full.scan_stats();
+        let inc_scan = inc.scan_stats();
+        assert_eq!(full_scan.nodes_scanned, full_scan.nodes_total, "full scan visits everything");
+        assert_eq!(inc_scan.nodes_total, full_scan.nodes_total);
+        assert!(inc_scan.nodes_scanned < inc_scan.nodes_total, "incremental skips untouched nodes");
+        assert!(inc_scan.links_scanned < inc_scan.links_total, "incremental skips untouched links");
     }
 }

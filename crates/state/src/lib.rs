@@ -18,5 +18,5 @@
 pub mod global;
 pub mod local;
 
-pub use global::{GlobalStateBoard, GlobalStateConfig};
+pub use global::{GlobalStateBoard, GlobalStateConfig, ScanStats};
 pub use local::{LocalStateView, OutOfScope};

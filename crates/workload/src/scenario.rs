@@ -15,7 +15,7 @@ use acp_simcore::{
     DeterministicRng, EventQueue, Histogram, Model, SimDuration, SimTime, Simulation, TimeSeries,
     WindowedCounter,
 };
-use acp_state::{GlobalStateBoard, GlobalStateConfig};
+use acp_state::{GlobalStateBoard, GlobalStateConfig, ScanStats};
 use acp_topology::{InetConfig, Overlay, OverlayConfig};
 use rand::rngs::StdRng;
 
@@ -148,6 +148,37 @@ pub struct ScenarioResult {
     /// Hit/miss counters of the overlay's virtual-path memo over the
     /// whole run.
     pub path_cache: acp_topology::PathCacheStats,
+    /// Board scan-effort counters: state entries visited vs. what full
+    /// scans would have visited.
+    pub state_scans: ScanStats,
+    /// Virtual-link aggregation rounds completed.
+    pub aggregation_rounds: u64,
+    /// Order-independent digest of the final session table (ids, request
+    /// ids, component assignments) — for byte-level equivalence checks
+    /// between maintenance modes.
+    pub session_digest: u64,
+}
+
+/// FNV-1a digest over the sorted session table: session id, request id,
+/// and every assigned component. Two runs that composed identically end
+/// with equal digests.
+pub fn session_digest(system: &StreamSystem) -> u64 {
+    let mut sessions: Vec<_> = system.sessions().collect();
+    sessions.sort_by_key(|s| s.id.0);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    };
+    for s in &sessions {
+        mix(s.id.0);
+        mix(s.request.0);
+        for c in &s.composition.assignment {
+            mix(c.node.index() as u64);
+            mix(u64::from(c.slot));
+        }
+    }
+    h
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -378,6 +409,9 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
         probe_messages_per_minute: model.overhead.probe_messages as f64 / minutes,
         overhead: model.overhead,
         final_sessions: model.system.session_count(),
+        state_scans: model.board.scan_stats(),
+        aggregation_rounds: model.board.aggregation_rounds(),
+        session_digest: session_digest(&model.system),
         profiling_runs: model.tuner.as_ref().map_or(0, |t| t.profiling_runs()),
         probe_histogram: model.probe_histogram,
         path_cache: model.system.path_cache_stats(),

@@ -16,4 +16,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> determinism regression (sequential vs 4 threads)"
 cargo test -q -p acp-bench --test determinism
 
+echo "==> incremental-vs-full global-state equivalence regression"
+cargo test -q -p acp-bench --test equivalence
+
+echo "==> criterion benches compile"
+cargo bench --workspace --no-run
+
 echo "All checks passed."
