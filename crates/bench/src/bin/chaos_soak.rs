@@ -1,0 +1,71 @@
+//! Chaos soak: churn grid plus one long fault-injected run, with the
+//! system auditor re-checking every invariant throughout.
+//!
+//! ```text
+//! cargo run -p acp-bench --release --bin chaos_soak -- --scale quick --seed 42
+//! cargo run -p acp-bench --release --bin chaos_soak -- --smoke
+//! ```
+//!
+//! `--smoke` runs the quick-scale grid only (no long soak) and exits
+//! non-zero on any audit violation — the CI gate used by
+//! `scripts/check.sh`.
+
+use acp_bench::{chaos_grid, chaos_table, soak, write_results, Scale};
+
+fn main() {
+    let mut scale_name = String::from("quick");
+    let mut seed: u64 = 42;
+    let mut out = std::path::PathBuf::from("target/experiments");
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--scale" => scale_name = args.next().expect("--scale needs a value"),
+            "--seed" => {
+                seed = args.next().expect("--seed needs a value").parse().expect("seed must be u64");
+            }
+            "--out" => out = std::path::PathBuf::from(args.next().expect("--out needs a value")),
+            "--smoke" => smoke = true,
+            "--help" | "-h" => {
+                eprintln!("usage: [--scale quick|paper] [--seed N] [--out DIR] [--smoke]");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let scale = Scale::from_name(&scale_name);
+    eprintln!("running chaos grid at scale '{}' (seed {})…", scale.name, seed);
+    let start = std::time::Instant::now();
+    let cells = chaos_grid(&scale, seed);
+    let table = chaos_table(&scale, &cells);
+    println!("{}", table.render());
+
+    let grid_violations: u64 = cells.iter().map(|c| c.audit_violations).sum();
+    let mut soak_violations = 0u64;
+    if !smoke {
+        let minutes = if scale.name == "paper" { 150 } else { 60 };
+        eprintln!("soaking {} simulated minutes at 2x churn…", minutes);
+        let result = soak(&scale, seed, 2.0, minutes);
+        soak_violations = result.audit_violations;
+        println!(
+            "soak: {} events, {} faults ({} classes), {}/{} sessions recovered, \
+             {} audit violations, chaos digest {:016x}",
+            result.sim_events,
+            result.fault_events,
+            result.fault_kinds,
+            result.sessions_recovered,
+            result.sessions_killed,
+            result.audit_violations,
+            result.chaos_digest(),
+        );
+        write_results(&out, &format!("chaos-{}", scale.name), &[table]).expect("write results");
+    }
+
+    eprintln!("done in {:.1}s", start.elapsed().as_secs_f64());
+    if grid_violations + soak_violations > 0 {
+        eprintln!("AUDIT FAILED: {} violations", grid_violations + soak_violations);
+        std::process::exit(1);
+    }
+    eprintln!("audit clean across {} grid cells", cells.len());
+}

@@ -1,0 +1,193 @@
+//! Chaos-soak grid: composition under scheduled fault injection.
+//!
+//! The paper evaluates composition on a healthy overlay; this module
+//! stresses the same algorithms while nodes fail-stop, virtual links
+//! die or degrade, and components crash on the schedule of a seeded
+//! [`FaultPlan`](acp_simcore::FaultPlan). Each grid cell is one
+//! scenario at a `(stream nodes × churn multiplier)` point, run on the
+//! deterministic parallel driver: the whole grid is a pure function of
+//! `(scale, seed)` and byte-identical at any worker-thread count.
+//!
+//! Reported per cell: composition success under churn, how many
+//! sessions faults killed, the share recovered by the failover sweep,
+//! mean fault-to-recomposition latency, and — the point of the
+//! exercise — the [`SystemAuditor`](acp_model::audit::SystemAuditor)
+//! violation count, which must be zero for every cell.
+
+use acp_simcore::SimDuration;
+use acp_workload::{ChurnConfig, RateSchedule, ScenarioConfig, ScenarioResult};
+
+use crate::experiments::Scale;
+use crate::parallel::{run_indexed, thread_count};
+use crate::report::Table;
+
+/// One chaos-grid cell: measurements of a single churn scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosCell {
+    /// Stream-node count of the overlay.
+    pub nodes: usize,
+    /// Fault-rate multiplier applied to [`ChurnConfig::default`].
+    pub churn: f64,
+    /// Composition success rate over the run.
+    pub success: f64,
+    /// Faults in the generated plan.
+    pub fault_events: usize,
+    /// Distinct fault classes the plan contains.
+    pub fault_kinds: usize,
+    /// Sessions terminated by faults.
+    pub killed: u64,
+    /// Fault-terminated sessions recomposed by the failover sweep.
+    pub recovered: u64,
+    /// Mean fault-to-recomposition latency (seconds; 0 when nothing
+    /// recovered).
+    pub recovery_mean_s: f64,
+    /// Background migrations performed by the rebalancer.
+    pub migrations: u64,
+    /// Audit violations across every audit pass (must be 0).
+    pub audit_violations: u64,
+    /// Combined session + audit + fault-plan digest of the run.
+    pub chaos_digest: u64,
+    /// Simulation events handled over the run.
+    pub sim_events: u64,
+}
+
+impl ChaosCell {
+    fn from_result(nodes: usize, churn: f64, result: &ScenarioResult) -> Self {
+        ChaosCell {
+            nodes,
+            churn,
+            success: result.overall_success,
+            fault_events: result.fault_events,
+            fault_kinds: result.fault_kinds,
+            killed: result.sessions_killed,
+            recovered: result.sessions_recovered,
+            recovery_mean_s: result.recovery_latency.mean().unwrap_or(0.0),
+            migrations: result.migrations,
+            audit_violations: result.audit_violations,
+            chaos_digest: result.chaos_digest(),
+            sim_events: result.sim_events,
+        }
+    }
+}
+
+/// Churn multipliers of the grid's fault-rate axis.
+pub const CHURN_LEVELS: [f64; 3] = [0.5, 1.0, 2.0];
+
+/// The scenario of one chaos-grid cell (also the soak configuration
+/// when given a longer duration): the scale's base config at the
+/// anchor request rate with churn enabled at `churn` times the default
+/// fault rates.
+pub fn chaos_config(scale: &Scale, seed: u64, nodes: usize, churn: f64) -> ScenarioConfig {
+    let mut config = scale.base_config(seed);
+    config.stream_nodes = nodes;
+    config.schedule = RateSchedule::constant(scale.anchor_rate);
+    config.churn = Some(ChurnConfig::default().scaled(churn));
+    config
+}
+
+/// Runs the chaos grid — every `scale.node_counts` overlay size at
+/// every [`CHURN_LEVELS`] fault-rate multiplier — and returns the cells
+/// in grid order (node-major).
+pub fn chaos_grid(scale: &Scale, seed: u64) -> Vec<ChaosCell> {
+    chaos_grid_threads(scale, seed, thread_count())
+}
+
+/// [`chaos_grid`] with an explicit worker-thread count. Output depends
+/// only on `(scale, seed)`, never on `threads`.
+pub fn chaos_grid_threads(scale: &Scale, seed: u64, threads: usize) -> Vec<ChaosCell> {
+    let streams = acp_simcore::DeterministicRng::new(seed);
+    let points: Vec<(usize, f64)> = scale
+        .node_counts
+        .iter()
+        .flat_map(|&nodes| CHURN_LEVELS.iter().map(move |&churn| (nodes, churn)))
+        .collect();
+    run_indexed(threads, &points, |i, &(nodes, churn)| {
+        let config = chaos_config(scale, streams.seed_for_indexed("chaos", i as u64), nodes, churn);
+        let result = acp_workload::run_scenario(config);
+        ChaosCell::from_result(nodes, churn, &result)
+    })
+}
+
+/// Renders the grid as a report table (one row per cell).
+pub fn chaos_table(scale: &Scale, cells: &[ChaosCell]) -> Table {
+    let mut table = Table::new(
+        format!("Chaos soak grid ({} scale): success and recovery under churn", scale.name),
+        vec![
+            "nodes",
+            "churn",
+            "success %",
+            "faults",
+            "killed",
+            "recovered",
+            "lost",
+            "recovery s",
+            "migrations",
+            "audit violations",
+        ],
+    );
+    for c in cells {
+        table.push_row(vec![
+            format!("{}", c.nodes),
+            format!("{:.1}x", c.churn),
+            format!("{:.1}", c.success * 100.0),
+            format!("{}", c.fault_events),
+            format!("{}", c.killed),
+            format!("{}", c.recovered),
+            format!("{}", c.killed - c.recovered),
+            format!("{:.2}", c.recovery_mean_s),
+            format!("{}", c.migrations),
+            format!("{}", c.audit_violations),
+        ]);
+    }
+    table
+}
+
+/// One long high-rate churn run (the "soak"): `minutes` of simulated
+/// time at three times the scale's anchor rate so the event count is
+/// dominated by real work, with churn at `churn` times the default
+/// fault rates. The acceptance bar: tens of thousands of events,
+/// several concurrent fault classes, zero audit violations.
+pub fn soak(scale: &Scale, seed: u64, churn: f64, minutes: u64) -> ScenarioResult {
+    let mut config = chaos_config(scale, seed, scale.stream_nodes, churn);
+    config.schedule = RateSchedule::constant(scale.anchor_rate * 3.0);
+    config.duration = SimDuration::from_minutes(minutes);
+    acp_workload::run_scenario(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_config_enables_churn() {
+        let scale = Scale::quick();
+        let config = chaos_config(&scale, 42, 30, 2.0);
+        assert_eq!(config.stream_nodes, 30);
+        let churn = config.churn.expect("churn enabled");
+        assert!((churn.faults.node_fail_per_min - ChurnConfig::default().faults.node_fail_per_min * 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_has_one_row_per_cell() {
+        let scale = Scale::quick();
+        let cells = vec![
+            ChaosCell {
+                nodes: 30,
+                churn: 1.0,
+                success: 0.9,
+                fault_events: 12,
+                fault_kinds: 4,
+                killed: 5,
+                recovered: 4,
+                recovery_mean_s: 2.0,
+                migrations: 1,
+                audit_violations: 0,
+                chaos_digest: 7,
+                sim_events: 1000,
+            };
+            4
+        ];
+        let table = chaos_table(&scale, &cells);
+        assert_eq!(table.to_csv().lines().count(), 5, "header + 4 rows");
+    }
+}

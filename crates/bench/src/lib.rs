@@ -5,6 +5,9 @@
 //!
 //! * [`experiments`] — one function per figure (5–8), parameterised by a
 //!   [`experiments::Scale`] (`paper` or `quick`).
+//! * [`chaos`] — the chaos-soak grid: the same scenarios under seeded
+//!   fault injection, with the system auditor re-checking every
+//!   conservation invariant throughout (`chaos_soak` binary).
 //! * [`parallel`] — the deterministic work-queue driver fanning sweep
 //!   points over worker threads (`ACP_BENCH_THREADS` overrides the
 //!   count); outputs are byte-identical to a sequential run.
@@ -22,11 +25,13 @@
 //! `benches/`.
 
 pub mod ablation;
+pub mod chaos;
 pub mod experiments;
 pub mod parallel;
 pub mod report;
 
 pub use ablation::{ablation_bcp, ablation_risk_epsilon, ablation_state_threshold, ablation_tuning};
+pub use chaos::{chaos_grid, chaos_grid_threads, chaos_table, soak, ChaosCell};
 pub use experiments::{
     fig5, fig5_threads, fig6, fig6_threads, fig7, fig7_threads, fig8, fig8_threads, Scale,
 };

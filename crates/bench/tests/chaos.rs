@@ -1,0 +1,97 @@
+//! Chaos-harness acceptance tests: the fault schedule and the audit
+//! trail are a pure function of the seed (identical at any thread
+//! count), and the invariant auditor stays clean through figure-style
+//! workloads and a long mixed-fault soak.
+
+use acp_bench::chaos::{chaos_config, chaos_grid_threads, soak};
+use acp_bench::experiments::{run_point, Scale};
+use acp_core::prelude::AlgorithmKind;
+use acp_simcore::{FaultPlan, FaultPlanConfig, SimDuration};
+use acp_workload::{run_scenario, ChurnConfig};
+
+/// A deliberately tiny scale so the grid finishes in seconds while
+/// still sweeping several (nodes × churn) cells.
+fn tiny_scale() -> Scale {
+    let mut scale = Scale::quick();
+    scale.duration = SimDuration::from_minutes(6);
+    scale.node_counts = vec![30, 50];
+    scale.anchor_rate = 10.0;
+    scale
+}
+
+#[test]
+fn fault_plan_is_deterministic() {
+    let config = FaultPlanConfig::default();
+    let horizon = SimDuration::from_minutes(60);
+    let a = FaultPlan::generate(99, &config, 50, 120, horizon);
+    let b = FaultPlan::generate(99, &config, 50, 120, horizon);
+    assert_eq!(a.digest(), b.digest());
+    assert_eq!(a.len(), b.len());
+    let c = FaultPlan::generate(100, &config, 50, 120, horizon);
+    assert_ne!(a.digest(), c.digest(), "seed must matter");
+}
+
+#[test]
+fn chaos_grid_is_identical_at_1_and_4_threads() {
+    let scale = tiny_scale();
+    let seed = 20_260_806;
+    let seq = chaos_grid_threads(&scale, seed, 1);
+    let par = chaos_grid_threads(&scale, seed, 4);
+    assert_eq!(seq, par, "grid differs between 1 and 4 threads");
+    // The comparison above covers every field, but the digests are the
+    // contract: fault schedule, session table, and audit trail all
+    // folded into one number per cell.
+    for (s, p) in seq.iter().zip(&par) {
+        assert_eq!(s.chaos_digest, p.chaos_digest);
+    }
+    assert!(seq.iter().any(|c| c.killed > 0), "churn must orphan some sessions");
+    assert!(seq.iter().all(|c| c.audit_violations == 0), "audits must be clean");
+}
+
+#[test]
+fn quick_figure_points_audit_clean() {
+    // Fig. 6/7-style sweep points (the auditor runs at every sampling
+    // period inside every scenario, faults or not).
+    let mut scale = tiny_scale();
+    scale.anchor_rate = 20.0;
+    for (algorithm, nodes) in [(AlgorithmKind::Acp, 50), (AlgorithmKind::Random, 30)] {
+        let result = run_point(&scale, 42, algorithm, scale.anchor_rate, nodes);
+        assert_eq!(result.audit_violations, 0, "{algorithm:?} at {nodes} nodes");
+        assert!(result.audit_digest != 0, "audit must have run");
+    }
+    // Fig. 8-style dynamic schedule with churn on top.
+    let mut config = chaos_config(&scale, 42, 50, 1.0);
+    config.schedule = scale.fig8_schedule.clone();
+    config.duration = SimDuration::from_minutes(12);
+    let result = run_scenario(config);
+    assert_eq!(result.audit_violations, 0);
+}
+
+#[test]
+fn soak_handles_10k_events_with_mixed_faults_cleanly() {
+    let mut scale = Scale::quick();
+    scale.duration = SimDuration::from_minutes(6);
+    let result = soak(&scale, 42, 2.0, 120);
+    assert!(result.sim_events >= 10_000, "soak too small: {} events", result.sim_events);
+    assert!(result.fault_kinds >= 3, "want >= 3 fault classes, got {}", result.fault_kinds);
+    assert!(result.sessions_killed > 0, "faults must orphan sessions at 2x churn");
+    assert_eq!(result.audit_violations, 0, "invariants must hold through the soak");
+    assert_eq!(
+        result.sessions_killed,
+        result.sessions_recovered + result.sessions_lost,
+        "orphan accounting must balance"
+    );
+}
+
+#[test]
+fn churn_config_scaling_scales_every_rate() {
+    let base = ChurnConfig::default();
+    let scaled = base.scaled(2.0);
+    assert!((scaled.faults.node_fail_per_min - base.faults.node_fail_per_min * 2.0).abs() < 1e-12);
+    assert!((scaled.faults.link_fail_per_min - base.faults.link_fail_per_min * 2.0).abs() < 1e-12);
+    assert!(
+        (scaled.faults.component_crash_per_min - base.faults.component_crash_per_min * 2.0).abs()
+            < 1e-12
+    );
+    assert_eq!(scaled.failover_delay, base.failover_delay);
+}

@@ -31,6 +31,12 @@ fn incremental_board_matches_full_scan_scenario() {
     // Identical composition results: every session (id, request,
     // component assignment) matches.
     assert_eq!(full.session_digest, inc.session_digest, "compositions diverged");
+    // …and identical audit trails: both modes must not only compose the
+    // same sessions but satisfy every audited invariant at the same
+    // points (the chaos digest folds audit + fault digests on top).
+    assert_eq!(full.audit_violations, 0, "full-scan run must audit clean");
+    assert_eq!(inc.audit_violations, 0, "incremental run must audit clean");
+    assert_eq!(full.chaos_digest(), inc.chaos_digest(), "audit trails diverged");
     assert_eq!(full.total_requests, inc.total_requests);
     assert_eq!(full.total_successes, inc.total_successes);
     assert_eq!(full.final_sessions, inc.final_sessions);

@@ -118,7 +118,67 @@ impl<C: Composer> Middleware<C> {
         // death is the loudest possible state variation).
         let msgs = self.board.refresh_nodes(&self.system);
         self.overhead.state_update_messages += msgs;
+        self.recompose(undeployed, orphaned, now)
+    }
 
+    /// Handles a node coming back online: its (empty) capacity rejoins
+    /// the admission pool and its forwarding plane rejoins the mesh. The
+    /// coarse state learns of the reborn capacity immediately.
+    pub fn handle_node_recovery(&mut self, node: acp_topology::OverlayNodeId) {
+        self.system.recover_node(node);
+        let msgs = self.board.refresh_nodes(&self.system);
+        self.overhead.state_update_messages += msgs;
+    }
+
+    /// Handles a virtual-link bandwidth fail-stop: sessions streaming
+    /// over the link are terminated and recomposed on routes around it.
+    /// An emergency aggregation round publishes the dead link's state.
+    pub fn handle_link_failure(&mut self, link: acp_topology::OverlayLinkId, now: SimTime) -> FailoverReport {
+        let orphaned = self.system.fail_link(link);
+        let msgs = self.board.aggregate_links(&self.system);
+        self.overhead.state_update_messages += msgs;
+        self.recompose(Vec::new(), orphaned, now)
+    }
+
+    /// Handles a link degradation to `factor` of nominal capacity:
+    /// sessions evicted by the shrunken link are recomposed elsewhere.
+    pub fn handle_link_degrade(
+        &mut self,
+        link: acp_topology::OverlayLinkId,
+        factor: f64,
+        now: SimTime,
+    ) -> FailoverReport {
+        let evicted = self.system.degrade_link(link, factor);
+        let msgs = self.board.aggregate_links(&self.system);
+        self.overhead.state_update_messages += msgs;
+        self.recompose(Vec::new(), evicted, now)
+    }
+
+    /// Handles a link coming back to nominal capacity.
+    pub fn handle_link_restore(&mut self, link: acp_topology::OverlayLinkId) {
+        self.system.restore_link(link);
+        let msgs = self.board.aggregate_links(&self.system);
+        self.overhead.state_update_messages += msgs;
+    }
+
+    /// Handles a single component crash (its node keeps running):
+    /// sessions using the component are terminated and recomposed on the
+    /// surviving candidates.
+    pub fn handle_component_crash(&mut self, id: ComponentId, now: SimTime) -> FailoverReport {
+        let orphaned = self.system.crash_component(id);
+        let msgs = self.board.refresh_nodes(&self.system);
+        self.overhead.state_update_messages += msgs;
+        self.recompose(vec![id], orphaned, now)
+    }
+
+    /// Recomposes each orphaned request on the surviving components,
+    /// splitting them into recovered and lost.
+    fn recompose(
+        &mut self,
+        undeployed: Vec<ComponentId>,
+        orphaned: Vec<Request>,
+        now: SimTime,
+    ) -> FailoverReport {
         let mut recovered = Vec::new();
         let mut lost = Vec::new();
         for request in orphaned {
@@ -130,6 +190,14 @@ impl<C: Composer> Middleware<C> {
             }
         }
         FailoverReport { undeployed, recovered, lost }
+    }
+
+    /// Audits the system invariants **and** the coarse view's structural
+    /// coherence in one pass.
+    pub fn audit(&self) -> AuditReport {
+        let mut report = SystemAuditor::default().audit(&self.system);
+        report.merge(AuditReport::from_violations(self.board.audit_against(&self.system)));
+        report
     }
 
     /// Periodic maintenance: expire transient reservations and run
@@ -306,6 +374,81 @@ mod tests {
         sys.recover_node(victim);
         assert!(!sys.is_node_failed(victim));
         assert!(sys.node_available(victim).cpu > 0.0);
+    }
+
+    #[test]
+    fn link_failure_fails_over_and_audits_clean() {
+        let mut mw = build();
+        for i in 0..10 {
+            let req = request(&mw, 400 + i);
+            mw.find(&req, SimTime::ZERO);
+        }
+        // Fail a link some session actually streams over, if any.
+        let used = mw
+            .system()
+            .sessions()
+            .flat_map(|s| s.link_allocations().iter().map(|&(l, _)| l))
+            .next();
+        let link = used.unwrap_or(acp_topology::OverlayLinkId(0));
+        let report = mw.handle_link_failure(link, SimTime::from_secs(1));
+        assert!(mw.system().is_link_failed(link));
+        assert_eq!(mw.system().link_available(link), 0.0);
+        if used.is_some() {
+            assert!(!report.recovered.is_empty() || !report.lost.is_empty());
+        }
+        // No recovered session streams over the dead link.
+        for &(_, sid) in &report.recovered {
+            assert!(!mw.system().session(sid).unwrap().uses_link(link));
+        }
+        let audit = mw.audit();
+        assert!(audit.is_clean(), "{audit}");
+        // Restore re-opens the bandwidth.
+        mw.handle_link_restore(link);
+        assert!(!mw.system().is_link_failed(link));
+        assert!(mw.audit().is_clean());
+    }
+
+    #[test]
+    fn component_crash_fails_over_sessions() {
+        let mut mw = build();
+        for i in 0..6 {
+            let req = request(&mw, 500 + i);
+            mw.find(&req, SimTime::ZERO);
+        }
+        let victim = mw
+            .system()
+            .sessions()
+            .flat_map(|s| s.composition.assignment.iter().copied())
+            .next()
+            .expect("sessions exist");
+        let report = mw.handle_component_crash(victim, SimTime::from_secs(1));
+        assert_eq!(report.undeployed, vec![victim]);
+        assert!(!report.recovered.is_empty() || !report.lost.is_empty());
+        // The crashed component serves nothing and is gone from discovery.
+        assert!(!mw.system().component_in_use(victim));
+        for f in mw.system().registry().ids() {
+            assert!(mw.system().candidates(f).iter().all(|&c| c != victim));
+        }
+        for &(_, sid) in &report.recovered {
+            let composition = &mw.system().session(sid).unwrap().composition;
+            assert!(!composition.assignment.contains(&victim));
+        }
+        let audit = mw.audit();
+        assert!(audit.is_clean(), "{audit}");
+    }
+
+    #[test]
+    fn node_recovery_rejoins_admission_and_mesh() {
+        let mut mw = build();
+        let victim = acp_topology::OverlayNodeId(1);
+        mw.handle_node_failure(victim, SimTime::ZERO);
+        assert!(mw.system().overlay().is_node_down(victim));
+        mw.handle_node_recovery(victim);
+        assert!(!mw.system().is_node_failed(victim));
+        assert!(!mw.system().overlay().is_node_down(victim));
+        assert!(mw.system().node_available(victim).cpu > 0.0);
+        let audit = mw.audit();
+        assert!(audit.is_clean(), "{audit}");
     }
 
     #[test]

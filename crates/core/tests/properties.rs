@@ -158,6 +158,78 @@ proptest! {
         );
     }
 
+    /// However hard it churns, the rebalancer never violates the
+    /// distinct-functions-per-node invariant (or any other audited
+    /// invariant): the [`SystemAuditor`] stays clean after every round.
+    #[test]
+    fn rebalancer_preserves_audited_invariants(
+        sys_seed in 0u64..4,
+        load_seed in any::<u64>(),
+        gap in 0.05f64..0.6,
+        rounds in 1usize..4,
+    ) {
+        let (mut system, board) = build(sys_seed);
+        // Put uneven load on the system so the rebalancer has work.
+        let mut composer = AcpComposer::new(ProbingConfig::default(), load_seed);
+        for i in 0..12u64 {
+            let request = random_request(&system, load_seed.wrapping_add(i), 100 + i);
+            let _ = composer.compose(&mut system, &board, &request, SimTime::ZERO);
+        }
+        let mut rebalancer = Rebalancer::new(RebalanceConfig {
+            min_utilization_gap: gap,
+            max_migrations_per_round: 6,
+        });
+        let auditor = SystemAuditor::default();
+        for _ in 0..rounds {
+            rebalancer.rebalance_round(&mut system);
+            let report = auditor.audit(&system);
+            prop_assert!(report.is_clean(), "audit after rebalance:\n{report}");
+        }
+    }
+
+    /// The rebalancer only ever moves *idle* components: every component
+    /// serving a live session keeps its exact identity (node and slot)
+    /// across any number of rounds.
+    #[test]
+    fn rebalancer_never_moves_serving_components(
+        sys_seed in 0u64..4,
+        load_seed in any::<u64>(),
+        rounds in 1usize..4,
+    ) {
+        let (mut system, board) = build(sys_seed);
+        let mut composer = AcpComposer::new(ProbingConfig::default(), load_seed);
+        for i in 0..12u64 {
+            let request = random_request(&system, load_seed.wrapping_add(i), 200 + i);
+            let _ = composer.compose(&mut system, &board, &request, SimTime::ZERO);
+        }
+        let serving: Vec<(SessionId, Vec<ComponentId>)> = system
+            .sessions()
+            .map(|s| (s.id, s.composition.assignment.clone()))
+            .collect();
+        let mut rebalancer = Rebalancer::new(RebalanceConfig {
+            min_utilization_gap: 0.05,
+            max_migrations_per_round: 8,
+        });
+        let mut moved = Vec::new();
+        for _ in 0..rounds {
+            moved.extend(rebalancer.rebalance_round(&mut system));
+        }
+        for (sid, assignment) in serving {
+            let session = system.session(sid).expect("rebalancing never ends sessions");
+            prop_assert_eq!(&session.composition.assignment, &assignment);
+            for id in assignment {
+                prop_assert!(
+                    system.node(id.node).component(id.slot).is_some(),
+                    "serving component {id} was tombstoned"
+                );
+                prop_assert!(
+                    moved.iter().all(|m| m.from != id),
+                    "rebalancer moved serving component {id}"
+                );
+            }
+        }
+    }
+
     /// Migration preserves the total candidate pool of every function.
     #[test]
     fn migration_conserves_candidates(sys_seed in 0u64..4, pick in any::<u64>()) {

@@ -1,0 +1,693 @@
+//! System-wide invariant auditing.
+//!
+//! [`SystemAuditor`] walks a [`StreamSystem`] and checks the paper's
+//! conservation constraints *as code* — the same Eqs. 2/4/5 the
+//! allocation engine enforces at admission time, re-derived from first
+//! principles after the fact. Chaos experiments run it after every
+//! mutation batch; a clean report means faults, failovers, and
+//! recompositions left the bookkeeping exactly consistent.
+//!
+//! What is checked:
+//!
+//! * **Node resources** (Eq. 4): committed + transient ≤ capacity; a
+//!   failed node holds nothing and hosts nothing.
+//! * **Conservation**: per node, the sum of live sessions' recorded
+//!   allocations equals the node's committed vector; per link, the sum
+//!   of sessions' bandwidth equals the link's committed kbit/s.
+//! * **Session coverage** (Eq. 2): every live session's assignment
+//!   matches its function graph — right function, live component,
+//!   non-failed host, compatible interface rate, admissible placement
+//!   attributes — and none of its virtual links crosses a failed link
+//!   or relays through a failed node.
+//! * **Distinct functions**: no node hosts two live components of the
+//!   same function.
+//! * **Dense-index coherence**: every live component has a dense id,
+//!   dense ids are unique, and all are below the dense counter.
+//! * **Fail-stop coherence**: a node's processing plane and its overlay
+//!   forwarding plane fail together.
+//! * **Path-cache purity**: no memoized virtual path traverses a failed
+//!   node (guarding the targeted invalidation of the route memo).
+//!
+//! End-to-end QoS (Eq. 3) is deliberately *not* re-audited: effective
+//! component delay inflates with node load, and the modelled system
+//! keeps admitted sessions running through such drift rather than
+//! tearing them down.
+
+use acp_topology::{OverlayLinkId, OverlayNodeId};
+
+use crate::component::ComponentId;
+use crate::function::FunctionId;
+use crate::resources::{ResourceKind, ResourceVector};
+use crate::system::{SessionId, StreamSystem};
+
+/// A single invariant violation found by [`SystemAuditor::audit`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuditViolation {
+    /// A node's committed + transient resources exceed its capacity
+    /// (Eq. 4 broken after the fact).
+    NodeOverCommitted {
+        /// The overloaded node.
+        node: OverlayNodeId,
+        /// Which resource dimension overflowed.
+        kind: ResourceKind,
+        /// Committed + transient on that dimension.
+        used: f64,
+        /// The node's capacity on that dimension.
+        capacity: f64,
+    },
+    /// A failed node still holds components, reservations, or
+    /// commitments.
+    FailedNodeActive {
+        /// The failed-but-active node.
+        node: OverlayNodeId,
+        /// What it still holds.
+        detail: &'static str,
+    },
+    /// A node hosts two live components of the same function.
+    DuplicateFunction {
+        /// The offending node.
+        node: OverlayNodeId,
+        /// The duplicated function.
+        function: FunctionId,
+    },
+    /// The dense component index disagrees with the live component set.
+    DenseIndex {
+        /// The component whose dense mapping is broken.
+        component: ComponentId,
+        /// How it is broken.
+        detail: &'static str,
+    },
+    /// A node's committed resources differ from the sum of live
+    /// sessions' recorded allocations on it.
+    NodeConservation {
+        /// The node whose books do not balance.
+        node: OverlayNodeId,
+        /// The unbalanced dimension.
+        kind: ResourceKind,
+        /// What the node records as committed.
+        committed: f64,
+        /// What the live sessions sum to.
+        expected: f64,
+    },
+    /// A link's committed bandwidth differs from the sum of live
+    /// sessions' recorded allocations on it.
+    LinkConservation {
+        /// The link whose books do not balance.
+        link: OverlayLinkId,
+        /// What the link records as committed (kbit/s).
+        committed: f64,
+        /// What the live sessions sum to (kbit/s).
+        expected: f64,
+    },
+    /// A link's committed bandwidth exceeds its (possibly degraded)
+    /// capacity (Eq. 5 broken after the fact).
+    LinkOverCommitted {
+        /// The saturated link.
+        link: OverlayLinkId,
+        /// Committed bandwidth (kbit/s).
+        committed: f64,
+        /// Current capacity (kbit/s).
+        capacity: f64,
+    },
+    /// A failed link reports available bandwidth.
+    FailedLinkCarries {
+        /// The failed link.
+        link: OverlayLinkId,
+        /// The bandwidth it still reports (kbit/s).
+        available: f64,
+    },
+    /// A live session's composition no longer covers its function graph
+    /// (Eq. 2): wrong function, dangling component, failed host,
+    /// incompatible rate, or inadmissible placement.
+    SessionCoverage {
+        /// The broken session.
+        session: SessionId,
+        /// The graph vertex whose assignment is broken (`usize::MAX`
+        /// when the composition shape itself is malformed).
+        vertex: usize,
+        /// How it is broken.
+        detail: &'static str,
+    },
+    /// A live session streams over a failed link or relays through a
+    /// failed node.
+    SessionOnFailedRoute {
+        /// The session that should have been terminated.
+        session: SessionId,
+        /// What its route crosses.
+        detail: &'static str,
+    },
+    /// The processing plane and forwarding plane of a node disagree
+    /// about being failed.
+    FailStopIncoherent {
+        /// The node whose two planes disagree.
+        node: OverlayNodeId,
+    },
+    /// A derived view (e.g. the global-state board) is structurally
+    /// incoherent with the system it mirrors. Staleness is *not* a
+    /// violation — coarse views are stale by design — but dangling
+    /// dense ids, mismatched table sizes, or regressed version counters
+    /// are.
+    ViewIncoherent {
+        /// Which view and how it is broken.
+        detail: String,
+    },
+    /// A memoized virtual path traverses a failed node.
+    CachedPathThroughFailed {
+        /// Memo key: path source.
+        from: OverlayNodeId,
+        /// Memo key: path destination.
+        to: OverlayNodeId,
+        /// The failed node on the cached path.
+        via: OverlayNodeId,
+    },
+}
+
+impl std::fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditViolation::NodeOverCommitted { node, kind, used, capacity } => {
+                write!(f, "{node}: {kind:?} over-committed ({used} of {capacity})")
+            }
+            AuditViolation::FailedNodeActive { node, detail } => {
+                write!(f, "{node}: failed but still holds {detail}")
+            }
+            AuditViolation::DuplicateFunction { node, function } => {
+                write!(f, "{node}: hosts {function} twice")
+            }
+            AuditViolation::DenseIndex { component, detail } => {
+                write!(f, "{component}: dense index {detail}")
+            }
+            AuditViolation::NodeConservation { node, kind, committed, expected } => {
+                write!(f, "{node}: {kind:?} committed {committed} but sessions sum to {expected}")
+            }
+            AuditViolation::LinkConservation { link, committed, expected } => {
+                write!(f, "link {}: committed {committed} but sessions sum to {expected}", link.0)
+            }
+            AuditViolation::LinkOverCommitted { link, committed, capacity } => {
+                write!(f, "link {}: committed {committed} exceeds capacity {capacity}", link.0)
+            }
+            AuditViolation::FailedLinkCarries { link, available } => {
+                write!(f, "link {}: failed but reports {available} kbit/s available", link.0)
+            }
+            AuditViolation::SessionCoverage { session, vertex, detail } => {
+                write!(f, "{session}: vertex {vertex} {detail}")
+            }
+            AuditViolation::SessionOnFailedRoute { session, detail } => {
+                write!(f, "{session}: routes over {detail}")
+            }
+            AuditViolation::FailStopIncoherent { node } => {
+                write!(f, "{node}: processing and forwarding planes disagree about failure")
+            }
+            AuditViolation::ViewIncoherent { detail } => {
+                write!(f, "derived view incoherent: {detail}")
+            }
+            AuditViolation::CachedPathThroughFailed { from, to, via } => {
+                write!(f, "cached path {from}->{to} traverses failed {via}")
+            }
+        }
+    }
+}
+
+/// The outcome of one [`SystemAuditor::audit`] pass.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    violations: Vec<AuditViolation>,
+}
+
+impl AuditReport {
+    /// Builds a report from externally collected violations (e.g. a
+    /// derived-view audit in another crate).
+    pub fn from_violations(violations: Vec<AuditViolation>) -> Self {
+        AuditReport { violations }
+    }
+
+    /// Appends another pass's violations to this report.
+    pub fn merge(&mut self, other: AuditReport) {
+        self.violations.extend(other.violations);
+    }
+
+    /// True when no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Number of violations found.
+    pub fn len(&self) -> usize {
+        self.violations.len()
+    }
+
+    /// True when the report carries no violations (mirrors
+    /// [`Self::is_clean`] for iterator-style call sites).
+    pub fn is_empty(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The violations, in deterministic audit order.
+    pub fn violations(&self) -> &[AuditViolation] {
+        &self.violations
+    }
+
+    /// FNV-1a digest over the rendered violations. Equal system states
+    /// produce equal digests regardless of thread count or HashMap
+    /// iteration order; a clean report digests to the FNV offset basis.
+    pub fn digest(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for v in &self.violations {
+            for byte in v.to_string().bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            hash ^= u64::from(b'\n');
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+}
+
+impl std::fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_clean() {
+            return write!(f, "audit clean");
+        }
+        writeln!(f, "audit found {} violation(s):", self.len())?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Re-derives and checks the system-wide invariants of a
+/// [`StreamSystem`].
+///
+/// # Example
+///
+/// ```
+/// use acp_model::prelude::*;
+/// use acp_model::audit::SystemAuditor;
+/// use acp_topology::{inet::InetConfig, overlay::{Overlay, OverlayConfig}};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let ip = InetConfig { nodes: 200, ..InetConfig::default() }.generate(&mut rng);
+/// let overlay = Overlay::build(&ip, &OverlayConfig { stream_nodes: 20, neighbors: 4 }, &mut rng);
+/// let system = StreamSystem::generate(
+///     overlay,
+///     FunctionRegistry::standard(),
+///     &SystemConfig::default(),
+///     &mut rng,
+/// );
+/// let report = SystemAuditor::default().audit(&system);
+/// assert!(report.is_clean(), "{report}");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SystemAuditor {
+    /// Absolute slack for capacity checks (the `1e-9`-style epsilon
+    /// previously scattered through tests).
+    pub epsilon: f64,
+    /// Relative slack for conservation sums, scaled by magnitude:
+    /// `|committed − Σ| ≤ epsilon + conservation_rtol · |Σ|`.
+    pub conservation_rtol: f64,
+}
+
+impl Default for SystemAuditor {
+    fn default() -> Self {
+        SystemAuditor { epsilon: 1e-6, conservation_rtol: 1e-9 }
+    }
+}
+
+impl SystemAuditor {
+    /// Audits every invariant, returning all violations found (in
+    /// deterministic order: nodes by index, links by index, sessions by
+    /// id, cached paths by key).
+    pub fn audit(&self, system: &StreamSystem) -> AuditReport {
+        let mut out = Vec::new();
+        self.audit_nodes(system, &mut out);
+        self.audit_conservation(system, &mut out);
+        self.audit_links(system, &mut out);
+        self.audit_sessions(system, &mut out);
+        self.audit_path_cache(system, &mut out);
+        AuditReport { violations: out }
+    }
+
+    fn audit_nodes(&self, system: &StreamSystem, out: &mut Vec<AuditViolation>) {
+        let mut seen_dense = vec![false; system.dense_component_count()];
+        for i in 0..system.node_count() {
+            let v = OverlayNodeId(i as u32);
+            let node = system.node(v);
+
+            // Eq. 4: committed + transient never exceed capacity.
+            let used = node.committed() + node.transient_total();
+            for (kind, amount) in used.iter() {
+                let cap = node.capacity().get(kind);
+                if amount > cap + self.epsilon {
+                    out.push(AuditViolation::NodeOverCommitted { node: v, kind, used: amount, capacity: cap });
+                }
+            }
+
+            // Fail-stop: a failed node holds nothing…
+            if node.is_failed() {
+                if node.component_count() > 0 {
+                    out.push(AuditViolation::FailedNodeActive { node: v, detail: "components" });
+                }
+                if node.transient_count() > 0 {
+                    out.push(AuditViolation::FailedNodeActive { node: v, detail: "transient reservations" });
+                }
+                if !node.committed().is_zero() {
+                    out.push(AuditViolation::FailedNodeActive { node: v, detail: "committed resources" });
+                }
+                if !node.available().is_zero() {
+                    out.push(AuditViolation::FailedNodeActive { node: v, detail: "available resources" });
+                }
+            }
+            // …and its forwarding plane fails with it.
+            if system.overlay().is_node_down(v) != node.is_failed() {
+                out.push(AuditViolation::FailStopIncoherent { node: v });
+            }
+
+            // Distinct functions per node.
+            let mut functions: Vec<FunctionId> = node.components().map(|c| c.function).collect();
+            functions.sort_unstable();
+            for pair in functions.windows(2) {
+                if pair[0] == pair[1] {
+                    out.push(AuditViolation::DuplicateFunction { node: v, function: pair[0] });
+                }
+            }
+
+            // Dense-index coherence for every live component.
+            for c in node.components() {
+                match system.dense_of(c.id) {
+                    None => out.push(AuditViolation::DenseIndex { component: c.id, detail: "missing for live component" }),
+                    Some(d) if d.0 as usize >= system.dense_component_count() => {
+                        out.push(AuditViolation::DenseIndex { component: c.id, detail: "beyond the dense counter" })
+                    }
+                    Some(d) => {
+                        if seen_dense[d.0 as usize] {
+                            out.push(AuditViolation::DenseIndex { component: c.id, detail: "shared by two live components" });
+                        }
+                        seen_dense[d.0 as usize] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Conservation: the session table is the ground truth for committed
+    /// resources; node and link books must agree with its sums.
+    fn audit_conservation(&self, system: &StreamSystem, out: &mut Vec<AuditViolation>) {
+        let mut node_sum = vec![ResourceVector::ZERO; system.node_count()];
+        let mut link_sum = vec![0.0f64; system.overlay().link_count()];
+        for s in sorted_sessions(system) {
+            for &(node, amount) in s.node_allocations() {
+                node_sum[node.index()] += amount;
+            }
+            for &(link, kbps) in s.link_allocations() {
+                link_sum[link.index()] += kbps;
+            }
+        }
+        for (i, expected) in node_sum.iter().enumerate() {
+            let v = OverlayNodeId(i as u32);
+            let committed = system.node(v).committed();
+            for (kind, want) in expected.iter() {
+                let got = committed.get(kind);
+                if (got - want).abs() > self.tolerance(want) {
+                    out.push(AuditViolation::NodeConservation { node: v, kind, committed: got, expected: want });
+                }
+            }
+        }
+        for (i, &want) in link_sum.iter().enumerate() {
+            let l = OverlayLinkId(i as u32);
+            let got = system.link_committed(l);
+            if (got - want).abs() > self.tolerance(want) {
+                out.push(AuditViolation::LinkConservation { link: l, committed: got, expected: want });
+            }
+        }
+    }
+
+    fn audit_links(&self, system: &StreamSystem, out: &mut Vec<AuditViolation>) {
+        for l in system.overlay().links() {
+            let committed = system.link_committed(l);
+            let capacity = system.link_capacity(l);
+            if committed > capacity + self.epsilon {
+                out.push(AuditViolation::LinkOverCommitted { link: l, committed, capacity });
+            }
+            if system.is_link_failed(l) && system.link_available(l) > 0.0 {
+                out.push(AuditViolation::FailedLinkCarries { link: l, available: system.link_available(l) });
+            }
+        }
+    }
+
+    fn audit_sessions(&self, system: &StreamSystem, out: &mut Vec<AuditViolation>) {
+        for s in sorted_sessions(system) {
+            let request = &s.request_spec;
+            if !s.composition.is_shape_valid(&request.graph) {
+                out.push(AuditViolation::SessionCoverage {
+                    session: s.id,
+                    vertex: usize::MAX,
+                    detail: "composition shape does not match the function graph",
+                });
+                continue;
+            }
+            // Eq. 2 per vertex, against the *live* component records.
+            for vertex in request.graph.vertices() {
+                let id = s.composition.assignment[vertex];
+                let Some(component) = system.node(id.node).component(id.slot) else {
+                    out.push(AuditViolation::SessionCoverage { session: s.id, vertex, detail: "assigned a dead component" });
+                    continue;
+                };
+                if component.function != request.graph.function(vertex) {
+                    out.push(AuditViolation::SessionCoverage { session: s.id, vertex, detail: "assigned the wrong function" });
+                }
+                if system.node(id.node).is_failed() {
+                    out.push(AuditViolation::SessionCoverage { session: s.id, vertex, detail: "hosted on a failed node" });
+                }
+                if !component.accepts_rate(request.stream_rate_kbps) {
+                    out.push(AuditViolation::SessionCoverage { session: s.id, vertex, detail: "interface cannot accept the stream rate" });
+                }
+                if !request.constraints.admits(&component.attributes) {
+                    out.push(AuditViolation::SessionCoverage { session: s.id, vertex, detail: "violates placement constraints" });
+                }
+            }
+            // The session's streams must not cross failed links or relay
+            // through failed nodes.
+            for &(link, _) in s.link_allocations() {
+                if system.is_link_failed(link) {
+                    out.push(AuditViolation::SessionOnFailedRoute { session: s.id, detail: "a failed link" });
+                }
+            }
+            if s.composition
+                .links
+                .iter()
+                .any(|p| p.nodes.iter().any(|&n| system.is_node_failed(n)))
+            {
+                out.push(AuditViolation::SessionOnFailedRoute { session: s.id, detail: "a failed relay node" });
+            }
+        }
+    }
+
+    fn audit_path_cache(&self, system: &StreamSystem, out: &mut Vec<AuditViolation>) {
+        let mut entries: Vec<_> = system
+            .overlay()
+            .cached_paths()
+            .filter_map(|(key, path)| path.map(|p| (key, p)))
+            .collect();
+        entries.sort_unstable_by_key(|&(key, _)| key);
+        for ((from, to), path) in entries {
+            for &via in &path.nodes {
+                if system.is_node_failed(via) {
+                    out.push(AuditViolation::CachedPathThroughFailed { from, to, via });
+                }
+            }
+        }
+    }
+
+    fn tolerance(&self, magnitude: f64) -> f64 {
+        self.epsilon + self.conservation_rtol * magnitude.abs()
+    }
+}
+
+/// Live sessions in ascending id order (the session table is a HashMap,
+/// so its natural order is not deterministic).
+fn sorted_sessions(system: &StreamSystem) -> Vec<&crate::system::Session> {
+    let mut sessions: Vec<_> = system.sessions().collect();
+    sessions.sort_unstable_by_key(|s| s.id);
+    sessions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::Component;
+    use crate::constraints::PlacementConstraints;
+    use crate::fgraph::FunctionGraph;
+    use crate::function::FunctionRegistry;
+    use crate::qos::QosRequirement;
+    use crate::request::{Request, RequestId};
+    use crate::system::SystemConfig;
+    use acp_topology::{InetConfig, Overlay, OverlayConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build_system(seed: u64, stream_nodes: usize) -> StreamSystem {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ip = InetConfig { nodes: 200, ..InetConfig::default() }.generate(&mut rng);
+        let overlay = Overlay::build(&ip, &OverlayConfig { stream_nodes, neighbors: 4 }, &mut rng);
+        StreamSystem::generate(overlay, FunctionRegistry::standard(), &SystemConfig::default(), &mut rng)
+    }
+
+    /// Commits as many two-function path sessions as `count` asks for,
+    /// pairing up discovered candidates round-robin.
+    fn commit_sessions(sys: &mut StreamSystem, count: usize) -> Vec<SessionId> {
+        let functions: Vec<FunctionId> = sys
+            .registry()
+            .ids()
+            .filter(|&f| !sys.candidates(f).is_empty())
+            .take(4)
+            .collect();
+        assert!(functions.len() >= 2);
+        let mut out = Vec::new();
+        for i in 0..count {
+            let f0 = functions[i % functions.len()];
+            let f1 = functions[(i + 1) % functions.len()];
+            let c0 = sys.candidates(f0)[i % sys.candidates(f0).len()];
+            let c1 = sys.candidates(f1)[i % sys.candidates(f1).len()];
+            if c0.node == c1.node && c0 == c1 {
+                continue;
+            }
+            let Some(path) = sys.virtual_path(c0.node, c1.node) else { continue };
+            let request = Request {
+                id: RequestId(100 + i as u64),
+                graph: FunctionGraph::path(vec![f0, f1]),
+                qos: QosRequirement::unconstrained(),
+                base_resources: ResourceVector::new(1.0, 4.0),
+                bandwidth_kbps: 10.0,
+                stream_rate_kbps: 50.0,
+                constraints: PlacementConstraints::none(),
+            };
+            let composition =
+                crate::composition::Composition { assignment: vec![c0, c1], links: vec![path] };
+            if let Ok(sid) = sys.commit_session(&request, composition) {
+                out.push(sid);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn clean_on_generated_system() {
+        let sys = build_system(1, 25);
+        let report = SystemAuditor::default().audit(&sys);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.digest(), AuditReport::default().digest());
+    }
+
+    #[test]
+    fn clean_across_fault_lifecycle() {
+        let mut sys = build_system(2, 30);
+        let auditor = SystemAuditor::default();
+        let sessions = commit_sessions(&mut sys, 8);
+        assert!(!sessions.is_empty());
+        assert!(auditor.audit(&sys).is_clean(), "{}", auditor.audit(&sys));
+
+        // Node failure (+ its forwarding plane).
+        let victim = OverlayNodeId(0);
+        sys.fail_node(victim);
+        let report = auditor.audit(&sys);
+        assert!(report.is_clean(), "after fail_node: {report}");
+
+        // Link faults.
+        let link = OverlayLinkId(0);
+        sys.fail_link(link);
+        assert!(auditor.audit(&sys).is_clean(), "after fail_link: {}", auditor.audit(&sys));
+        sys.degrade_link(OverlayLinkId(1), 0.3);
+        assert!(auditor.audit(&sys).is_clean(), "after degrade: {}", auditor.audit(&sys));
+
+        // Component crash on a live node.
+        let id = sys.node(OverlayNodeId(1)).components().next().map(|c| c.id);
+        if let Some(id) = id {
+            sys.crash_component(id);
+        }
+        assert!(auditor.audit(&sys).is_clean(), "after crash: {}", auditor.audit(&sys));
+
+        // Recovery.
+        sys.recover_node(victim);
+        sys.restore_link(link);
+        sys.restore_link(OverlayLinkId(1));
+        let report = auditor.audit(&sys);
+        assert!(report.is_clean(), "after recovery: {report}");
+    }
+
+    #[test]
+    fn detects_phantom_commitment() {
+        let mut sys = build_system(3, 20);
+        // A commitment with no session backing it breaks conservation.
+        assert!(sys.node_mut(OverlayNodeId(2)).commit(ResourceVector::new(1.0, 1.0)));
+        let report = SystemAuditor::default().audit(&sys);
+        assert!(
+            report
+                .violations()
+                .iter()
+                .any(|v| matches!(v, AuditViolation::NodeConservation { node, .. } if *node == OverlayNodeId(2))),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn detects_duplicate_function_and_dense_hole() {
+        let mut sys = build_system(4, 20);
+        let node = OverlayNodeId(0);
+        let existing = sys.node(node).components().next().unwrap().clone();
+        // Deploying a second component of the same function behind the
+        // system's back breaks both the distinct-function invariant and
+        // the dense index (no dense id was allotted).
+        sys.node_mut(node).deploy_with(|id| Component { id, ..existing });
+        let report = SystemAuditor::default().audit(&sys);
+        assert!(
+            report.violations().iter().any(|v| matches!(v, AuditViolation::DuplicateFunction { .. })),
+            "{report}"
+        );
+        assert!(
+            report.violations().iter().any(|v| matches!(
+                v,
+                AuditViolation::DenseIndex { detail: "missing for live component", .. }
+            )),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn detects_session_on_failed_host() {
+        let mut sys = build_system(5, 25);
+        let sessions = commit_sessions(&mut sys, 6);
+        assert!(!sessions.is_empty());
+        // Fail a hosting node *behind the system's back* (no session
+        // teardown): the auditor must flag coverage and conservation.
+        let host = sys.session(sessions[0]).unwrap().composition.assignment[0].node;
+        sys.node_mut(host).fail();
+        let report = SystemAuditor::default().audit(&sys);
+        assert!(!report.is_clean());
+        assert!(
+            report
+                .violations()
+                .iter()
+                .any(|v| matches!(v, AuditViolation::SessionCoverage { .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_order_sensitive() {
+        let mut a = build_system(6, 25);
+        let mut b = build_system(6, 25);
+        for sys in [&mut a, &mut b] {
+            commit_sessions(sys, 5);
+            sys.node_mut(OverlayNodeId(1)).commit(ResourceVector::new(2.0, 2.0));
+            sys.node_mut(OverlayNodeId(3)).commit(ResourceVector::new(1.0, 8.0));
+        }
+        let auditor = SystemAuditor::default();
+        let (ra, rb) = (auditor.audit(&a), auditor.audit(&b));
+        assert!(!ra.is_clean());
+        assert_eq!(ra.digest(), rb.digest());
+        assert_eq!(ra.violations(), rb.violations());
+    }
+}

@@ -21,6 +21,9 @@
 //! * [`metrics`] — the optimisation metrics: congestion aggregation
 //!   `φ(λ)` (Eq. 1), risk `D(c_i)` (Eq. 9), congestion `V(c_i)` (Eq. 10),
 //!   and the per-hop qualification predicate (Eqs. 6–8).
+//! * [`audit`] — the [`SystemAuditor`](audit::SystemAuditor), re-checking
+//!   the conservation invariants (Eqs. 2/4/5, dense-index and path-cache
+//!   coherence) after the fact for chaos experiments.
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@
 //! assert_eq!(system.node_count(), 20);
 //! ```
 
+pub mod audit;
 pub mod component;
 pub mod constraints;
 pub mod composition;
@@ -55,6 +59,7 @@ pub mod system;
 
 /// One-stop imports for downstream crates.
 pub mod prelude {
+    pub use crate::audit::{AuditReport, AuditViolation, SystemAuditor};
     pub use crate::component::{Component, ComponentId, DenseComponentId};
     pub use crate::constraints::{
         ComponentAttributes, LicenseClass, LicenseClassOrDefault, LicenseSet, PlacementConstraints,

@@ -61,9 +61,9 @@ impl StreamNode {
         }
     }
 
-    /// True when the node's processing plane has failed (fail-stop). A
-    /// failed node hosts no components and admits nothing; its overlay
-    /// forwarding plane is modelled as surviving (the mesh stays intact).
+    /// True when the node has failed (fail-stop). A failed node hosts no
+    /// components and admits nothing; at the system level its overlay
+    /// forwarding plane goes down with it, so routing detours around it.
     pub fn is_failed(&self) -> bool {
         self.failed
     }

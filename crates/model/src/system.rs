@@ -51,9 +51,16 @@ struct LinkTransient {
 /// Bandwidth bookkeeping for one overlay link.
 #[derive(Debug, Clone)]
 struct LinkState {
+    /// Current capacity — `nominal_kbps` scaled down while degraded,
+    /// unchanged by failure (failure zeroes *availability*, not the
+    /// threshold base).
     capacity_kbps: f64,
+    /// Capacity as built from the overlay (restore target).
+    nominal_kbps: f64,
     committed_kbps: f64,
     transient: Vec<LinkTransient>,
+    /// Bandwidth fail-stop: the link stays routable but carries nothing.
+    failed: bool,
 }
 
 impl LinkState {
@@ -62,6 +69,9 @@ impl LinkState {
     }
 
     fn available(&self) -> f64 {
+        if self.failed {
+            return 0.0;
+        }
         (self.capacity_kbps - self.committed_kbps - self.transient_total()).max(0.0)
     }
 }
@@ -81,6 +91,25 @@ pub struct Session {
     pub composition: Composition,
     node_allocs: Vec<(OverlayNodeId, ResourceVector)>,
     link_allocs: Vec<(OverlayLinkId, f64)>,
+}
+
+impl Session {
+    /// The session's committed end-system allocations, grouped per node.
+    /// The system-wide sum of these must equal each node's committed
+    /// resources — the conservation invariant the auditor checks.
+    pub fn node_allocations(&self) -> &[(OverlayNodeId, ResourceVector)] {
+        &self.node_allocs
+    }
+
+    /// The session's committed bandwidth, grouped per overlay link.
+    pub fn link_allocations(&self) -> &[(OverlayLinkId, f64)] {
+        &self.link_allocs
+    }
+
+    /// True when the session's composition routes any stream over `l`.
+    pub fn uses_link(&self, l: OverlayLinkId) -> bool {
+        self.link_allocs.iter().any(|&(link, _)| link == l)
+    }
 }
 
 /// Parameters for synthetic system generation (paper §4.1: initial
@@ -282,10 +311,15 @@ impl StreamSystem {
 
         let links: Vec<LinkState> = overlay
             .links()
-            .map(|l| LinkState {
-                capacity_kbps: overlay.link_props(l).bandwidth_kbps,
-                committed_kbps: 0.0,
-                transient: Vec::new(),
+            .map(|l| {
+                let kbps = overlay.link_props(l).bandwidth_kbps;
+                LinkState {
+                    capacity_kbps: kbps,
+                    nominal_kbps: kbps,
+                    committed_kbps: 0.0,
+                    transient: Vec::new(),
+                    failed: false,
+                }
             })
             .collect();
 
@@ -694,12 +728,13 @@ impl StreamSystem {
         true
     }
 
-    /// Fails a node (fail-stop of its processing plane): every hosted
-    /// component is undeployed (leaving tombstones and shrinking the
-    /// discovery index) and every session whose composition used one of
-    /// them is terminated, releasing its allocations elsewhere. The
-    /// node's overlay forwarding plane is modelled as surviving, so the
-    /// mesh stays routable.
+    /// Fails a node (fail-stop): every hosted component is undeployed
+    /// (leaving tombstones and shrinking the discovery index), every
+    /// session whose composition used one of them is terminated
+    /// (releasing its allocations elsewhere), and the node's overlay
+    /// forwarding plane goes down with it — fresh virtual paths route
+    /// around the node, and no cached path through it survives (the
+    /// invariant the system auditor checks).
     ///
     /// Returns the undeployed components and the terminated sessions'
     /// request specifications (for failover recomposition).
@@ -715,13 +750,45 @@ impl StreamSystem {
                 entry.retain(|&c| c != component.id);
             }
         }
-        // Terminate sessions placed (partly) on the failed node.
-        let victims: Vec<SessionId> = self
-            .sessions
-            .values()
-            .filter(|s| s.composition.assignment.iter().any(|c| c.node == v))
-            .map(|s| s.id)
-            .collect();
+        // Terminate sessions placed (partly) on the failed node — and
+        // sessions whose virtual links relay through it, since its
+        // forwarding plane dies too — in session-id order so failover
+        // recomposition is deterministic (the session table is a
+        // HashMap; its iteration order is not).
+        let orphaned = self.terminate_sessions_where(|s| {
+            s.composition.assignment.iter().any(|c| c.node == v)
+                || s.composition.links.iter().any(|p| p.nodes.contains(&v))
+        });
+        // Take the forwarding plane down too. This drops only the cached
+        // routes this failure could affect (trees and memoized paths
+        // touching `v`); everything else stays warm for the failover
+        // recompositions that follow.
+        self.overlay.set_node_down(v, true);
+        (undeployed_ids, orphaned)
+    }
+
+    /// Brings a failed node back online, empty: components must be
+    /// redeployed (e.g. via [`Self::migrate_component`]), but capacity
+    /// is immediately re-admittable and the forwarding plane rejoins
+    /// the mesh.
+    pub fn recover_node(&mut self, v: OverlayNodeId) {
+        self.nodes[v.index()].recover();
+        self.overlay.set_node_down(v, false);
+        self.touch_node(v);
+    }
+
+    /// True when the node's processing plane is failed.
+    pub fn is_node_failed(&self, v: OverlayNodeId) -> bool {
+        self.nodes[v.index()].is_failed()
+    }
+
+    /// Closes every live session matching `predicate`, in ascending
+    /// session-id order, returning their request specifications for
+    /// failover recomposition.
+    fn terminate_sessions_where(&mut self, predicate: impl Fn(&Session) -> bool) -> Vec<Request> {
+        let mut victims: Vec<SessionId> =
+            self.sessions.values().filter(|s| predicate(s)).map(|s| s.id).collect();
+        victims.sort_unstable();
         let mut orphaned = Vec::with_capacity(victims.len());
         for sid in victims {
             if let Some(session) = self.sessions.get(&sid) {
@@ -729,23 +796,105 @@ impl StreamSystem {
             }
             self.close_session(sid);
         }
-        // Drop only the cached routes this failure could affect (trees
-        // and memoized paths touching `v`); everything else stays warm
-        // for the failover recompositions that follow.
-        self.overlay.invalidate_routes_for(v);
-        (undeployed_ids, orphaned)
+        orphaned
     }
 
-    /// Brings a failed node back online, empty: components must be
-    /// redeployed (e.g. via [`Self::migrate_component`]).
-    pub fn recover_node(&mut self, v: OverlayNodeId) {
-        self.nodes[v.index()].recover();
-        self.touch_node(v);
+    // ------------------------------------------------------------------
+    // Virtual-link and component faults
+    // ------------------------------------------------------------------
+
+    /// Bandwidth fail-stop of overlay link `l`: the link stays routable
+    /// (its forwarding plane is part of the surviving mesh) but carries
+    /// nothing — availability drops to zero and every session whose
+    /// composition streams over it is terminated. Returns the orphaned
+    /// requests for failover recomposition.
+    pub fn fail_link(&mut self, l: OverlayLinkId) -> Vec<Request> {
+        let i = l.index();
+        if self.links[i].failed {
+            return Vec::new();
+        }
+        self.links[i].failed = true;
+        self.links[i].transient.clear();
+        self.touch_link_index(i);
+        self.terminate_sessions_where(|s| s.uses_link(l))
     }
 
-    /// True when the node's processing plane is failed.
-    pub fn is_node_failed(&self, v: OverlayNodeId) -> bool {
-        self.nodes[v.index()].is_failed()
+    /// Degrades overlay link `l` to `factor` of its nominal capacity
+    /// (clamped to `[0, 1]`). Sessions are evicted **newest first**
+    /// until the remaining committed bandwidth fits the shrunken
+    /// capacity — the deterministic analogue of a congested path
+    /// shedding its most recent admissions. Returns the evicted
+    /// requests.
+    pub fn degrade_link(&mut self, l: OverlayLinkId, factor: f64) -> Vec<Request> {
+        let i = l.index();
+        let state = &mut self.links[i];
+        state.capacity_kbps = state.nominal_kbps * factor.clamp(0.0, 1.0);
+        self.touch_link_index(i);
+        if self.links[i].failed {
+            return Vec::new(); // already carries nothing
+        }
+        // Evict until the commitments fit (newest session first).
+        let mut users: Vec<SessionId> =
+            self.sessions.values().filter(|s| s.uses_link(l)).map(|s| s.id).collect();
+        users.sort_unstable_by(|a, b| b.cmp(a));
+        let mut evicted = Vec::new();
+        for sid in users {
+            if self.links[i].committed_kbps <= self.links[i].capacity_kbps + 1e-9 {
+                break;
+            }
+            if let Some(session) = self.sessions.get(&sid) {
+                evicted.push(session.request_spec.clone());
+            }
+            self.close_session(sid);
+        }
+        evicted
+    }
+
+    /// Restores overlay link `l` to nominal capacity, clearing both
+    /// failure and degradation. Idempotent.
+    pub fn restore_link(&mut self, l: OverlayLinkId) {
+        let i = l.index();
+        let state = &mut self.links[i];
+        if !state.failed && state.capacity_kbps == state.nominal_kbps {
+            return;
+        }
+        state.failed = false;
+        state.capacity_kbps = state.nominal_kbps;
+        self.touch_link_index(i);
+    }
+
+    /// True when overlay link `l` is bandwidth-fail-stopped.
+    pub fn is_link_failed(&self, l: OverlayLinkId) -> bool {
+        self.links[l.index()].failed
+    }
+
+    /// Bandwidth committed to confirmed sessions on overlay link `l`
+    /// (kbit/s) — the auditor's conservation counterpart to
+    /// [`Self::link_available`].
+    pub fn link_committed(&self, l: OverlayLinkId) -> f64 {
+        self.links[l.index()].committed_kbps
+    }
+
+    /// Nominal (as-built) capacity of overlay link `l`, the restore
+    /// target after degradation.
+    pub fn link_nominal_kbps(&self, l: OverlayLinkId) -> f64 {
+        self.links[l.index()].nominal_kbps
+    }
+
+    /// Crashes a single component: it is undeployed (tombstoned, dense
+    /// id retired, discovery entry dropped) while its node keeps
+    /// running, and every session using it is terminated. Returns the
+    /// orphaned requests; an unknown/tombstoned id is a no-op.
+    pub fn crash_component(&mut self, id: ComponentId) -> Vec<Request> {
+        let Some(component) = self.nodes[id.node.index()].undeploy(id.slot) else {
+            return Vec::new();
+        };
+        self.dense_ids[id.node.index()][id.slot as usize] = u32::MAX;
+        if let Some(entry) = self.discovery.get_mut(&component.function) {
+            entry.retain(|&c| c != id);
+        }
+        self.touch_node(id.node);
+        self.terminate_sessions_where(|s| s.composition.assignment.contains(&id))
     }
 
     /// True when any live session's composition uses component `id`.
@@ -800,6 +949,13 @@ impl StreamSystem {
         entry.retain(|&c| c != id);
         entry.push(new_id);
         Ok(new_id)
+    }
+
+    /// Mutable access to a node's raw bookkeeping, for tests that need
+    /// to manufacture invariant violations the public API forbids.
+    #[cfg(test)]
+    pub(crate) fn node_mut(&mut self, v: OverlayNodeId) -> &mut StreamNode {
+        &mut self.nodes[v.index()]
     }
 
     /// An established session's record.

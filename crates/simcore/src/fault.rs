@@ -1,0 +1,531 @@
+//! Deterministic scheduled fault injection.
+//!
+//! The paper's setting is a dynamic overlay where "nodes can join and
+//! leave the system at any time" (§2, §5). This module provides the
+//! simulation-side half of that story: a [`FaultPlan`] is a seeded,
+//! pre-generated schedule of timed fault events (node fail/recover,
+//! virtual-link degrade/fail/restore, component crash) drawn from
+//! [`DeterministicRng`](crate::DeterministicRng) streams, and a
+//! [`FaultScheduler`] replays it inside a discrete-event simulation.
+//!
+//! Determinism contract (mirroring the parallel sweep driver): the plan
+//! is a pure function of `(seed, config, node_count, link_count)` — the
+//! same inputs yield a byte-identical event schedule regardless of
+//! thread count, platform, or how the consuming simulation interleaves
+//! other events. [`FaultPlan::digest`] exposes that as a single `u64`
+//! for regression tests.
+//!
+//! The plan layer speaks in raw indices (`u32` node/link ids) so this
+//! crate stays free of model/topology dependencies; the consuming layer
+//! maps them onto its own id types.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::rng::DeterministicRng;
+use crate::time::{SimDuration, SimTime};
+
+/// One kind of injected fault.
+///
+/// Node failures are fail-stop of both the processing plane and the
+/// node's overlay forwarding role (routing detours around it); link
+/// failures are bandwidth fail-stop (the link stays routable but
+/// carries nothing); degradation scales a link's capacity by a factor
+/// in `(0, 1)`; a component crash undeploys a single component while
+/// its node keeps running.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Fail-stop the processing plane of node `node`.
+    NodeFail {
+        /// Victim node index.
+        node: u32,
+    },
+    /// Bring node `node` back online (empty).
+    NodeRecover {
+        /// Recovering node index.
+        node: u32,
+    },
+    /// Scale link `link`'s capacity to `factor` of nominal.
+    LinkDegrade {
+        /// Victim link index.
+        link: u32,
+        /// Remaining capacity fraction, in `(0, 1)`.
+        factor: f64,
+    },
+    /// Bandwidth fail-stop of link `link`.
+    LinkFail {
+        /// Victim link index.
+        link: u32,
+    },
+    /// Restore link `link` to nominal capacity.
+    LinkRestore {
+        /// Recovering link index.
+        link: u32,
+    },
+    /// Crash one component on node `node`. The victim is the
+    /// `ordinal mod live_count`-th live component at injection time, so
+    /// the plan stays valid whatever the deployment looks like by then.
+    ComponentCrash {
+        /// Hosting node index.
+        node: u32,
+        /// Deterministic victim selector.
+        ordinal: u64,
+    },
+}
+
+impl FaultKind {
+    /// Coarse class name (for reporting and kind counting).
+    pub fn class(&self) -> &'static str {
+        match self {
+            FaultKind::NodeFail { .. } => "node-fail",
+            FaultKind::NodeRecover { .. } => "node-recover",
+            FaultKind::LinkDegrade { .. } => "link-degrade",
+            FaultKind::LinkFail { .. } => "link-fail",
+            FaultKind::LinkRestore { .. } => "link-restore",
+            FaultKind::ComponentCrash { .. } => "component-crash",
+        }
+    }
+}
+
+/// A fault scheduled at a simulated instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault strikes.
+    pub time: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Poisson rates and recovery distributions for plan generation.
+///
+/// Every `*_per_min` field is the expected number of injections per
+/// simulated minute; `0.0` disables that fault class. Recovery delays
+/// are exponential with the given mean, so the same seed produces the
+/// same downtime windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlanConfig {
+    /// Node fail-stop injections per simulated minute.
+    pub node_fail_per_min: f64,
+    /// Mean node downtime before the paired recovery event.
+    pub mean_node_downtime: SimDuration,
+    /// Link bandwidth fail-stops per simulated minute.
+    pub link_fail_per_min: f64,
+    /// Mean link outage before the paired restore event.
+    pub mean_link_downtime: SimDuration,
+    /// Link degradations per simulated minute.
+    pub link_degrade_per_min: f64,
+    /// Remaining-capacity factor range for degradations (uniform).
+    pub degrade_factor: (f64, f64),
+    /// Single-component crashes per simulated minute.
+    pub component_crash_per_min: f64,
+}
+
+impl Default for FaultPlanConfig {
+    fn default() -> Self {
+        FaultPlanConfig {
+            node_fail_per_min: 0.5,
+            mean_node_downtime: SimDuration::from_minutes(3),
+            link_fail_per_min: 0.5,
+            mean_link_downtime: SimDuration::from_minutes(2),
+            link_degrade_per_min: 0.5,
+            degrade_factor: (0.1, 0.6),
+            component_crash_per_min: 0.5,
+        }
+    }
+}
+
+impl FaultPlanConfig {
+    /// A config with every class's rate scaled by `churn`, so a single
+    /// knob sweeps the "churn rate" axis of a grid. `churn == 0` yields
+    /// an empty plan.
+    pub fn scaled(&self, churn: f64) -> Self {
+        FaultPlanConfig {
+            node_fail_per_min: self.node_fail_per_min * churn,
+            link_fail_per_min: self.link_fail_per_min * churn,
+            link_degrade_per_min: self.link_degrade_per_min * churn,
+            component_crash_per_min: self.component_crash_per_min * churn,
+            ..self.clone()
+        }
+    }
+}
+
+/// A pre-generated, time-ordered fault schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+/// Samples an exponential inter-arrival/holding time with mean
+/// `mean_secs`, quantised to whole microseconds (so schedules are exact
+/// integers, not platform-rounded floats).
+fn sample_exp<R: Rng + ?Sized>(rng: &mut R, mean_secs: f64) -> SimDuration {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    SimDuration::from_secs_f64(-mean_secs * u.ln())
+}
+
+impl FaultPlan {
+    /// Generates the schedule for a system of `node_count` nodes and
+    /// `link_count` links over `horizon`, from the `"faults"` family of
+    /// streams of `seed`.
+    ///
+    /// Each fault class draws from its own named stream, so enabling or
+    /// re-rating one class never perturbs another's timeline — the same
+    /// property the workload generator's streams have. Fail events skip
+    /// victims that the plan itself still has down at that instant
+    /// (fail-stop of an already-failed node is meaningless), and every
+    /// fail is paired with a recover/restore after an exponential
+    /// downtime, truncated to the horizon.
+    pub fn generate(
+        seed: u64,
+        config: &FaultPlanConfig,
+        node_count: usize,
+        link_count: usize,
+        horizon: SimDuration,
+    ) -> Self {
+        let streams = DeterministicRng::new(seed);
+        let mut events: Vec<(SimTime, u64, FaultKind)> = Vec::new();
+        let mut seq = 0u64;
+        let end = SimTime::ZERO + horizon;
+
+        // Node fail/recover pairs.
+        if config.node_fail_per_min > 0.0 && node_count > 0 {
+            let mut rng: StdRng = streams.stream("faults/node");
+            let mean_gap = 60.0 / config.node_fail_per_min;
+            let mut down_until = vec![SimTime::ZERO; node_count];
+            let mut t = SimTime::ZERO;
+            loop {
+                t += sample_exp(&mut rng, mean_gap);
+                if t >= end {
+                    break;
+                }
+                // Uniform victim among nodes the plan has up at `t`.
+                let up: Vec<u32> = (0..node_count as u32).filter(|&v| down_until[v as usize] <= t).collect();
+                if up.is_empty() {
+                    continue;
+                }
+                let victim = up[rng.gen_range(0..up.len())];
+                let downtime = sample_exp(&mut rng, config.mean_node_downtime.as_secs_f64());
+                let back = t + downtime;
+                down_until[victim as usize] = back;
+                events.push((t, seq, FaultKind::NodeFail { node: victim }));
+                seq += 1;
+                if back < end {
+                    events.push((back, seq, FaultKind::NodeRecover { node: victim }));
+                    seq += 1;
+                }
+            }
+        }
+
+        // Link fail/restore pairs.
+        if config.link_fail_per_min > 0.0 && link_count > 0 {
+            let mut rng: StdRng = streams.stream("faults/link");
+            let mean_gap = 60.0 / config.link_fail_per_min;
+            let mut down_until = vec![SimTime::ZERO; link_count];
+            let mut t = SimTime::ZERO;
+            loop {
+                t += sample_exp(&mut rng, mean_gap);
+                if t >= end {
+                    break;
+                }
+                let up: Vec<u32> = (0..link_count as u32).filter(|&l| down_until[l as usize] <= t).collect();
+                if up.is_empty() {
+                    continue;
+                }
+                let victim = up[rng.gen_range(0..up.len())];
+                let downtime = sample_exp(&mut rng, config.mean_link_downtime.as_secs_f64());
+                let back = t + downtime;
+                down_until[victim as usize] = back;
+                events.push((t, seq, FaultKind::LinkFail { link: victim }));
+                seq += 1;
+                if back < end {
+                    events.push((back, seq, FaultKind::LinkRestore { link: victim }));
+                    seq += 1;
+                }
+            }
+        }
+
+        // Link degrade/restore pairs (share the link down-tracking only
+        // with themselves; a degraded link overlapping a failed one is
+        // harmless — restore is idempotent to nominal).
+        if config.link_degrade_per_min > 0.0 && link_count > 0 {
+            let mut rng: StdRng = streams.stream("faults/degrade");
+            let mean_gap = 60.0 / config.link_degrade_per_min;
+            let mut degraded_until = vec![SimTime::ZERO; link_count];
+            let mut t = SimTime::ZERO;
+            loop {
+                t += sample_exp(&mut rng, mean_gap);
+                if t >= end {
+                    break;
+                }
+                let up: Vec<u32> =
+                    (0..link_count as u32).filter(|&l| degraded_until[l as usize] <= t).collect();
+                if up.is_empty() {
+                    continue;
+                }
+                let victim = up[rng.gen_range(0..up.len())];
+                let (lo, hi) = config.degrade_factor;
+                let factor = if lo >= hi { lo } else { rng.gen_range(lo..hi) };
+                let downtime = sample_exp(&mut rng, config.mean_link_downtime.as_secs_f64());
+                let back = t + downtime;
+                degraded_until[victim as usize] = back;
+                events.push((t, seq, FaultKind::LinkDegrade { link: victim, factor }));
+                seq += 1;
+                if back < end {
+                    events.push((back, seq, FaultKind::LinkRestore { link: victim }));
+                    seq += 1;
+                }
+            }
+        }
+
+        // Component crashes (no paired recovery: a crashed component is
+        // gone until redeployed by migration/rebalancing).
+        if config.component_crash_per_min > 0.0 && node_count > 0 {
+            let mut rng: StdRng = streams.stream("faults/crash");
+            let mean_gap = 60.0 / config.component_crash_per_min;
+            let mut t = SimTime::ZERO;
+            loop {
+                t += sample_exp(&mut rng, mean_gap);
+                if t >= end {
+                    break;
+                }
+                let node = rng.gen_range(0..node_count as u32);
+                let ordinal: u64 = rng.gen();
+                events.push((t, seq, FaultKind::ComponentCrash { node, ordinal }));
+                seq += 1;
+            }
+        }
+
+        // Total order: time, then per-class generation sequence. The seq
+        // tiebreak makes simultaneous events (vanishingly rare but
+        // possible after quantisation) deterministic.
+        events.sort_by_key(|e| (e.0, e.1));
+        FaultPlan { events: events.into_iter().map(|(time, _, kind)| FaultEvent { time, kind }).collect() }
+    }
+
+    /// The scheduled events, time-ordered.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events per class name — for asserting a soak exercised enough
+    /// distinct fault types.
+    pub fn kind_counts(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: Vec<(&'static str, usize)> = Vec::new();
+        for e in &self.events {
+            let class = e.kind.class();
+            match counts.iter_mut().find(|(c, _)| *c == class) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((class, 1)),
+            }
+        }
+        counts
+    }
+
+    /// Number of distinct fault classes in the plan.
+    pub fn distinct_kinds(&self) -> usize {
+        self.kind_counts().len()
+    }
+
+    /// FNV-1a digest over the full schedule (times, kinds, victims,
+    /// factor bits) — byte-identical plans have equal digests.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x1_0000_0000_01b3);
+        };
+        for e in &self.events {
+            mix(e.time.as_micros());
+            match e.kind {
+                FaultKind::NodeFail { node } => {
+                    mix(1);
+                    mix(node as u64);
+                }
+                FaultKind::NodeRecover { node } => {
+                    mix(2);
+                    mix(node as u64);
+                }
+                FaultKind::LinkDegrade { link, factor } => {
+                    mix(3);
+                    mix(link as u64);
+                    mix(factor.to_bits());
+                }
+                FaultKind::LinkFail { link } => {
+                    mix(4);
+                    mix(link as u64);
+                }
+                FaultKind::LinkRestore { link } => {
+                    mix(5);
+                    mix(link as u64);
+                }
+                FaultKind::ComponentCrash { node, ordinal } => {
+                    mix(6);
+                    mix(node as u64);
+                    mix(ordinal);
+                }
+            }
+        }
+        h
+    }
+
+    /// Wraps the plan in a replay cursor.
+    pub fn into_scheduler(self) -> FaultScheduler {
+        FaultScheduler { plan: self, cursor: 0 }
+    }
+}
+
+/// Replay cursor over a [`FaultPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultScheduler {
+    plan: FaultPlan,
+    cursor: usize,
+}
+
+impl FaultScheduler {
+    /// Timestamp of the next undelivered event, if any.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.plan.events.get(self.cursor).map(|e| e.time)
+    }
+
+    /// Delivers every event scheduled at or before `now`, in order.
+    pub fn pop_due(&mut self, now: SimTime) -> Vec<FaultEvent> {
+        let start = self.cursor;
+        while self.cursor < self.plan.events.len() && self.plan.events[self.cursor].time <= now {
+            self.cursor += 1;
+        }
+        self.plan.events[start..self.cursor].to_vec()
+    }
+
+    /// Events not yet delivered.
+    pub fn remaining(&self) -> usize {
+        self.plan.events.len() - self.cursor
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(seed: u64) -> FaultPlan {
+        FaultPlan::generate(seed, &FaultPlanConfig::default(), 20, 40, SimDuration::from_minutes(60))
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = plan(42);
+        let b = plan(42);
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+        assert!(!a.is_empty(), "an hour at default rates schedules something");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(plan(1).digest(), plan(2).digest());
+    }
+
+    #[test]
+    fn events_are_time_ordered_within_horizon() {
+        let p = plan(7);
+        let end = SimTime::ZERO + SimDuration::from_minutes(60);
+        let mut last = SimTime::ZERO;
+        for e in p.events() {
+            assert!(e.time >= last, "events must be sorted");
+            assert!(e.time < end, "no event beyond the horizon");
+            last = e.time;
+        }
+    }
+
+    #[test]
+    fn fails_pair_with_recoveries() {
+        let p = plan(11);
+        // Every node that fails and whose downtime ends inside the
+        // horizon recovers; a node never fails twice without recovering
+        // in between.
+        let mut down = std::collections::HashSet::new();
+        for e in p.events() {
+            match e.kind {
+                FaultKind::NodeFail { node } => {
+                    assert!(down.insert(node), "node {node} failed while already down");
+                }
+                FaultKind::NodeRecover { node } => {
+                    assert!(down.remove(&node), "node {node} recovered while up");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rates_schedule_nothing() {
+        let config = FaultPlanConfig::default().scaled(0.0);
+        let p = FaultPlan::generate(3, &config, 20, 40, SimDuration::from_minutes(60));
+        assert!(p.is_empty());
+        assert_eq!(p.distinct_kinds(), 0);
+    }
+
+    #[test]
+    fn default_config_covers_all_classes() {
+        // A long horizon at default rates exercises every fault class.
+        let p = FaultPlan::generate(
+            5,
+            &FaultPlanConfig::default(),
+            30,
+            60,
+            SimDuration::from_minutes(240),
+        );
+        assert!(p.distinct_kinds() >= 5, "kinds: {:?}", p.kind_counts());
+    }
+
+    #[test]
+    fn degrade_factors_stay_in_range() {
+        let p = plan(13);
+        for e in p.events() {
+            if let FaultKind::LinkDegrade { factor, .. } = e.kind {
+                assert!((0.1..0.6).contains(&factor), "factor {factor}");
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_delivers_in_order_and_once() {
+        let p = plan(17);
+        let total = p.len();
+        let mut sched = p.into_scheduler();
+        let mut delivered = 0;
+        while let Some(now) = sched.next_time() {
+            let batch = sched.pop_due(now);
+            assert!(!batch.is_empty());
+            for e in &batch {
+                assert!(e.time <= now);
+            }
+            delivered += batch.len();
+        }
+        assert_eq!(delivered, total);
+        assert_eq!(sched.remaining(), 0);
+        assert!(sched.pop_due(SimTime::MAX).is_empty());
+    }
+
+    #[test]
+    fn scaled_rates_scale_event_count() {
+        let base = FaultPlanConfig::default();
+        let lo = FaultPlan::generate(9, &base.scaled(0.5), 20, 40, SimDuration::from_minutes(120));
+        let hi = FaultPlan::generate(9, &base.scaled(4.0), 20, 40, SimDuration::from_minutes(120));
+        assert!(hi.len() > lo.len() * 2, "hi {} vs lo {}", hi.len(), lo.len());
+    }
+}

@@ -17,6 +17,8 @@
 //!   master seed.
 //! * [`series`] — measurement helpers (time series, windowed counters,
 //!   simple summary statistics).
+//! * [`fault`] — seeded fault schedules ([`FaultPlan`]) and their replay
+//!   cursor ([`FaultScheduler`]) for deterministic chaos experiments.
 //!
 //! # Example
 //!
@@ -42,12 +44,14 @@
 //! ```
 
 pub mod engine;
+pub mod fault;
 pub mod queue;
 pub mod rng;
 pub mod series;
 pub mod time;
 
 pub use engine::{Model, Simulation};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanConfig, FaultScheduler};
 pub use queue::{EventQueue, ScheduledEvent};
 pub use rng::DeterministicRng;
 pub use series::{Histogram, SummaryStats, TimeSeries, WindowedCounter};

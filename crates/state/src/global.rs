@@ -330,6 +330,70 @@ impl GlobalStateBoard {
     pub fn scan_stats(&self) -> ScanStats {
         self.scan
     }
+
+    /// Structural-coherence audit of the board against `system`.
+    ///
+    /// The board is stale **by design**, so published values differing
+    /// from ground truth are fine. What must hold regardless of
+    /// staleness: the board's tables are sized to the system, every
+    /// published `(slot, dense)` pair references a dense id the system
+    /// has issued, no dense id is published by two nodes, every stored
+    /// component QoS is reachable through some published list, and the
+    /// seen version counters never run ahead of the system's (counters
+    /// only grow).
+    pub fn audit_against(&self, system: &StreamSystem) -> Vec<AuditViolation> {
+        let mut out = Vec::new();
+        let mut push = |detail: String| out.push(AuditViolation::ViewIncoherent { detail });
+        if self.node_available.len() != system.node_count() {
+            push(format!(
+                "board tracks {} nodes but the system has {}",
+                self.node_available.len(),
+                system.node_count()
+            ));
+        }
+        if self.link_available.len() != system.overlay().link_count() {
+            push(format!(
+                "board tracks {} links but the system has {}",
+                self.link_available.len(),
+                system.overlay().link_count()
+            ));
+        }
+        let dense_limit = system.dense_component_count();
+        let mut referenced = vec![false; self.component_qos.len()];
+        for (i, list) in self.published.iter().enumerate() {
+            for &(slot, dense) in list {
+                if (dense as usize) >= dense_limit {
+                    push(format!("node v{i} publishes slot {slot} with unissued dense id {dense}"));
+                } else if (dense as usize) >= referenced.len() {
+                    push(format!("node v{i} publishes dense id {dense} beyond the QoS store"));
+                } else if referenced[dense as usize] {
+                    push(format!("dense id {dense} published by two nodes"));
+                } else {
+                    referenced[dense as usize] = true;
+                }
+            }
+        }
+        for (d, qos) in self.component_qos.iter().enumerate() {
+            if qos.is_some() && !referenced.get(d).copied().unwrap_or(false) {
+                push(format!("orphan QoS entry for dense id {d} (no node publishes it)"));
+            }
+        }
+        for (i, (&seen, &current)) in
+            self.seen_node_versions.iter().zip(system.node_versions()).enumerate()
+        {
+            if seen > current {
+                push(format!("node v{i} seen-version {seen} ahead of system {current}"));
+            }
+        }
+        for (i, (&seen, &current)) in
+            self.seen_link_versions.iter().zip(system.link_versions()).enumerate()
+        {
+            if seen > current {
+                push(format!("link {i} seen-version {seen} ahead of system {current}"));
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -476,6 +540,39 @@ mod tests {
         load_some_node(&mut sys, 1, false);
         let msgs = board.refresh_nodes(&sys);
         assert!(msgs >= 1, "zero threshold behaves like precise maintenance");
+    }
+
+    #[test]
+    fn board_audit_clean_through_updates() {
+        let mut sys = build();
+        let mut board = GlobalStateBoard::new(&sys, GlobalStateConfig::default());
+        assert!(board.audit_against(&sys).is_empty());
+        for round in 0..3u64 {
+            load_some_node(&mut sys, round + 1, round == 0);
+            board.refresh_nodes(&sys);
+            board.aggregate_links(&sys);
+            let violations = board.audit_against(&sys);
+            assert!(violations.is_empty(), "round {round}: {violations:?}");
+        }
+        // Staleness alone is not a violation: mutate without refreshing.
+        load_some_node(&mut sys, 9, false);
+        assert!(board.audit_against(&sys).is_empty());
+    }
+
+    #[test]
+    fn board_audit_flags_foreign_system() {
+        let sys = build();
+        let board = GlobalStateBoard::new(&sys, GlobalStateConfig::default());
+        let mut rng = StdRng::seed_from_u64(99);
+        let ip = InetConfig { nodes: 150, ..InetConfig::default() }.generate(&mut rng);
+        let overlay = Overlay::build(&ip, &OverlayConfig { stream_nodes: 12, neighbors: 3 }, &mut rng);
+        let other =
+            StreamSystem::generate(overlay, FunctionRegistry::standard(), &SystemConfig::default(), &mut rng);
+        let violations = board.audit_against(&other);
+        assert!(
+            violations.iter().any(|v| matches!(v, AuditViolation::ViewIncoherent { .. })),
+            "{violations:?}"
+        );
     }
 
     #[test]

@@ -148,6 +148,9 @@ pub struct Overlay {
     route_cache: HashMap<OverlayNodeId, ShortestPathTree>,
     path_cache: HashMap<(OverlayNodeId, OverlayNodeId), Option<SharedPath>>,
     cache_stats: PathCacheStats,
+    /// Nodes whose forwarding plane is down; routing never traverses
+    /// them and `virtual_path` refuses them as endpoints.
+    down: Vec<bool>,
 }
 
 impl std::fmt::Debug for Overlay {
@@ -252,6 +255,7 @@ impl Overlay {
         }
 
         Overlay {
+            down: vec![false; ip_nodes.len()],
             ip_nodes,
             ip_index,
             mesh,
@@ -345,15 +349,21 @@ impl Overlay {
     }
 
     /// Uncached path extraction (still reuses the per-source tree cache).
+    /// Down nodes are refused as endpoints and never traversed, so no
+    /// computed (and hence no cached) path ever contains a down node.
     fn compute_virtual_path(&mut self, from: OverlayNodeId, to: OverlayNodeId) -> Option<OverlayPath> {
+        if self.down[from.index()] || self.down[to.index()] {
+            return None;
+        }
         if from == to {
             return Some(OverlayPath::colocated(from));
         }
         let mesh = &self.mesh;
+        let down = &self.down;
         let tree = self
             .route_cache
             .entry(from)
-            .or_insert_with(|| ShortestPathTree::compute(mesh, NodeId(from.0)));
+            .or_insert_with(|| ShortestPathTree::compute_excluding(mesh, NodeId(from.0), down));
         let ip = tree.path_to(mesh, NodeId(to.0))?;
         Some(OverlayPath {
             nodes: ip.nodes.iter().map(|n| OverlayNodeId(n.0)).collect(),
@@ -373,6 +383,39 @@ impl Overlay {
     /// Number of memoized `(from, to)` entries.
     pub fn path_cache_len(&self) -> usize {
         self.path_cache.len()
+    }
+
+    /// Iterates over the memoized `(from, to)` path entries (`None`
+    /// values are negative entries for unreachable pairs). Exposed so a
+    /// system auditor can verify no cached route traverses a failed
+    /// node; iteration order is unspecified.
+    pub fn cached_paths(
+        &self,
+    ) -> impl Iterator<Item = ((OverlayNodeId, OverlayNodeId), Option<&SharedPath>)> + '_ {
+        self.path_cache.iter().map(|(&key, path)| (key, path.as_ref()))
+    }
+
+    /// Marks a node's forwarding plane down or up. While down, the node
+    /// is refused as a `virtual_path` endpoint and routing never relays
+    /// through it. Taking a node down invalidates exactly the cached
+    /// routes its loss could change ([`Self::invalidate_routes_for`]);
+    /// bringing one back clears everything, since a returning relay can
+    /// create shorter routes anywhere. No-op when the flag is unchanged.
+    pub fn set_node_down(&mut self, node: OverlayNodeId, down: bool) {
+        if self.down[node.index()] == down {
+            return;
+        }
+        self.down[node.index()] = down;
+        if down {
+            self.invalidate_routes_for(node);
+        } else {
+            self.invalidate_routes();
+        }
+    }
+
+    /// True when `node`'s forwarding plane is marked down.
+    pub fn is_node_down(&self, node: OverlayNodeId) -> bool {
+        self.down[node.index()]
     }
 
     /// Drops all cached routing trees and memoized paths.
@@ -548,6 +591,51 @@ mod tests {
                 let got = ov.virtual_path(a, b);
                 let want = reference.virtual_path(a, b);
                 assert_eq!(got.as_deref(), want.as_deref(), "{a}->{b} diverged");
+            }
+        }
+    }
+
+    /// A down node disappears from the forwarding plane: it is refused
+    /// as an endpoint, never traversed by fresh paths, and no cached
+    /// path containing it survives.
+    #[test]
+    fn down_nodes_drop_out_of_routing() {
+        let mut ov = build_pair(10, 25, 4);
+        let nodes: Vec<_> = ov.nodes().collect();
+        for &a in &nodes {
+            for &b in &nodes {
+                ov.virtual_path(a, b);
+            }
+        }
+        let dead = nodes[4];
+        ov.set_node_down(dead, true);
+        assert!(ov.is_node_down(dead));
+        for &a in &nodes {
+            for &b in &nodes {
+                let p = ov.virtual_path(a, b);
+                if a == dead || b == dead {
+                    assert!(p.is_none(), "{a}->{b} must refuse a down endpoint");
+                } else if let Some(p) = p {
+                    assert!(!p.nodes.contains(&dead), "{a}->{b} routed through down {dead}");
+                }
+            }
+        }
+        // Every cached entry honours the invariant too.
+        for ((a, b), p) in ov.cached_paths() {
+            if let Some(p) = p {
+                assert!(!p.nodes.contains(&dead), "cached {a}->{b} keeps down node");
+            }
+        }
+        // Recovery restores the original answers.
+        ov.set_node_down(dead, false);
+        let mut reference = build_pair(10, 25, 4);
+        for &a in &nodes {
+            for &b in &nodes {
+                assert_eq!(
+                    ov.virtual_path(a, b).as_deref(),
+                    reference.virtual_path(a, b).as_deref(),
+                    "{a}->{b} diverged after recovery"
+                );
             }
         }
     }

@@ -65,9 +65,22 @@ pub struct ShortestPathTree {
 impl ShortestPathTree {
     /// Runs Dijkstra from `source`, minimising total delay.
     pub fn compute(graph: &Graph, source: NodeId) -> Self {
+        Self::compute_excluding(graph, source, &[])
+    }
+
+    /// Runs Dijkstra from `source`, never relaxing through a node whose
+    /// `blocked` flag is set (failed overlay nodes drop out of the
+    /// forwarding plane). `blocked` may be empty (nothing blocked) or one
+    /// flag per graph node. A blocked source yields an all-unreachable
+    /// tree.
+    pub fn compute_excluding(graph: &Graph, source: NodeId, blocked: &[bool]) -> Self {
         let n = graph.node_count();
         let mut dist: Vec<Option<SimDuration>> = vec![None; n];
         let mut prev: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
+        let is_blocked = |v: NodeId| blocked.get(v.index()).copied().unwrap_or(false);
+        if is_blocked(source) {
+            return ShortestPathTree { source, dist, prev };
+        }
         let mut done = vec![false; n];
         let mut heap = std::collections::BinaryHeap::new();
 
@@ -81,7 +94,7 @@ impl ShortestPathTree {
             }
             done[u.index()] = true;
             for &(v, e) in graph.neighbors(u) {
-                if done[v.index()] {
+                if done[v.index()] || is_blocked(v) {
                     continue;
                 }
                 let cand = d + graph.props(e).delay;
@@ -312,6 +325,26 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    /// Blocking a forwarding node reroutes around it; blocking the
+    /// source makes everything unreachable.
+    #[test]
+    fn excluding_blocked_nodes_reroutes() {
+        let g = diamond();
+        let mut blocked = vec![false; 4];
+        blocked[1] = true;
+        let tree = ShortestPathTree::compute_excluding(&g, NodeId(0), &blocked);
+        let p = tree.path_to(&g, NodeId(3)).unwrap();
+        assert_eq!(p.nodes, vec![NodeId(0), NodeId(2), NodeId(3)]);
+        assert_eq!(p.delay, SimDuration::from_millis(10));
+        assert!(tree.distance(NodeId(1)).is_none(), "blocked node unreachable");
+
+        blocked[0] = true;
+        let dead = ShortestPathTree::compute_excluding(&g, NodeId(0), &blocked);
+        for v in 0..4 {
+            assert!(dead.distance(NodeId(v)).is_none());
         }
     }
 

@@ -18,4 +18,6 @@ pub mod scenario;
 
 pub use arrivals::RateSchedule;
 pub use requests::{standard_universe, QosTier, RequestConfig, RequestGenerator, RequestTrace};
-pub use scenario::{build_system, run_scenario, ScenarioConfig, ScenarioResult};
+pub use scenario::{
+    build_system, run_scenario, session_digest, ChurnConfig, ScenarioConfig, ScenarioResult,
+};

@@ -12,15 +12,53 @@
 use acp_core::prelude::*;
 use acp_model::prelude::*;
 use acp_simcore::{
-    DeterministicRng, EventQueue, Histogram, Model, SimDuration, SimTime, Simulation, TimeSeries,
-    WindowedCounter,
+    DeterministicRng, EventQueue, FaultKind, FaultPlan, FaultPlanConfig, FaultScheduler, Histogram,
+    Model, SimDuration, SimTime, Simulation, SummaryStats, TimeSeries, WindowedCounter,
 };
 use acp_state::{GlobalStateBoard, GlobalStateConfig, ScanStats};
-use acp_topology::{InetConfig, Overlay, OverlayConfig};
+use acp_topology::{InetConfig, Overlay, OverlayConfig, OverlayLinkId, OverlayNodeId};
 use rand::rngs::StdRng;
+use rand::Rng;
 
 use crate::arrivals::RateSchedule;
 use crate::requests::{RequestConfig, RequestGenerator, RequestTrace};
+
+/// Chaos (fault-injection) parameters for a scenario.
+///
+/// When present, a seeded [`FaultPlan`] is generated up front from the
+/// scenario's master seed and replayed against the running system,
+/// interleaved with the Poisson arrivals. Orphaned sessions are
+/// recomposed after `failover_delay` (detection plus re-probing
+/// latency); the [`SystemAuditor`] re-checks every conservation
+/// invariant at each sampling point and after every failover sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnConfig {
+    /// Per-class fault rates and downtime distributions.
+    pub faults: FaultPlanConfig,
+    /// Delay between a fault landing and the failover sweep that
+    /// recomposes its orphaned sessions.
+    pub failover_delay: SimDuration,
+    /// Period of background [`Rebalancer`] rounds under churn; `None`
+    /// disables rebalancing.
+    pub rebalance_interval: Option<SimDuration>,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            faults: FaultPlanConfig::default(),
+            failover_delay: SimDuration::from_secs(2),
+            rebalance_interval: Some(SimDuration::from_minutes(5)),
+        }
+    }
+}
+
+impl ChurnConfig {
+    /// A config with all fault rates scaled by `churn` (the grid knob).
+    pub fn scaled(&self, churn: f64) -> Self {
+        ChurnConfig { faults: self.faults.scaled(churn), ..self.clone() }
+    }
+}
 
 /// Full description of one experiment run.
 #[derive(Debug, Clone)]
@@ -66,6 +104,8 @@ pub struct ScenarioConfig {
     pub controller: Option<PiControllerConfig>,
     /// Cap on requests kept for trace-replay profiling.
     pub replay_capacity: usize,
+    /// Fault injection (chaos) parameters; `None` runs fault-free.
+    pub churn: Option<ChurnConfig>,
 }
 
 impl Default for ScenarioConfig {
@@ -95,6 +135,7 @@ impl Default for ScenarioConfig {
             tuner: None,
             controller: None,
             replay_capacity: 60,
+            churn: None,
         }
     }
 }
@@ -157,6 +198,45 @@ pub struct ScenarioResult {
     /// ids, component assignments) — for byte-level equivalence checks
     /// between maintenance modes.
     pub session_digest: u64,
+    /// Simulation events handled over the run (arrivals, teardowns,
+    /// samples, refreshes, faults, sweeps — everything).
+    pub sim_events: u64,
+    /// Faults in the generated plan (0 without churn).
+    pub fault_events: usize,
+    /// Distinct fault classes the plan contains.
+    pub fault_kinds: usize,
+    /// Digest of the generated fault plan (0 without churn).
+    pub fault_digest: u64,
+    /// Sessions terminated by faults.
+    pub sessions_killed: u64,
+    /// Fault-terminated sessions successfully recomposed.
+    pub sessions_recovered: u64,
+    /// Fault-terminated sessions that could not be recomposed.
+    pub sessions_lost: u64,
+    /// Fault-to-recomposition latency of recovered sessions (seconds).
+    pub recovery_latency: SummaryStats,
+    /// Total audit violations across all audit passes (0 = invariants
+    /// held throughout).
+    pub audit_violations: u64,
+    /// Running digest folded over every audit pass's report digest — a
+    /// thread-count-independent fingerprint of *when* and *how* the
+    /// invariants were checked.
+    pub audit_digest: u64,
+    /// Background migrations performed by the churn rebalancer.
+    pub migrations: u64,
+}
+
+impl ScenarioResult {
+    /// The session digest with the audit digest folded in: two runs are
+    /// equivalent only if they composed identically **and** audited
+    /// identically.
+    pub fn chaos_digest(&self) -> u64 {
+        let mut h = self.session_digest ^ 0x9e37_79b9_7f4a_7c15;
+        h ^= self.audit_digest;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+        h ^= self.fault_digest;
+        h.wrapping_mul(0x1_0000_0000_01b3)
+    }
 }
 
 /// FNV-1a digest over the sorted session table: session id, request id,
@@ -181,13 +261,38 @@ pub fn session_digest(system: &StreamSystem) -> u64 {
     h
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 enum Event {
     Arrival,
     SessionEnd(SessionId),
     Sample,
     LocalRefresh,
     Aggregate,
+    /// Replay all fault-plan events due at this instant.
+    Fault,
+    /// Recompose the sessions orphaned by recent faults.
+    FailoverSweep,
+    /// One background rebalancer round (churn only).
+    Rebalance,
+}
+
+/// Live fault-injection state carried by a churn scenario.
+struct ChurnState {
+    config: ChurnConfig,
+    scheduler: FaultScheduler,
+    /// Session-duration stream for recovered sessions; separate from the
+    /// workload stream so enabling churn never perturbs the arrivals.
+    rng: StdRng,
+    /// Sessions orphaned by faults, with the instant the fault landed.
+    pending: Vec<(SimTime, Request)>,
+    rebalancer: Rebalancer,
+    fault_events: usize,
+    fault_kinds: usize,
+    fault_digest: u64,
+    sessions_killed: u64,
+    sessions_recovered: u64,
+    sessions_lost: u64,
+    recovery_latency: SummaryStats,
 }
 
 struct ScenarioModel {
@@ -209,11 +314,95 @@ struct ScenarioModel {
     total_requests: u64,
     total_successes: u64,
     replay_key_offset: u64,
+    churn: Option<ChurnState>,
+    auditor: SystemAuditor,
+    audit_violations: u64,
+    audit_digest: u64,
+    sim_events: u64,
 }
 
 impl ScenarioModel {
     fn current_ratio(&self) -> f64 {
         self.composer.probing_ratio().unwrap_or(1.0)
+    }
+
+    /// Runs the system auditor plus the board coherence audit and folds
+    /// the report into the running digest. Violations accumulate; a run
+    /// whose invariants held throughout ends with `audit_violations == 0`.
+    fn run_audit(&mut self) {
+        let mut report = self.auditor.audit(&self.system);
+        report.merge(AuditReport::from_violations(self.board.audit_against(&self.system)));
+        self.audit_violations += report.len() as u64;
+        self.audit_digest ^= report.digest();
+        self.audit_digest = self.audit_digest.wrapping_mul(0x1_0000_0000_01b3);
+    }
+
+    /// Applies one fault-plan event to the system. Victim indices are
+    /// taken modulo the live entity counts so a plan generated for any
+    /// topology replays cleanly. Sessions orphaned by the fault are
+    /// queued for the failover sweep scheduled `failover_delay` later.
+    fn apply_fault(&mut self, now: SimTime, kind: FaultKind, queue: &mut EventQueue<Event>) {
+        let node_count = self.system.node_count() as u32;
+        let link_count = self.system.overlay().link_count() as u32;
+        let mut orphaned: Vec<Request> = Vec::new();
+        match kind {
+            FaultKind::NodeFail { node } => {
+                let v = OverlayNodeId(node % node_count);
+                if !self.system.is_node_failed(v) {
+                    let (_, victims) = self.system.fail_node(v);
+                    orphaned = victims;
+                    self.overhead.state_update_messages += self.board.refresh_nodes(&self.system);
+                }
+            }
+            FaultKind::NodeRecover { node } => {
+                let v = OverlayNodeId(node % node_count);
+                if self.system.is_node_failed(v) {
+                    self.system.recover_node(v);
+                    self.overhead.state_update_messages += self.board.refresh_nodes(&self.system);
+                }
+            }
+            FaultKind::LinkFail { link } => {
+                if link_count > 0 {
+                    let l = OverlayLinkId(link % link_count);
+                    if !self.system.is_link_failed(l) {
+                        orphaned = self.system.fail_link(l);
+                        self.overhead.state_update_messages +=
+                            self.board.aggregate_links(&self.system);
+                    }
+                }
+            }
+            FaultKind::LinkDegrade { link, factor } => {
+                if link_count > 0 {
+                    let l = OverlayLinkId(link % link_count);
+                    orphaned = self.system.degrade_link(l, factor);
+                    self.overhead.state_update_messages += self.board.aggregate_links(&self.system);
+                }
+            }
+            FaultKind::LinkRestore { link } => {
+                if link_count > 0 {
+                    let l = OverlayLinkId(link % link_count);
+                    self.system.restore_link(l);
+                    self.overhead.state_update_messages += self.board.aggregate_links(&self.system);
+                }
+            }
+            FaultKind::ComponentCrash { node, ordinal } => {
+                let v = OverlayNodeId(node % node_count);
+                let live: Vec<ComponentId> =
+                    self.system.node(v).components().map(|c| c.id).collect();
+                if !live.is_empty() {
+                    let id = live[(ordinal % live.len() as u64) as usize];
+                    orphaned = self.system.crash_component(id);
+                    self.overhead.state_update_messages += self.board.refresh_nodes(&self.system);
+                }
+            }
+        }
+        if !orphaned.is_empty() {
+            let churn = self.churn.as_mut().expect("faults imply churn");
+            churn.sessions_killed += orphaned.len() as u64;
+            let delay = churn.config.failover_delay;
+            churn.pending.extend(orphaned.into_iter().map(|r| (now, r)));
+            queue.schedule(now + delay, Event::FailoverSweep);
+        }
     }
 
     /// Trace replay used by the tuner: clones the current system state,
@@ -245,6 +434,7 @@ impl Model for ScenarioModel {
     type Event = Event;
 
     fn handle_event(&mut self, now: SimTime, event: Event, queue: &mut EventQueue<Event>) {
+        self.sim_events += 1;
         match event {
             Event::Arrival => {
                 // Expire stale transients before admission, as nodes do.
@@ -289,6 +479,7 @@ impl Model for ScenarioModel {
                     self.composer.set_probing_ratio(alpha);
                 }
                 self.trace.clear();
+                self.run_audit();
                 if now + self.config.sampling_period <= SimTime::ZERO + self.config.duration {
                     queue.schedule(now + self.config.sampling_period, Event::Sample);
                 }
@@ -306,6 +497,62 @@ impl Model for ScenarioModel {
                 self.overhead.state_update_messages += msgs;
                 if now + self.config.aggregation_interval <= SimTime::ZERO + self.config.duration {
                     queue.schedule(now + self.config.aggregation_interval, Event::Aggregate);
+                }
+            }
+            Event::Fault => {
+                let due = match self.churn.as_mut() {
+                    Some(churn) => churn.scheduler.pop_due(now),
+                    None => Vec::new(),
+                };
+                for fault in due {
+                    self.apply_fault(now, fault.kind, queue);
+                }
+                if let Some(next) = self.churn.as_ref().and_then(|c| c.scheduler.next_time()) {
+                    queue.schedule(next, Event::Fault);
+                }
+            }
+            Event::FailoverSweep => {
+                let Some(mut churn) = self.churn.take() else { return };
+                self.system.expire_transients(now);
+                let delay = churn.config.failover_delay;
+                // Only sessions whose delay has elapsed; later victims
+                // wait for the sweep scheduled by their own fault.
+                let mut due = Vec::new();
+                churn.pending.retain(|&(fail_time, ref request)| {
+                    if fail_time + delay <= now {
+                        due.push((fail_time, request.clone()));
+                        false
+                    } else {
+                        true
+                    }
+                });
+                for (fail_time, request) in due {
+                    let outcome = self.composer.compose(&mut self.system, &self.board, &request, now);
+                    self.overhead += outcome.stats;
+                    match outcome.session {
+                        Some(sid) => {
+                            churn.sessions_recovered += 1;
+                            churn.recovery_latency.add((now - fail_time).as_secs_f64());
+                            let (lo, hi) = self.config.requests.session_minutes;
+                            let minutes = churn.rng.gen_range(lo..hi);
+                            let end = now + SimDuration::from_secs_f64(minutes * 60.0);
+                            queue.schedule(end, Event::SessionEnd(sid));
+                        }
+                        None => churn.sessions_lost += 1,
+                    }
+                }
+                self.churn = Some(churn);
+                self.run_audit();
+            }
+            Event::Rebalance => {
+                if let Some(churn) = self.churn.as_mut() {
+                    churn.rebalancer.rebalance_round(&mut self.system);
+                    self.overhead.state_update_messages += self.board.refresh_nodes(&self.system);
+                    if let Some(interval) = churn.config.rebalance_interval {
+                        if now + interval <= SimTime::ZERO + self.config.duration {
+                            queue.schedule(now + interval, Event::Rebalance);
+                        }
+                    }
                 }
             }
         }
@@ -365,6 +612,33 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
     let algorithm = config.algorithm;
     let replay_capacity = config.replay_capacity;
 
+    // Generate the full fault plan up front from its own seed stream:
+    // the schedule is fixed before the first arrival, so replaying the
+    // same seed injects byte-identical faults regardless of workload.
+    let churn = config.churn.clone().map(|churn_config| {
+        let plan = FaultPlan::generate(
+            streams.seed_for("faults"),
+            &churn_config.faults,
+            system.node_count(),
+            system.overlay().link_count(),
+            duration,
+        );
+        ChurnState {
+            fault_events: plan.len(),
+            fault_kinds: plan.distinct_kinds(),
+            fault_digest: plan.digest(),
+            scheduler: plan.into_scheduler(),
+            rng: streams.stream("churn"),
+            pending: Vec::new(),
+            rebalancer: Rebalancer::new(RebalanceConfig::default()),
+            sessions_killed: 0,
+            sessions_recovered: 0,
+            sessions_lost: 0,
+            recovery_latency: SummaryStats::default(),
+            config: churn_config,
+        }
+    });
+
     let model = ScenarioModel {
         system,
         board,
@@ -383,18 +657,33 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
         total_requests: 0,
         total_successes: 0,
         replay_key_offset: 0,
+        churn,
+        auditor: SystemAuditor::default(),
+        audit_violations: 0,
+        audit_digest: 0,
+        sim_events: 0,
         config,
     };
 
+    let first_fault = model.churn.as_ref().and_then(|c| c.scheduler.next_time());
+    let rebalance_interval = model.churn.as_ref().and_then(|c| c.config.rebalance_interval);
     let mut sim = Simulation::new(model);
     sim.queue_mut().schedule(SimTime::ZERO + SimDuration::from_micros(1), Event::Arrival);
     sim.queue_mut().schedule(SimTime::ZERO + sampling, Event::Sample);
     sim.queue_mut().schedule(SimTime::ZERO + local_refresh, Event::LocalRefresh);
     sim.queue_mut().schedule(SimTime::ZERO + aggregation, Event::Aggregate);
+    if let Some(t) = first_fault {
+        sim.queue_mut().schedule(t, Event::Fault);
+    }
+    if let Some(interval) = rebalance_interval {
+        sim.queue_mut().schedule(SimTime::ZERO + interval, Event::Rebalance);
+    }
     sim.run_until(SimTime::ZERO + duration);
 
     let minutes = duration.as_minutes_f64();
-    let model = sim.into_model();
+    let mut model = sim.into_model();
+    // Closing audit: the final state must satisfy every invariant too.
+    model.run_audit();
     let overall = if model.total_requests == 0 {
         0.0
     } else {
@@ -417,6 +706,17 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
         path_cache: model.system.path_cache_stats(),
         success_series: model.success_series,
         ratio_series: model.ratio_series,
+        sim_events: model.sim_events,
+        fault_events: model.churn.as_ref().map_or(0, |c| c.fault_events),
+        fault_kinds: model.churn.as_ref().map_or(0, |c| c.fault_kinds),
+        fault_digest: model.churn.as_ref().map_or(0, |c| c.fault_digest),
+        sessions_killed: model.churn.as_ref().map_or(0, |c| c.sessions_killed),
+        sessions_recovered: model.churn.as_ref().map_or(0, |c| c.sessions_recovered),
+        sessions_lost: model.churn.as_ref().map_or(0, |c| c.sessions_lost),
+        recovery_latency: model.churn.as_ref().map(|c| c.recovery_latency).unwrap_or_default(),
+        audit_violations: model.audit_violations,
+        audit_digest: model.audit_digest,
+        migrations: model.churn.as_ref().map_or(0, |c| c.rebalancer.total_migrations()),
     }
 }
 
@@ -516,5 +816,61 @@ mod tests {
     fn state_updates_are_counted() {
         let result = run_scenario(ScenarioConfig::small(8));
         assert!(result.overhead.state_update_messages > 0, "aggregation rounds alone publish");
+    }
+
+    #[test]
+    fn fault_free_runs_audit_clean() {
+        let result = run_scenario(ScenarioConfig::small(4));
+        assert_eq!(result.audit_violations, 0, "invariant violation without faults");
+        assert_eq!(result.fault_events, 0);
+        assert_eq!(result.sessions_killed, 0);
+        assert!(result.sim_events > 0);
+    }
+
+    #[test]
+    fn churn_scenario_injects_faults_and_audits_clean() {
+        let mut config = ScenarioConfig::small(9);
+        config.churn = Some(ChurnConfig::default());
+        let result = run_scenario(config);
+        assert!(result.fault_events > 0, "plan must contain faults");
+        assert!(result.fault_kinds >= 3, "expect several fault classes, got {}", result.fault_kinds);
+        assert!(result.sessions_killed > 0, "churn at these rates must orphan sessions");
+        assert_eq!(
+            result.sessions_killed,
+            result.sessions_recovered + result.sessions_lost,
+            "every orphan is either recomposed or lost"
+        );
+        assert_eq!(result.audit_violations, 0, "invariants must hold under churn");
+        assert!(result.audit_digest != 0, "audit passes must have run");
+        if result.sessions_recovered > 0 {
+            let mean = result.recovery_latency.mean().expect("recovered sessions have latency");
+            assert!(mean >= 2.0, "failover delay floor is 2 s, mean {mean}");
+        }
+    }
+
+    #[test]
+    fn churn_is_deterministic_across_reruns() {
+        let mut config = ScenarioConfig::small(11);
+        config.churn = Some(ChurnConfig::default().scaled(1.5));
+        let a = run_scenario(config.clone());
+        let b = run_scenario(config);
+        assert_eq!(a.fault_digest, b.fault_digest);
+        assert_eq!(a.audit_digest, b.audit_digest);
+        assert_eq!(a.session_digest, b.session_digest);
+        assert_eq!(a.chaos_digest(), b.chaos_digest());
+        assert_eq!(a.sessions_killed, b.sessions_killed);
+        assert_eq!(a.sessions_recovered, b.sessions_recovered);
+        assert_eq!(a.sim_events, b.sim_events);
+    }
+
+    #[test]
+    fn churn_seed_changes_fault_plan() {
+        let mut a_cfg = ScenarioConfig::small(21);
+        a_cfg.churn = Some(ChurnConfig::default());
+        let mut b_cfg = ScenarioConfig::small(22);
+        b_cfg.churn = Some(ChurnConfig::default());
+        let a = run_scenario(a_cfg);
+        let b = run_scenario(b_cfg);
+        assert_ne!(a.fault_digest, b.fault_digest, "plans must derive from the master seed");
     }
 }

@@ -19,6 +19,13 @@ cargo test -q -p acp-bench --test determinism
 echo "==> incremental-vs-full global-state equivalence regression"
 cargo test -q -p acp-bench --test equivalence
 
+echo "==> chaos harness: fault-plan determinism + audit regressions"
+cargo test -q -p acp-bench --test chaos
+cargo test -q --test failover
+
+echo "==> chaos smoke (quick grid, seed 42, audit must be clean)"
+cargo run --release -q -p acp-bench --bin chaos_soak -- --smoke --seed 42
+
 echo "==> criterion benches compile"
 cargo bench --workspace --no-run
 

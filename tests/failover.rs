@@ -1,5 +1,11 @@
-//! Failure-injection integration tests: fail-stop node failures, session
-//! failover, and post-failure invariants across the whole stack.
+//! Failure-injection integration tests: fail-stop node and link
+//! failures, session failover, recovery, and post-failure invariants
+//! across the whole stack.
+//!
+//! Invariant checking goes through [`SystemAuditor`] (via
+//! [`Middleware::audit`]): resource conservation, Eq. 2/4/5, board
+//! coherence, and path-cache purity are asserted as one clean report
+//! instead of ad-hoc epsilon loops per test.
 
 use acp_stream::prelude::*;
 
@@ -19,30 +25,28 @@ fn loaded_middleware(seed: u64) -> (Middleware<AcpComposer>, Vec<SessionId>) {
     (mw, sessions)
 }
 
+/// Asserts a clean audit, printing the violations otherwise.
+fn assert_audit_clean(mw: &Middleware<AcpComposer>, context: &str) {
+    let report = mw.audit();
+    assert!(report.is_clean(), "audit after {context}:\n{report}");
+}
+
 #[test]
 fn failover_preserves_resource_conservation() {
     let (mut mw, _sessions) = loaded_middleware(91);
-    // Snapshot healthy-node capacities before the failure.
     let victim = OverlayNodeId(3);
-    let survivors: Vec<OverlayNodeId> =
-        mw.system().overlay().nodes().filter(|&v| v != victim).collect();
 
     let report = mw.handle_node_failure(victim, SimTime::from_secs(5));
+    assert_audit_clean(&mw, "node failure");
 
-    // Close everything that remains; all surviving nodes must return to
-    // full capacity (nothing leaked through the failover path).
+    // Close everything that remains; the auditor's conservation checks
+    // then require every surviving node back at full capacity (nothing
+    // leaked through the failover path).
     let sids: Vec<SessionId> = mw.system().sessions().map(|s| s.id).collect();
     for sid in sids {
         assert!(mw.close(sid));
     }
-    for v in survivors {
-        let node = mw.system().node(v);
-        let free = node.available();
-        let cap = node.capacity();
-        assert!((free.cpu - cap.cpu).abs() < 1e-9, "cpu leak on {v}");
-        assert!((free.memory_mb - cap.memory_mb).abs() < 1e-9, "mem leak on {v}");
-        assert_eq!(node.transient_count(), 0);
-    }
+    assert_audit_clean(&mw, "draining all sessions");
     // The failed node stays dead until explicitly recovered.
     assert!(mw.system().is_node_failed(victim));
     let _ = report;
@@ -62,6 +66,7 @@ fn recovered_sessions_are_fully_functional() {
         let processed = mw.process(sid, 500).expect("recovered session processes");
         assert!(processed.expected_units_out > 0.0);
     }
+    assert_audit_clean(&mw, "failover recovery");
 }
 
 #[test]
@@ -72,14 +77,9 @@ fn cascading_failures_degrade_gracefully() {
     for (i, v) in nodes.into_iter().enumerate() {
         let report = mw.handle_node_failure(v, SimTime::from_secs(i as u64 + 1));
         lost_total += report.lost.len();
-        // Invariants hold after every failure.
+        // Every invariant holds after every failure.
         assert_eq!(mw.system().node(v).component_count(), 0);
-        for s in mw.system().sessions() {
-            assert!(
-                s.composition.assignment.iter().all(|c| !mw.system().is_node_failed(c.node)),
-                "live session placed on a failed node"
-            );
-        }
+        assert_audit_clean(&mw, "each cascading failure");
     }
     // Some sessions may be lost, but the middleware keeps functioning:
     let _ = lost_total;
@@ -109,4 +109,125 @@ fn board_reflects_failure_immediately() {
     for c in components_before {
         assert!(mw.board().component_qos(c).is_none(), "stale board entry for {c}");
     }
+    assert_audit_clean(&mw, "board refresh on failure");
+}
+
+#[test]
+fn virtual_link_failure_fails_over_its_sessions() {
+    let (mut mw, _) = loaded_middleware(97);
+    // A link some live session actually streams over.
+    let victim = mw
+        .system()
+        .sessions()
+        .flat_map(|s| s.link_allocations().iter().map(|&(l, _)| l))
+        .next()
+        .expect("multi-node sessions reserve link bandwidth");
+    let using_before =
+        mw.system().sessions().filter(|s| s.uses_link(victim)).count();
+    assert!(using_before > 0);
+
+    let report = mw.handle_link_failure(victim, SimTime::from_secs(3));
+    assert_eq!(
+        report.recovered.len() + report.lost.len(),
+        using_before,
+        "every session over the dead link was either recomposed or lost"
+    );
+    assert!(mw.system().is_link_failed(victim));
+    // Nobody streams over a dead link, and all invariants hold.
+    assert_eq!(mw.system().sessions().filter(|s| s.uses_link(victim)).count(), 0);
+    assert_audit_clean(&mw, "virtual link failure");
+
+    // Restoring the link rejoins it to admission.
+    mw.handle_link_restore(victim);
+    assert!(!mw.system().is_link_failed(victim));
+    assert_audit_clean(&mw, "link restore");
+}
+
+#[test]
+fn node_recovery_makes_freed_capacity_readmittable() {
+    let (mut mw, _) = loaded_middleware(98);
+    let victim = OverlayNodeId(2);
+    let capacity = mw.system().node(victim).capacity();
+    mw.handle_node_failure(victim, SimTime::from_secs(1));
+    assert_eq!(mw.board().node_available(victim), ResourceVector::ZERO);
+
+    mw.handle_node_recovery(victim);
+    assert!(!mw.system().is_node_failed(victim));
+    assert!(!mw.system().overlay().is_node_down(victim), "forwarding plane rejoins");
+    // The node lost its components at failure, so recovery returns it
+    // at full (empty) capacity — and the board sees that immediately.
+    assert_eq!(mw.board().node_available(victim), capacity);
+    assert_audit_clean(&mw, "node recovery");
+
+    // The freed capacity is genuinely re-admittable: keep composing
+    // until some new session lands bandwidth or components back on the
+    // recovered node (its neighbors' capacity is already loaded, so the
+    // composer has every reason to come back).
+    let (_, _, library) = build_system(&ScenarioConfig::small(98));
+    let mut generator = RequestGenerator::new(library, RequestConfig::default());
+    let mut rng = DeterministicRng::new(981).stream("readmit");
+    let mut admitted = 0;
+    for _ in 0..40 {
+        let (request, _) = generator.next(&mut rng);
+        if mw.find(&request, SimTime::from_minutes(1)).is_some() {
+            admitted += 1;
+        }
+    }
+    assert!(admitted > 0, "recovered overlay still admits");
+    assert_audit_clean(&mw, "post-recovery admissions");
+}
+
+#[test]
+fn path_cache_drops_every_route_through_a_failed_node() {
+    let (mut mw, _) = loaded_middleware(99);
+    // Warm the memo across a block of node pairs.
+    let nodes: Vec<OverlayNodeId> = mw.system().overlay().nodes().take(12).collect();
+    for &a in &nodes {
+        for &b in &nodes {
+            let _ = mw.system_mut().virtual_path(a, b);
+        }
+    }
+    // Pick a victim that relays some cached path (interior hop), so the
+    // targeted invalidation has real work to do; fall back to an
+    // endpoint if the mesh never relays within the warmed block.
+    let victim = mw
+        .system()
+        .overlay()
+        .cached_paths()
+        .filter_map(|(_, p)| p)
+        .flat_map(|p| p.nodes.iter().copied())
+        .find(|v| v.index() >= nodes.len())
+        .unwrap_or(nodes[1]);
+
+    let warm = mw.system().path_cache_stats();
+    mw.handle_node_failure(victim, SimTime::from_secs(2));
+
+    // Targeted invalidation: no surviving entry starts at, ends at, or
+    // relays through the victim…
+    for ((from, to), path) in mw.system().overlay().cached_paths() {
+        assert_ne!(from, victim, "stale entry keyed by failed source");
+        assert_ne!(to, victim, "stale entry keyed by failed target");
+        if let Some(p) = path {
+            assert!(!p.nodes.contains(&victim), "cached route relays through failed {victim}");
+        }
+    }
+    assert_audit_clean(&mw, "cache invalidation on failure");
+
+    // …while untouched entries survive: re-probing a pair that never
+    // met the victim is a hit, and a pair the victim served is a miss
+    // (recomputed around it, or a refused endpoint).
+    let (hit_pair, miss_pair) = {
+        let survivor: Vec<OverlayNodeId> =
+            nodes.iter().copied().filter(|&v| v != victim).take(2).collect();
+        ((survivor[0], survivor[0]), (survivor[0], survivor[1]))
+    };
+    let before = mw.system().path_cache_stats();
+    assert!(before.misses >= warm.misses);
+    let _ = mw.system_mut().virtual_path(hit_pair.0, hit_pair.1);
+    let after_hit = mw.system().path_cache_stats();
+    assert_eq!(after_hit.hits, before.hits + 1, "self-path entry must have survived");
+    let _ = mw.system_mut().virtual_path(miss_pair.0, miss_pair.1);
+    let _ = mw.system_mut().virtual_path(miss_pair.0, miss_pair.1);
+    let final_stats = mw.system().path_cache_stats();
+    assert!(final_stats.hits > after_hit.hits, "re-queried pair must be memoized again");
 }
