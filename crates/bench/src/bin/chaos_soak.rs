@@ -6,17 +6,20 @@
 //! cargo run -p acp-bench --release --bin chaos_soak -- --smoke
 //! ```
 //!
-//! `--smoke` runs the quick-scale grid only (no long soak) and exits
+//! `--smoke` runs the quick-scale grids only (no long soak) and exits
 //! non-zero on any audit violation — the CI gate used by
-//! `scripts/check.sh`.
+//! `scripts/check.sh`. `--assert-no-leaks` additionally fails the run
+//! if any reservation lease survives a run's post-horizon reclamation
+//! sweep.
 
-use acp_bench::{chaos_grid, chaos_table, soak, write_results, Scale};
+use acp_bench::{chaos_grid, chaos_table, loss_grid, loss_table, soak, write_results, Scale};
 
 fn main() {
     let mut scale_name = String::from("quick");
     let mut seed: u64 = 42;
     let mut out = std::path::PathBuf::from("target/experiments");
     let mut smoke = false;
+    let mut assert_no_leaks = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -26,8 +29,11 @@ fn main() {
             }
             "--out" => out = std::path::PathBuf::from(args.next().expect("--out needs a value")),
             "--smoke" => smoke = true,
+            "--assert-no-leaks" => assert_no_leaks = true,
             "--help" | "-h" => {
-                eprintln!("usage: [--scale quick|paper] [--seed N] [--out DIR] [--smoke]");
+                eprintln!(
+                    "usage: [--scale quick|paper] [--seed N] [--out DIR] [--smoke] [--assert-no-leaks]"
+                );
                 std::process::exit(0);
             }
             other => panic!("unknown flag {other}"),
@@ -41,13 +47,24 @@ fn main() {
     let table = chaos_table(&scale, &cells);
     println!("{}", table.render());
 
-    let grid_violations: u64 = cells.iter().map(|c| c.audit_violations).sum();
+    eprintln!("running probe-loss grid at scale '{}' (seed {})…", scale.name, seed);
+    let loss_cells = loss_grid(&scale, seed);
+    let loss = loss_table(&scale, &loss_cells);
+    println!("{}", loss.render());
+
+    let grid_violations: u64 = cells.iter().map(|c| c.audit_violations).sum::<u64>()
+        + loss_cells.iter().map(|c| c.audit_violations).sum::<u64>();
+    let mut leaks: u64 = cells.iter().map(|c| c.leases_leaked).sum::<u64>()
+        + loss_cells.iter().map(|c| c.leases_leaked).sum::<u64>();
+    let recovered: u64 = loss_cells.iter().map(|c| c.recovered).sum();
+    let fault_lost: u64 = loss_cells.iter().map(|c| c.fault_failed).sum();
     let mut soak_violations = 0u64;
     if !smoke {
         let minutes = if scale.name == "paper" { 150 } else { 60 };
         eprintln!("soaking {} simulated minutes at 2x churn…", minutes);
         let result = soak(&scale, seed, 2.0, minutes);
         soak_violations = result.audit_violations;
+        leaks += result.leases_leaked;
         println!(
             "soak: {} events, {} faults ({} classes), {}/{} sessions recovered, \
              {} audit violations, chaos digest {:016x}",
@@ -59,7 +76,7 @@ fn main() {
             result.audit_violations,
             result.chaos_digest(),
         );
-        write_results(&out, &format!("chaos-{}", scale.name), &[table]).expect("write results");
+        write_results(&out, &format!("chaos-{}", scale.name), &[table, loss]).expect("write results");
     }
 
     eprintln!("done in {:.1}s", start.elapsed().as_secs_f64());
@@ -67,5 +84,23 @@ fn main() {
         eprintln!("AUDIT FAILED: {} violations", grid_violations + soak_violations);
         std::process::exit(1);
     }
-    eprintln!("audit clean across {} grid cells", cells.len());
+    if recovered * 10 < (recovered + fault_lost) * 9 {
+        eprintln!(
+            "RECOVERY FAILED: retry recovered only {}/{} otherwise-failed compositions (< 90%)",
+            recovered,
+            recovered + fault_lost,
+        );
+        std::process::exit(1);
+    }
+    if assert_no_leaks && leaks > 0 {
+        eprintln!("LEASE LEAK: {} leases survived the post-horizon reclamation sweep", leaks);
+        std::process::exit(1);
+    }
+    eprintln!(
+        "audit clean across {} grid cells ({} lease leaks, {}/{} fault-hit compositions recovered)",
+        cells.len() + loss_cells.len(),
+        leaks,
+        recovered,
+        recovered + fault_lost,
+    );
 }

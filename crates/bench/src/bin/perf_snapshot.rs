@@ -2,8 +2,9 @@
 //!
 //! Times every figure sweep at the chosen scale, samples the
 //! `Overlay::virtual_path` memo hit rate and the global-state board's
-//! refresh-scan savings on a Fig. 6 workload, and writes the numbers to
-//! `BENCH_2.json` (override with `--out-file`):
+//! refresh-scan savings on a Fig. 6 workload, measures the two-phase
+//! setup path's overhead against the plain path at zero fault rate, and
+//! writes the numbers to `BENCH_3.json` (override with `--out-file`):
 //!
 //! ```text
 //! cargo run --release -p acp-bench --bin perf_snapshot -- --scale quick
@@ -21,7 +22,8 @@ use acp_bench::experiments::{
 };
 use acp_bench::report::json_string;
 use acp_bench::thread_count;
-use acp_core::prelude::AlgorithmKind;
+use acp_core::prelude::{AlgorithmKind, SetupConfig};
+use acp_workload::{run_scenario, RateSchedule};
 
 struct FigureTiming {
     name: &'static str,
@@ -40,7 +42,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let mut scale_name = "quick".to_string();
     let mut seed = 42u64;
-    let mut out_file = PathBuf::from("BENCH_2.json");
+    let mut out_file = PathBuf::from("BENCH_3.json");
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => scale_name = args.next().expect("--scale needs a value"),
@@ -89,11 +91,42 @@ fn main() {
 
     // Path-memo effectiveness and board scan savings over one Fig. 6
     // sweep point (ACP at the anchor rate), accumulated across the whole
-    // scenario.
+    // scenario. Timed, so the same run anchors the setup-path overhead
+    // comparison below.
+    let single_start = Instant::now();
     let probe_point =
         run_point(&scale, seed, AlgorithmKind::Acp, scale.anchor_rate, scale.stream_nodes);
+    let single_wall = single_start.elapsed().as_secs_f64();
     let cache = probe_point.path_cache;
     let scans = probe_point.state_scans;
+
+    // Setup-path overhead: the same point with two-phase setup enabled at
+    // zero fault rate. Results are byte-identical by construction (the
+    // equivalence suite enforces it); the delta is pure lease/ledger
+    // bookkeeping cost.
+    let mut setup_config = scale.base_config(seed);
+    setup_config.stream_nodes = scale.stream_nodes;
+    setup_config.algorithm = AlgorithmKind::Acp;
+    setup_config.schedule = RateSchedule::constant(scale.anchor_rate);
+    setup_config.setup = Some(SetupConfig::default());
+    let two_start = Instant::now();
+    let two_phase = run_scenario(setup_config);
+    let two_wall = two_start.elapsed().as_secs_f64();
+    let setup_overhead_pct = (two_wall - single_wall) / single_wall.max(1e-9) * 100.0;
+    let lease = two_phase.lease_stats;
+    let compositions = two_phase.total_requests.max(1);
+    eprintln!(
+        "  setup path: plain {:.2}s vs two-phase {:.2}s ({:+.1}%), {} leases created / {} expired / {} released / {} promoted ({:.2} per composition), {} leaked",
+        single_wall,
+        two_wall,
+        setup_overhead_pct,
+        lease.created,
+        lease.expired,
+        lease.released,
+        lease.promoted,
+        lease.created as f64 / compositions as f64,
+        two_phase.leases_leaked,
+    );
     eprintln!(
         "  fig6 path cache: {} hits / {} misses ({:.1}% hit rate)",
         cache.hits,
@@ -147,6 +180,23 @@ fn main() {
     json.push_str(&format!("    \"links_scanned\": {},\n", scans.links_scanned));
     json.push_str(&format!("    \"links_total\": {},\n", scans.links_total));
     json.push_str(&format!("    \"link_skip_rate\": {:.4}\n", scans.link_skip_rate()));
+    json.push_str("  },\n");
+    json.push_str("  \"setup_path\": {\n");
+    json.push_str(&format!("    \"single_phase_wall_seconds\": {single_wall:.3},\n"));
+    json.push_str(&format!("    \"two_phase_wall_seconds\": {two_wall:.3},\n"));
+    json.push_str(&format!("    \"overhead_pct\": {setup_overhead_pct:.2},\n"));
+    json.push_str(&format!("    \"compositions\": {},\n", two_phase.total_requests));
+    json.push_str(&format!("    \"attempts\": {},\n", two_phase.setup_stats.attempts));
+    json.push_str(&format!("    \"retries\": {},\n", two_phase.setup_stats.retries));
+    json.push_str(&format!("    \"leases_created\": {},\n", lease.created));
+    json.push_str(&format!("    \"leases_expired\": {},\n", lease.expired));
+    json.push_str(&format!("    \"leases_released\": {},\n", lease.released));
+    json.push_str(&format!("    \"leases_promoted\": {},\n", lease.promoted));
+    json.push_str(&format!(
+        "    \"leases_per_composition\": {:.3},\n",
+        lease.created as f64 / compositions as f64
+    ));
+    json.push_str(&format!("    \"leases_leaked\": {}\n", two_phase.leases_leaked));
     json.push_str("  }\n}\n");
 
     std::fs::write(&out_file, &json).expect("writing the snapshot file");
@@ -156,6 +206,11 @@ fn main() {
         eprintln!(
             "WARNING: fig6 path-cache hit rate {:.1}% below the 90% target",
             cache.hit_rate() * 100.0
+        );
+    }
+    if setup_overhead_pct > 5.0 {
+        eprintln!(
+            "WARNING: two-phase setup overhead {setup_overhead_pct:.1}% above the 5% target",
         );
     }
 }

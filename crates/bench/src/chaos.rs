@@ -14,7 +14,8 @@
 //! exercise — the [`SystemAuditor`](acp_model::audit::SystemAuditor)
 //! violation count, which must be zero for every cell.
 
-use acp_simcore::SimDuration;
+use acp_core::SetupConfig;
+use acp_simcore::{MessageFaultConfig, SimDuration};
 use acp_workload::{ChurnConfig, RateSchedule, ScenarioConfig, ScenarioResult};
 
 use crate::experiments::Scale;
@@ -49,6 +50,10 @@ pub struct ChaosCell {
     pub chaos_digest: u64,
     /// Simulation events handled over the run.
     pub sim_events: u64,
+    /// Reservation leases that survived the post-horizon reclamation
+    /// sweep (must be 0: a leak means the sweep failed to recover an
+    /// orphan).
+    pub leases_leaked: u64,
 }
 
 impl ChaosCell {
@@ -66,6 +71,7 @@ impl ChaosCell {
             audit_violations: result.audit_violations,
             chaos_digest: result.chaos_digest(),
             sim_events: result.sim_events,
+            leases_leaked: result.leases_leaked,
         }
     }
 }
@@ -142,6 +148,166 @@ pub fn chaos_table(scale: &Scale, cells: &[ChaosCell]) -> Table {
     table
 }
 
+/// Probe-loss rates of the lossy-transport grid axis.
+pub const PROBE_LOSS_LEVELS: [f64; 4] = [0.0, 0.05, 0.10, 0.20];
+
+/// One lossy-transport grid cell: two-phase setup under message faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossCell {
+    /// Stream-node count of the overlay.
+    pub nodes: usize,
+    /// Probe-drop rate of the cell (confirm loss rides at half this).
+    pub probe_loss: f64,
+    /// Composition success rate over the run.
+    pub success: f64,
+    /// Requests whose setup was touched by at least one message fault.
+    pub fault_hit: u64,
+    /// Fault-hit requests that still composed — the retry loop's
+    /// recovery count.
+    pub recovered: u64,
+    /// Requests lost *to faults*: failed with a fault-hit conclusive
+    /// attempt (fault-touched requests that a fault-free attempt proved
+    /// unserveable count as legitimate failures, not fault casualties).
+    pub fault_failed: u64,
+    /// Retry attempts beyond the first across all requests.
+    pub retries: u64,
+    /// Probe messages lost or discarded stale in transit.
+    pub probes_lost: u64,
+    /// Confirmations lost in transit (each orphans that attempt's
+    /// leases).
+    pub confirms_lost: u64,
+    /// Leases orphaned by in-flight faults.
+    pub leases_orphaned: u64,
+    /// Orphaned leases recovered by backoff-time reclamation sweeps.
+    pub leases_reclaimed: u64,
+    /// Leases that outlived the post-horizon sweep (must be 0).
+    pub leases_leaked: u64,
+    /// Audit violations across every audit pass (must be 0).
+    pub audit_violations: u64,
+    /// Combined session + audit digest of the run.
+    pub chaos_digest: u64,
+}
+
+impl LossCell {
+    fn from_result(nodes: usize, probe_loss: f64, result: &ScenarioResult) -> Self {
+        LossCell {
+            nodes,
+            probe_loss,
+            success: result.overall_success,
+            fault_hit: result.fault_hit_requests,
+            recovered: result.fault_hit_successes,
+            fault_failed: result.setup_stats.fault_failures,
+            retries: result.setup_stats.retries,
+            probes_lost: result.setup_stats.probes_lost + result.setup_stats.stale_probes_discarded,
+            confirms_lost: result.setup_stats.confirms_lost,
+            leases_orphaned: result.setup_stats.leases_orphaned,
+            leases_reclaimed: result.setup_stats.leases_reclaimed,
+            leases_leaked: result.leases_leaked,
+            audit_violations: result.audit_violations,
+            chaos_digest: result.chaos_digest(),
+        }
+    }
+
+    /// Share of otherwise-failed compositions the retry loop recovered:
+    /// `recovered / (recovered + fault_failed)` (1.0 when no fault ever
+    /// caused a loss).
+    pub fn recovery_rate(&self) -> f64 {
+        let denom = self.recovered + self.fault_failed;
+        if denom == 0 {
+            1.0
+        } else {
+            self.recovered as f64 / denom as f64
+        }
+    }
+}
+
+/// The scenario of one lossy-transport cell: the scale's base config at
+/// the anchor rate on a healthy overlay (no churn — transport faults
+/// only, so recovery numbers measure the retry loop alone) with
+/// two-phase setup enabled at `probe_loss` drop rate, half that
+/// confirm-loss rate, and a 50% chance a lost confirmation's ack later
+/// resurfaces.
+pub fn loss_config(scale: &Scale, seed: u64, nodes: usize, probe_loss: f64) -> ScenarioConfig {
+    let mut config = scale.base_config(seed);
+    config.stream_nodes = nodes;
+    config.schedule = RateSchedule::constant(scale.anchor_rate);
+    config.setup = Some(SetupConfig {
+        faults: MessageFaultConfig {
+            probe_drop: probe_loss,
+            confirm_loss: probe_loss / 2.0,
+            stale_ack: if probe_loss > 0.0 { 0.5 } else { 0.0 },
+            ..MessageFaultConfig::default()
+        },
+        ..SetupConfig::default()
+    });
+    config
+}
+
+/// Runs the lossy-transport grid — every `scale.node_counts` overlay
+/// size at every [`PROBE_LOSS_LEVELS`] drop rate — and returns the
+/// cells in grid order (node-major).
+pub fn loss_grid(scale: &Scale, seed: u64) -> Vec<LossCell> {
+    loss_grid_threads(scale, seed, thread_count())
+}
+
+/// [`loss_grid`] with an explicit worker-thread count. Output depends
+/// only on `(scale, seed)`, never on `threads`.
+pub fn loss_grid_threads(scale: &Scale, seed: u64, threads: usize) -> Vec<LossCell> {
+    let streams = acp_simcore::DeterministicRng::new(seed);
+    let points: Vec<(usize, f64)> = scale
+        .node_counts
+        .iter()
+        .flat_map(|&nodes| PROBE_LOSS_LEVELS.iter().map(move |&loss| (nodes, loss)))
+        .collect();
+    run_indexed(threads, &points, |i, &(nodes, loss)| {
+        let config = loss_config(scale, streams.seed_for_indexed("loss", i as u64), nodes, loss);
+        let result = acp_workload::run_scenario(config);
+        LossCell::from_result(nodes, loss, &result)
+    })
+}
+
+/// Renders the success-rate-vs-probe-loss grid as a report table.
+pub fn loss_table(scale: &Scale, cells: &[LossCell]) -> Table {
+    let mut table = Table::new(
+        format!("Two-phase setup under probe loss ({} scale): success vs drop rate", scale.name),
+        vec![
+            "nodes",
+            "probe loss %",
+            "success %",
+            "fault-hit",
+            "recovered",
+            "fault lost",
+            "recovery %",
+            "retries",
+            "probes lost",
+            "confirms lost",
+            "orphaned",
+            "reclaimed",
+            "leaked",
+            "audit violations",
+        ],
+    );
+    for c in cells {
+        table.push_row(vec![
+            format!("{}", c.nodes),
+            format!("{:.0}", c.probe_loss * 100.0),
+            format!("{:.1}", c.success * 100.0),
+            format!("{}", c.fault_hit),
+            format!("{}", c.recovered),
+            format!("{}", c.fault_failed),
+            format!("{:.1}", c.recovery_rate() * 100.0),
+            format!("{}", c.retries),
+            format!("{}", c.probes_lost),
+            format!("{}", c.confirms_lost),
+            format!("{}", c.leases_orphaned),
+            format!("{}", c.leases_reclaimed),
+            format!("{}", c.leases_leaked),
+            format!("{}", c.audit_violations),
+        ]);
+    }
+    table
+}
+
 /// One long high-rate churn run (the "soak"): `minutes` of simulated
 /// time at three times the scale's anchor rate so the event count is
 /// dominated by real work, with churn at `churn` times the default
@@ -184,6 +350,7 @@ mod tests {
                 audit_violations: 0,
                 chaos_digest: 7,
                 sim_events: 1000,
+                leases_leaked: 0,
             };
             4
         ];

@@ -3,7 +3,7 @@
 //! count), and the invariant auditor stays clean through figure-style
 //! workloads and a long mixed-fault soak.
 
-use acp_bench::chaos::{chaos_config, chaos_grid_threads, soak};
+use acp_bench::chaos::{chaos_config, chaos_grid_threads, loss_grid_threads, soak, PROBE_LOSS_LEVELS};
 use acp_bench::experiments::{run_point, Scale};
 use acp_core::prelude::AlgorithmKind;
 use acp_simcore::{FaultPlan, FaultPlanConfig, SimDuration};
@@ -94,4 +94,48 @@ fn churn_config_scaling_scales_every_rate() {
             < 1e-12
     );
     assert_eq!(scaled.failover_delay, base.failover_delay);
+}
+
+#[test]
+fn loss_grid_is_identical_at_1_and_4_threads() {
+    let scale = tiny_scale();
+    let seed = 20_260_806;
+    let seq = loss_grid_threads(&scale, seed, 1);
+    let par = loss_grid_threads(&scale, seed, 4);
+    assert_eq!(seq, par, "loss grid differs between 1 and 4 threads");
+    for (s, p) in seq.iter().zip(&par) {
+        assert_eq!(s.chaos_digest, p.chaos_digest);
+    }
+}
+
+#[test]
+fn loss_grid_recovers_and_never_leaks() {
+    let scale = tiny_scale();
+    let cells = loss_grid_threads(&scale, 42, 4);
+    assert_eq!(cells.len(), scale.node_counts.len() * PROBE_LOSS_LEVELS.len());
+    assert!(cells.iter().all(|c| c.audit_violations == 0), "audits must be clean");
+    assert!(cells.iter().all(|c| c.leases_leaked == 0), "sweep must reclaim every orphan");
+    // Zero-loss cells never see a fault; lossy cells must see them and
+    // the retry loop must recover at least 90% of the hit requests.
+    for c in &cells {
+        if c.probe_loss == 0.0 {
+            assert_eq!(c.fault_hit, 0, "inert cell saw a fault at {} nodes", c.nodes);
+            assert_eq!(c.retries, 0);
+        } else {
+            assert!(c.fault_hit > 0, "no fault landed at loss {} ({} nodes)", c.probe_loss, c.nodes);
+            assert!(
+                c.recovery_rate() >= 0.9,
+                "retry must recover >=90% of fault-hit requests at loss {} ({} nodes): {}/{}",
+                c.probe_loss,
+                c.nodes,
+                c.recovered,
+                c.fault_hit,
+            );
+        }
+    }
+    // Confirm losses land too; the leases they strand are released by the
+    // successful retry (`leases_orphaned` only counts requests that
+    // ultimately fail, which a healthy retry loop avoids — orphan ageing
+    // and sweep recovery are covered by the protocol/scenario tests).
+    assert!(cells.iter().any(|c| c.confirms_lost > 0), "confirm loss must land");
 }

@@ -6,7 +6,7 @@
 //! work the board performs, never what it publishes.
 
 use acp_bench::experiments::Scale;
-use acp_core::AlgorithmKind;
+use acp_core::{AlgorithmKind, SetupConfig};
 use acp_simcore::SimDuration;
 use acp_state::GlobalStateConfig;
 use acp_workload::{run_scenario, RateSchedule, ScenarioResult};
@@ -66,4 +66,41 @@ fn incremental_board_matches_full_scan_scenario() {
         is.links_scanned,
         is.links_total
     );
+}
+
+/// The two-phase setup path with every message-fault rate at zero must
+/// be byte-identical to the plain single-phase path: same compositions,
+/// same audit trail, same message ledger, same series, same event
+/// count. The lease machinery may only change behaviour when a fault
+/// actually lands.
+#[test]
+fn inert_two_phase_matches_single_phase_scenario() {
+    let plain = fig6_style_point(true);
+
+    let mut scale = Scale::quick();
+    scale.duration = SimDuration::from_minutes(12);
+    let mut config = scale.base_config(42);
+    config.algorithm = AlgorithmKind::Acp;
+    config.schedule = RateSchedule::constant(scale.anchor_rate);
+    config.setup = Some(SetupConfig::default());
+    let two_phase = run_scenario(config);
+
+    assert_eq!(plain.session_digest, two_phase.session_digest, "compositions diverged");
+    assert_eq!(plain.chaos_digest(), two_phase.chaos_digest(), "audit trails diverged");
+    assert_eq!(plain.overhead, two_phase.overhead, "message ledger diverged");
+    assert_eq!(plain.total_requests, two_phase.total_requests);
+    assert_eq!(plain.total_successes, two_phase.total_successes);
+    assert_eq!(plain.final_sessions, two_phase.final_sessions);
+    assert_eq!(plain.sim_events, two_phase.sim_events);
+    assert_eq!(plain.aggregation_rounds, two_phase.aggregation_rounds);
+    assert_eq!(plain.success_series.samples(), two_phase.success_series.samples());
+    assert_eq!(plain.lease_stats, two_phase.lease_stats, "lease ledger diverged");
+
+    // The inert two-phase run still accounts attempts, but never faults,
+    // retries, or leaks.
+    assert_eq!(two_phase.setup_stats.attempts, two_phase.total_requests);
+    assert_eq!(two_phase.setup_stats.retries, 0);
+    assert_eq!(two_phase.fault_hit_requests, 0);
+    assert_eq!(two_phase.leases_live_end, 0);
+    assert_eq!(two_phase.leases_leaked, 0);
 }

@@ -69,6 +69,20 @@ macro_rules! strategy_for_ranges {
 }
 strategy_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
 
+macro_rules! strategy_for_tuples {
+    ($(($($s:ident),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.sample(rng),)+)
+            }
+        }
+    )*};
+}
+strategy_for_tuples!((A, B), (A, B, C), (A, B, C, D));
+
 /// Strategy produced by [`any`].
 #[derive(Debug, Clone, Copy)]
 pub struct Any<T>(std::marker::PhantomData<T>);
@@ -176,6 +190,7 @@ macro_rules! prop_assert_ne {
 
 /// Commonly imported items, mirroring `proptest::prelude`.
 pub mod prelude {
+    pub use crate as prop;
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
     };

@@ -19,7 +19,9 @@ use rand::SeedableRng;
 use crate::naive::{blind_compose, BlindStrategy};
 use crate::optimal::{optimal_compose, OptimalConfig};
 use crate::overhead::OverheadStats;
-use crate::protocol::{probe_compose, FinalSelection, ProbingConfig};
+use crate::protocol::{
+    probe_compose_with, FinalSelection, ProbingConfig, SetupConfig, SetupState, SetupStats,
+};
 use crate::selection::HopSelection;
 
 /// Result of one composition attempt.
@@ -29,6 +31,12 @@ pub struct ComposeOutcome {
     pub session: Option<SessionId>,
     /// Message ledger for this request.
     pub stats: OverheadStats,
+    /// Probing rounds run (1 unless fault-induced retries happened;
+    /// always 1 for the non-probing algorithms).
+    pub attempts: u32,
+    /// Two-phase setup ledger (all-zero unless two-phase setup is
+    /// enabled and faults fired).
+    pub setup: SetupStats,
 }
 
 /// A composition algorithm: given the system, the coarse global state and
@@ -54,6 +62,11 @@ pub trait Composer {
     fn probing_ratio(&self) -> Option<f64> {
         None
     }
+
+    /// Enables the two-phase setup path (transient leases under a lossy
+    /// transport, retry with escalation) for algorithms that probe.
+    /// Default: no-op — the non-probing algorithms commit directly.
+    fn enable_two_phase(&mut self, _seed: u64, _config: SetupConfig) {}
 }
 
 /// The ACP algorithm: coarse-state-guided selective probing with
@@ -62,6 +75,7 @@ pub trait Composer {
 pub struct AcpComposer {
     config: ProbingConfig,
     rng: StdRng,
+    setup: Option<SetupState>,
 }
 
 impl AcpComposer {
@@ -72,7 +86,7 @@ impl AcpComposer {
             final_selection: FinalSelection::MinCongestion,
             ..config
         };
-        AcpComposer { config, rng: StdRng::seed_from_u64(seed) }
+        AcpComposer { config, rng: StdRng::seed_from_u64(seed), setup: None }
     }
 
     /// The probing configuration in effect.
@@ -93,8 +107,20 @@ impl Composer for AcpComposer {
         request: &Request,
         now: SimTime,
     ) -> ComposeOutcome {
-        let out = probe_compose(system, board, request, now, &self.config, &mut self.rng);
-        ComposeOutcome { session: out.session, stats: out.stats }
+        let out = probe_compose_with(
+            system,
+            board,
+            request,
+            now,
+            &self.config,
+            self.setup.as_mut(),
+            &mut self.rng,
+        );
+        ComposeOutcome { session: out.session, stats: out.stats, attempts: out.attempts, setup: out.setup }
+    }
+
+    fn enable_two_phase(&mut self, seed: u64, config: SetupConfig) {
+        self.setup = Some(SetupState::new(seed, config));
     }
 
     fn set_probing_ratio(&mut self, alpha: f64) {
@@ -111,6 +137,7 @@ impl Composer for AcpComposer {
 pub struct SelectiveProbingComposer {
     config: ProbingConfig,
     rng: StdRng,
+    setup: Option<SetupState>,
 }
 
 impl SelectiveProbingComposer {
@@ -121,7 +148,7 @@ impl SelectiveProbingComposer {
             final_selection: FinalSelection::Random,
             ..config
         };
-        SelectiveProbingComposer { config, rng: StdRng::seed_from_u64(seed) }
+        SelectiveProbingComposer { config, rng: StdRng::seed_from_u64(seed), setup: None }
     }
 }
 
@@ -137,8 +164,20 @@ impl Composer for SelectiveProbingComposer {
         request: &Request,
         now: SimTime,
     ) -> ComposeOutcome {
-        let out = probe_compose(system, board, request, now, &self.config, &mut self.rng);
-        ComposeOutcome { session: out.session, stats: out.stats }
+        let out = probe_compose_with(
+            system,
+            board,
+            request,
+            now,
+            &self.config,
+            self.setup.as_mut(),
+            &mut self.rng,
+        );
+        ComposeOutcome { session: out.session, stats: out.stats, attempts: out.attempts, setup: out.setup }
+    }
+
+    fn enable_two_phase(&mut self, seed: u64, config: SetupConfig) {
+        self.setup = Some(SetupState::new(seed, config));
     }
 
     fn set_probing_ratio(&mut self, alpha: f64) {
@@ -156,6 +195,7 @@ impl Composer for SelectiveProbingComposer {
 pub struct RandomProbingComposer {
     config: ProbingConfig,
     rng: StdRng,
+    setup: Option<SetupState>,
 }
 
 impl RandomProbingComposer {
@@ -166,7 +206,7 @@ impl RandomProbingComposer {
             final_selection: FinalSelection::MinCongestion,
             ..config
         };
-        RandomProbingComposer { config, rng: StdRng::seed_from_u64(seed) }
+        RandomProbingComposer { config, rng: StdRng::seed_from_u64(seed), setup: None }
     }
 }
 
@@ -182,8 +222,20 @@ impl Composer for RandomProbingComposer {
         request: &Request,
         now: SimTime,
     ) -> ComposeOutcome {
-        let out = probe_compose(system, board, request, now, &self.config, &mut self.rng);
-        ComposeOutcome { session: out.session, stats: out.stats }
+        let out = probe_compose_with(
+            system,
+            board,
+            request,
+            now,
+            &self.config,
+            self.setup.as_mut(),
+            &mut self.rng,
+        );
+        ComposeOutcome { session: out.session, stats: out.stats, attempts: out.attempts, setup: out.setup }
+    }
+
+    fn enable_two_phase(&mut self, seed: u64, config: SetupConfig) {
+        self.setup = Some(SetupState::new(seed, config));
     }
 
     fn set_probing_ratio(&mut self, alpha: f64) {
@@ -204,6 +256,7 @@ impl Composer for RandomProbingComposer {
 pub struct BoundedProbingComposer {
     config: ProbingConfig,
     rng: StdRng,
+    setup: Option<SetupState>,
 }
 
 impl BoundedProbingComposer {
@@ -222,7 +275,7 @@ impl BoundedProbingComposer {
             quota_override: Some(budget), // …the budget caps the spawns
             ..config
         };
-        BoundedProbingComposer { config, rng: StdRng::seed_from_u64(seed) }
+        BoundedProbingComposer { config, rng: StdRng::seed_from_u64(seed), setup: None }
     }
 
     /// The fixed per-function probe budget.
@@ -243,8 +296,20 @@ impl Composer for BoundedProbingComposer {
         request: &Request,
         now: SimTime,
     ) -> ComposeOutcome {
-        let out = probe_compose(system, board, request, now, &self.config, &mut self.rng);
-        ComposeOutcome { session: out.session, stats: out.stats }
+        let out = probe_compose_with(
+            system,
+            board,
+            request,
+            now,
+            &self.config,
+            self.setup.as_mut(),
+            &mut self.rng,
+        );
+        ComposeOutcome { session: out.session, stats: out.stats, attempts: out.attempts, setup: out.setup }
+    }
+
+    fn enable_two_phase(&mut self, seed: u64, config: SetupConfig) {
+        self.setup = Some(SetupState::new(seed, config));
     }
 }
 
@@ -274,7 +339,12 @@ impl Composer for OptimalComposer {
         now: SimTime,
     ) -> ComposeOutcome {
         let out = optimal_compose(system, request, now, &self.config);
-        ComposeOutcome { session: out.session, stats: out.stats }
+        ComposeOutcome {
+            session: out.session,
+            stats: out.stats,
+            attempts: 1,
+            setup: SetupStats::default(),
+        }
     }
 }
 
@@ -304,7 +374,12 @@ impl Composer for RandomComposer {
         now: SimTime,
     ) -> ComposeOutcome {
         let out = blind_compose(system, request, now, BlindStrategy::Random, &mut self.rng);
-        ComposeOutcome { session: out.session, stats: out.stats }
+        ComposeOutcome {
+            session: out.session,
+            stats: out.stats,
+            attempts: 1,
+            setup: SetupStats::default(),
+        }
     }
 }
 
@@ -334,7 +409,12 @@ impl Composer for StaticComposer {
         // rng unused by the static strategy
         let mut rng = StdRng::seed_from_u64(0);
         let out = blind_compose(system, request, now, BlindStrategy::Static, &mut rng);
-        ComposeOutcome { session: out.session, stats: out.stats }
+        ComposeOutcome {
+            session: out.session,
+            stats: out.stats,
+            attempts: 1,
+            setup: SetupStats::default(),
+        }
     }
 }
 

@@ -85,12 +85,17 @@ pub mod prelude {
     pub use crate::optimal::{optimal_compose, OptimalConfig, OptimalOutcome};
     pub use crate::overhead::{centralized_update_messages_per_minute, OverheadStats};
     pub use crate::probe::Probe;
-    pub use crate::protocol::{probe_compose, FinalSelection, ProbingConfig, ProbingOutcome};
+    pub use crate::protocol::{
+        probe_compose, probe_compose_with, FinalSelection, ProbingConfig, ProbingOutcome,
+        SetupConfig, SetupState, SetupStats,
+    };
     pub use crate::selection::{
         probe_quota, select_candidates, select_candidates_with, HopSelection, SelectionScratch,
     };
     pub use crate::tuning::{ProbingRatioTuner, TunerConfig};
-    pub use crate::tuning_control::{PiControllerConfig, PiRatioController};
+    pub use crate::tuning_control::{
+        AlphaEscalator, EscalationConfig, PiControllerConfig, PiRatioController,
+    };
 }
 
 pub use prelude::*;

@@ -19,16 +19,44 @@
 //!    the SP baseline.
 //! 4. **Session setup** — confirmation converts transient reservations
 //!    into permanent allocations.
+//!
+//! # Two-phase setup under a lossy transport
+//!
+//! Steps 2 and 4 are the two phases of a reservation protocol: probes
+//! place **transient leases** on candidate nodes and links (phase 1), and
+//! the confirmation promotes the winner's leases to committed residuals
+//! (phase 2). [`probe_compose_with`] subjects both phases to message
+//! faults ([`MessageFaultConfig`]): probe messages may be dropped or
+//! delayed in transit (a probe whose cumulative transport delay reaches
+//! the lease timeout is stale and discarded), and the confirmation itself
+//! may be lost — leaving the winner's leases **orphaned** until the
+//! expiry-driven reclamation sweep recovers them ("cancelled after a
+//! timeout period if the node does not receive a confirmation message",
+//! §3.3). A lost confirmation may also resurface later as a duplicate
+//! delivery (stale ack); commits are idempotent per request, so a request
+//! that already holds a session rejects the duplicate instead of
+//! double-committing residuals.
+//!
+//! Fault-induced failures are retried with deterministic exponential
+//! backoff plus seeded jitter, escalating the probing ratio α via
+//! [`AlphaEscalator`] on consecutive failures. With every fault rate at
+//! zero the two-phase path performs *exactly* the RNG draws and state
+//! mutations of the plain path — the fault injector consumes no
+//! randomness for disabled classes — so enabling it is byte-identical.
 
 use acp_model::prelude::*;
-use acp_simcore::{SimDuration, SimTime};
+use acp_simcore::{
+    DeterministicRng, MessageFaultConfig, MessageFaultInjector, SimDuration, SimTime,
+};
 use acp_state::GlobalStateBoard;
+use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::overhead::OverheadStats;
 use crate::selection::{
     arrival_accumulated, select_candidates_with, HopContext, HopSelection, SelectionScratch,
 };
+use crate::tuning_control::{AlphaEscalator, EscalationConfig};
 
 /// How the deputy picks among qualified completed compositions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +108,145 @@ impl Default for ProbingConfig {
     }
 }
 
+/// Transport-fault and retry tunables of the two-phase setup path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetupConfig {
+    /// Message-fault rates applied to probe and confirmation traffic.
+    pub faults: MessageFaultConfig,
+    /// Maximum probing rounds per request (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub backoff_base: SimDuration,
+    /// Multiplicative backoff growth per retry.
+    pub backoff_factor: f64,
+    /// Uniform jitter added to each backoff, as a fraction of it (drawn
+    /// from the seeded backoff stream — deterministic).
+    pub jitter_frac: f64,
+    /// Probing-ratio escalation on consecutive failed attempts.
+    pub escalation: EscalationConfig,
+}
+
+impl Default for SetupConfig {
+    fn default() -> Self {
+        SetupConfig {
+            faults: MessageFaultConfig::default(),
+            max_attempts: 6,
+            backoff_base: SimDuration::from_millis(250),
+            backoff_factor: 2.0,
+            jitter_frac: 0.25,
+            escalation: EscalationConfig::default(),
+        }
+    }
+}
+
+/// Per-request ledger of the two-phase setup path: transport faults
+/// suffered, retries spent, and lease housekeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SetupStats {
+    /// Probing rounds run (1 = first attempt succeeded or no retry).
+    pub attempts: u64,
+    /// Retries after fault-induced failures (`attempts - 1` when > 0).
+    pub retries: u64,
+    /// Probe messages dropped by the transport.
+    pub probes_lost: u64,
+    /// Probe messages delayed by the transport.
+    pub probes_delayed: u64,
+    /// Probes discarded because transport delay outlived the lease
+    /// timeout.
+    pub stale_probes_discarded: u64,
+    /// Confirmation messages lost before reaching the winner's nodes.
+    pub confirms_lost: u64,
+    /// Late duplicate confirmations rejected by the idempotent-commit
+    /// guard.
+    pub stale_acks_rejected: u64,
+    /// Late duplicate confirmations that salvaged an otherwise-failed
+    /// request.
+    pub stale_acks_recovered: u64,
+    /// Leases left orphaned by a fault-hit failure (recovered later by
+    /// the reclamation sweep).
+    pub leases_orphaned: u64,
+    /// Leases reclaimed by the backoff-time sweeps inside the retry loop.
+    pub leases_reclaimed: u64,
+    /// Requests lost *to faults*: the request failed and its conclusive
+    /// attempt was itself fault-hit. A fault-touched request whose final
+    /// (escalated, fault-free) attempt fails cleanly is counted as a
+    /// legitimate failure instead — full fault-free probing proved the
+    /// system could not serve it.
+    pub fault_failures: u64,
+}
+
+impl SetupStats {
+    /// True when at least one message fault touched this request's setup.
+    pub fn fault_hit(&self) -> bool {
+        self.probes_lost + self.probes_delayed + self.confirms_lost > 0
+    }
+}
+
+impl std::ops::Add for SetupStats {
+    type Output = SetupStats;
+    fn add(self, rhs: SetupStats) -> SetupStats {
+        SetupStats {
+            attempts: self.attempts + rhs.attempts,
+            retries: self.retries + rhs.retries,
+            probes_lost: self.probes_lost + rhs.probes_lost,
+            probes_delayed: self.probes_delayed + rhs.probes_delayed,
+            stale_probes_discarded: self.stale_probes_discarded + rhs.stale_probes_discarded,
+            confirms_lost: self.confirms_lost + rhs.confirms_lost,
+            stale_acks_rejected: self.stale_acks_rejected + rhs.stale_acks_rejected,
+            stale_acks_recovered: self.stale_acks_recovered + rhs.stale_acks_recovered,
+            leases_orphaned: self.leases_orphaned + rhs.leases_orphaned,
+            leases_reclaimed: self.leases_reclaimed + rhs.leases_reclaimed,
+            fault_failures: self.fault_failures + rhs.fault_failures,
+        }
+    }
+}
+
+impl std::ops::AddAssign for SetupStats {
+    fn add_assign(&mut self, rhs: SetupStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for SetupStats {
+    fn sum<I: Iterator<Item = SetupStats>>(iter: I) -> SetupStats {
+        iter.fold(SetupStats::default(), |a, b| a + b)
+    }
+}
+
+/// Mutable state of the two-phase setup path carried across requests: the
+/// per-class fault injector and the seeded backoff-jitter stream.
+#[derive(Debug, Clone)]
+pub struct SetupState {
+    config: SetupConfig,
+    injector: MessageFaultInjector,
+    backoff_rng: StdRng,
+}
+
+impl SetupState {
+    /// Creates the setup state. All randomness derives from `seed` via
+    /// label-separated streams, independent of the composer's selection
+    /// RNG.
+    pub fn new(seed: u64, config: SetupConfig) -> Self {
+        let root = DeterministicRng::new(seed);
+        SetupState {
+            injector: MessageFaultInjector::new(seed, config.faults.clone()),
+            backoff_rng: root.stream("setup/backoff"),
+            config,
+        }
+    }
+
+    /// The setup configuration in effect.
+    pub fn config(&self) -> &SetupConfig {
+        &self.config
+    }
+
+    /// True when every fault class is disabled — the two-phase path then
+    /// behaves byte-identically to the plain path.
+    pub fn is_inert(&self) -> bool {
+        self.config.faults.is_inert()
+    }
+}
+
 /// Result of one probing run.
 #[derive(Debug, Clone)]
 pub struct ProbingOutcome {
@@ -87,10 +254,24 @@ pub struct ProbingOutcome {
     pub session: Option<SessionId>,
     /// Message ledger for this request.
     pub stats: OverheadStats,
-    /// Number of probes that reached the sink.
+    /// Number of probes that reached the sink (summed over attempts).
     pub completed_probes: usize,
     /// Number of completed probes that passed final qualification.
     pub qualified_compositions: usize,
+    /// Probing rounds run (1 unless fault-induced retries happened).
+    pub attempts: u32,
+    /// Two-phase setup ledger (all-zero on the plain path).
+    pub setup: SetupStats,
+}
+
+/// Result of one probing attempt inside the retry loop.
+struct AttemptOutcome {
+    session: Option<SessionId>,
+    completed: usize,
+    qualified: usize,
+    /// A message fault defeated this attempt (dropped/stale probe thinned
+    /// the tree, or the confirmation was lost).
+    faulted: bool,
 }
 
 /// Runs the probing protocol for `request` and, on success, commits the
@@ -98,7 +279,9 @@ pub struct ProbingOutcome {
 ///
 /// Probing consumes transient reservations; whatever the outcome, no
 /// transient state belonging to `request` survives this call (confirmation
-/// converts the winner's reservations, failure releases them).
+/// converts the winner's reservations, failure releases them). This is the
+/// plain (reliable-transport) path — see [`probe_compose_with`] for the
+/// two-phase path under message faults.
 pub fn probe_compose<R: Rng + ?Sized>(
     system: &mut StreamSystem,
     board: &GlobalStateBoard,
@@ -107,7 +290,171 @@ pub fn probe_compose<R: Rng + ?Sized>(
     config: &ProbingConfig,
     rng: &mut R,
 ) -> ProbingOutcome {
+    probe_compose_with(system, board, request, now, config, None, rng)
+}
+
+/// The two-phase setup path: probing under a lossy message transport with
+/// fault-induced retries (see the module docs).
+///
+/// With `setup` `None` — or present with every fault rate at zero — this
+/// is byte-identical to [`probe_compose`]. When a confirmation was lost
+/// in flight the request's leases are **not** released (the deputy cannot
+/// tell a lost confirm from a committed session whose ack was lost, so
+/// releasing is unsafe and cleanup is left to the expiry-driven
+/// reclamation sweep); every other failure — probe faults included —
+/// releases them as before.
+pub fn probe_compose_with<R: Rng + ?Sized>(
+    system: &mut StreamSystem,
+    board: &GlobalStateBoard,
+    request: &Request,
+    now: SimTime,
+    config: &ProbingConfig,
+    mut setup: Option<&mut SetupState>,
+    rng: &mut R,
+) -> ProbingOutcome {
     let mut stats = OverheadStats::new();
+    let mut setup_stats = SetupStats::default();
+    let mut pending_stale: Option<Composition> = None;
+    let mut session = None;
+    let mut completed = 0;
+    let mut qualified = 0;
+    let mut attempt_now = now;
+    let mut attempts: u32 = 0;
+    let mut last_faulted;
+    let max_attempts = setup.as_deref().map_or(1, |s| s.config.max_attempts.max(1));
+    let mut escalator = setup.as_deref().map(|s| {
+        let base = config.probing_ratio.max(f64::MIN_POSITIVE);
+        let esc = EscalationConfig {
+            max_ratio: s.config.escalation.max_ratio.max(base),
+            ..s.config.escalation
+        };
+        AlphaEscalator::new(base, esc)
+    });
+    let mut ratio = config.probing_ratio;
+
+    loop {
+        attempts += 1;
+        setup_stats.attempts += 1;
+        // Escalation leaves the config untouched until a retry actually
+        // changes the ratio, so the zero-fault path borrows the caller's
+        // config directly.
+        let escalated;
+        let attempt_config: &ProbingConfig = if ratio == config.probing_ratio {
+            config
+        } else {
+            escalated = ProbingConfig { probing_ratio: ratio, ..config.clone() };
+            &escalated
+        };
+        let out = probe_attempt(
+            system,
+            board,
+            request,
+            attempt_now,
+            attempt_config,
+            setup.as_deref_mut().map(|s| &mut s.injector),
+            rng,
+            &mut stats,
+            &mut setup_stats,
+            &mut pending_stale,
+        );
+        completed += out.completed;
+        qualified += out.qualified;
+        last_faulted = out.faulted;
+        if out.session.is_some() {
+            session = out.session;
+            break;
+        }
+        // Retry only fault-induced failures: a request the system
+        // legitimately cannot serve fails exactly as on the plain path.
+        if !out.faulted || attempts >= max_attempts {
+            break;
+        }
+        let state = setup.as_deref_mut().expect("faulted attempts require setup state");
+        setup_stats.retries += 1;
+        // The deputy concludes the failed attempt by releasing every
+        // lease it reserved (§3.3 step 4 releases losers) — unless a
+        // confirmation is unaccounted for, in which case the commit may
+        // have landed and releasing could tear down a live session, so
+        // the leases are left for the expiry-driven reclamation sweep.
+        if setup_stats.confirms_lost == 0 {
+            system.release_request_transients(request.id);
+        }
+        // Deterministic exponential backoff with seeded jitter.
+        let backoff = state.config.backoff_base.as_secs_f64()
+            * state.config.backoff_factor.powi(attempts as i32 - 1);
+        let jitter = backoff * state.config.jitter_frac * state.backoff_rng.gen::<f64>();
+        attempt_now += SimDuration::from_secs_f64(backoff + jitter);
+        // Backoff-time reclamation sweep: recover whatever leases (ours
+        // or other requests') have expired in the meantime.
+        setup_stats.leases_reclaimed += system.expire_transients(attempt_now) as u64;
+        if let Some(esc) = escalator.as_mut() {
+            esc.record_failure();
+            ratio = esc.ratio();
+        }
+    }
+
+    // Stale-ack replay: a duplicate delivery of a lost confirmation
+    // resurfaces after the protocol concluded. Commits are idempotent per
+    // request — a request that already holds a session rejects the
+    // duplicate, so residuals are never committed twice.
+    if let Some(composition) = pending_stale.take() {
+        if session.is_some() || system.has_session_for(request.id) {
+            setup_stats.stale_acks_rejected += 1;
+        } else {
+            let assignment_len = composition.assignment.len() as u64;
+            match system.commit_session(request, composition) {
+                Ok(sid) => {
+                    stats.confirmation_messages += assignment_len;
+                    setup_stats.stale_acks_recovered += 1;
+                    session = Some(sid);
+                }
+                Err(_) => setup_stats.stale_acks_rejected += 1,
+            }
+        }
+    }
+
+    if session.is_none() {
+        if last_faulted {
+            setup_stats.fault_failures += 1;
+        }
+        if setup_stats.confirms_lost > 0 {
+            // A confirmation is unaccounted for: the deputy cannot tell
+            // a lost confirm from a committed session whose ack was
+            // lost, so releasing is unsafe — leases stay orphaned and
+            // the expiry-driven reclamation sweep recovers them.
+            setup_stats.leases_orphaned += system.request_lease_count(request.id) as u64;
+        } else {
+            system.release_request_transients(request.id);
+        }
+    }
+
+    ProbingOutcome {
+        session,
+        stats,
+        completed_probes: completed,
+        qualified_compositions: qualified,
+        attempts,
+        setup: setup_stats,
+    }
+}
+
+/// One probing round: phases 1 (lease placement via probes) and 2
+/// (confirmation) with transport faults injected, no retry and no final
+/// release — the caller owns both.
+#[allow(clippy::too_many_arguments)]
+fn probe_attempt<R: Rng + ?Sized>(
+    system: &mut StreamSystem,
+    board: &GlobalStateBoard,
+    request: &Request,
+    now: SimTime,
+    config: &ProbingConfig,
+    mut faults: Option<&mut MessageFaultInjector>,
+    rng: &mut R,
+    stats: &mut OverheadStats,
+    setup_stats: &mut SetupStats,
+    pending_stale: &mut Option<Composition>,
+) -> AttemptOutcome {
+    let mut faulted = false;
     let expiry = now + config.transient_timeout;
     let order = request.graph.topological_order();
 
@@ -179,7 +526,7 @@ pub fn probe_compose<R: Rng + ?Sized>(
                 config.probing_ratio,
                 config.risk_epsilon,
                 rng,
-                &mut stats,
+                stats,
                 &mut scratch,
             );
             for (rank, plan) in plans.into_iter().enumerate() {
@@ -213,6 +560,30 @@ pub fn probe_compose<R: Rng + ?Sized>(
             // Spawn and forward the probe (one hop message).
             stats.probes_spawned += 1;
             stats.probe_messages += 1;
+
+            // --- transport: the hop message may be dropped or delayed.
+            // Disabled fault classes consume no randomness, so with all
+            // rates at zero this block is byte-identical to not existing.
+            let mut transit_delay = probe.delay;
+            if let Some(inj) = faults.as_deref_mut() {
+                if inj.probe_dropped() {
+                    setup_stats.probes_lost += 1;
+                    faulted = true;
+                    continue;
+                }
+                let d = inj.probe_delay();
+                if d > SimDuration::ZERO {
+                    setup_stats.probes_delayed += 1;
+                    transit_delay += d;
+                    if transit_delay >= config.transient_timeout {
+                        // The probe limps in after the leases it placed
+                        // upstream have expired: stale, discard.
+                        setup_stats.stale_probes_discarded += 1;
+                        faulted = true;
+                        continue;
+                    }
+                }
+            }
 
             // --- per-hop processing at the candidate's node, against
             // --- precise local state ---
@@ -258,7 +629,9 @@ pub fn probe_compose<R: Rng + ?Sized>(
                 stats.probes_dropped += 1;
                 continue;
             }
-            next_frontier.push(probe.extend(vertex, plan.component, &plan.incoming, acc));
+            let mut child = probe.extend(vertex, plan.component, &plan.incoming, acc);
+            child.delay = transit_delay;
+            next_frontier.push(child);
         }
         std::mem::swap(&mut frontier, &mut next_frontier);
         if frontier.is_empty() {
@@ -308,12 +681,28 @@ pub fn probe_compose<R: Rng + ?Sized>(
         }
     }
 
-    // Step 4: session setup — first composition that commits wins. The
-    // first commit attempt releases the request's transient holds
-    // (confirmation supersedes reservation).
+    // Step 4 (phase 2): session setup — first composition whose
+    // confirmation lands and commits wins. The first commit attempt
+    // releases the request's transient holds (confirmation supersedes
+    // reservation).
     let mut session = None;
     for composition in compositions {
         let assignment_len = composition.assignment.len() as u64;
+        if let Some(inj) = faults.as_deref_mut() {
+            if inj.confirm_lost() {
+                setup_stats.confirms_lost += 1;
+                // The confirmation vanished in transit; the deputy times
+                // out waiting for the ack and gives this attempt up. The
+                // winner's leases stay orphaned. With probability
+                // `stale_ack` the message was merely trapped and
+                // resurfaces later as a duplicate delivery.
+                if inj.stale_ack_resurfaces() {
+                    *pending_stale = Some(composition);
+                }
+                faulted = true;
+                break;
+            }
+        }
         match system.commit_session(request, composition) {
             Ok(sid) => {
                 stats.confirmation_messages += assignment_len;
@@ -323,11 +712,8 @@ pub fn probe_compose<R: Rng + ?Sized>(
             Err(_) => continue,
         }
     }
-    if session.is_none() {
-        system.release_request_transients(request.id);
-    }
 
-    ProbingOutcome { session, stats, completed_probes: completed, qualified_compositions: qualified }
+    AttemptOutcome { session, completed, qualified, faulted }
 }
 
 #[cfg(test)]
@@ -477,6 +863,184 @@ mod tests {
         let cfg = ProbingConfig { final_selection: FinalSelection::Random, ..ProbingConfig::default() };
         let out = probe_compose(&mut sys, &board, &req, SimTime::ZERO, &cfg, &mut rng);
         assert!(out.session.is_some());
+    }
+
+    #[test]
+    fn inert_two_phase_is_byte_identical_to_plain() {
+        let (sys0, board) = build(21, 40);
+        let req = path_request(&sys0, 21, 3);
+        let cfg = ProbingConfig::default();
+        let mut sys_a = sys0.clone();
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let plain = probe_compose(&mut sys_a, &board, &req, SimTime::ZERO, &cfg, &mut rng_a);
+        let mut sys_b = sys0.clone();
+        let mut rng_b = StdRng::seed_from_u64(9);
+        let mut setup = SetupState::new(77, SetupConfig::default());
+        assert!(setup.is_inert());
+        let two = probe_compose_with(
+            &mut sys_b,
+            &board,
+            &req,
+            SimTime::ZERO,
+            &cfg,
+            Some(&mut setup),
+            &mut rng_b,
+        );
+        assert_eq!(plain.session, two.session);
+        assert_eq!(plain.stats, two.stats);
+        assert_eq!(plain.completed_probes, two.completed_probes);
+        assert_eq!(plain.qualified_compositions, two.qualified_compositions);
+        assert_eq!(two.attempts, 1);
+        assert_eq!(two.setup, SetupStats { attempts: 1, ..SetupStats::default() });
+        assert_eq!(sys_a.lease_stats(), sys_b.lease_stats());
+        // The selection RNG advanced identically on both paths.
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+    }
+
+    #[test]
+    fn probe_loss_retries_with_escalation_and_recovers() {
+        let (mut sys, board) = build(22, 50);
+        let cfg = ProbingConfig::default();
+        let setup_cfg = SetupConfig {
+            faults: MessageFaultConfig { probe_drop: 0.3, ..MessageFaultConfig::default() },
+            ..SetupConfig::default()
+        };
+        let mut setup = SetupState::new(5, setup_cfg);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut retried = 0u64;
+        let mut composed = 0u64;
+        for id in 0..20u64 {
+            // Arrivals a lease-lifetime apart, with the arrival-time
+            // reclamation sweep the scenario driver also runs — earlier
+            // requests' orphans never depress availability here.
+            let now = SimTime::ZERO + SimDuration::from_secs(40 * id);
+            sys.expire_transients(now);
+            let req = path_request(&sys, 100 + id, 3);
+            let out =
+                probe_compose_with(&mut sys, &board, &req, now, &cfg, Some(&mut setup), &mut rng);
+            retried += out.setup.retries;
+            if let Some(sid) = out.session {
+                composed += 1;
+                sys.close_session(sid);
+            }
+        }
+        assert!(retried > 0, "30% probe loss must trigger retries");
+        assert!(
+            composed >= 18,
+            "retry with escalation should recover nearly all requests, got {composed}/20"
+        );
+    }
+
+    #[test]
+    fn lost_confirm_orphans_leases_until_reclamation_sweep() {
+        let (mut sys, board) = build(23, 40);
+        let req = path_request(&sys, 23, 3);
+        let cfg = ProbingConfig::default();
+        let setup_cfg = SetupConfig {
+            faults: MessageFaultConfig { confirm_loss: 1.0, ..MessageFaultConfig::default() },
+            max_attempts: 1,
+            ..SetupConfig::default()
+        };
+        let mut setup = SetupState::new(3, setup_cfg);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = probe_compose_with(
+            &mut sys,
+            &board,
+            &req,
+            SimTime::ZERO,
+            &cfg,
+            Some(&mut setup),
+            &mut rng,
+        );
+        assert!(out.session.is_none(), "lost confirmation cannot establish a session");
+        assert_eq!(out.setup.confirms_lost, 1);
+        assert!(out.setup.leases_orphaned > 0, "winner's leases must stay orphaned");
+        assert!(sys.live_lease_count() > 0, "orphans persist until the sweep");
+        assert_eq!(sys.session_count(), 0);
+        // The expiry-driven reclamation sweep recovers every orphan.
+        let horizon = SimTime::ZERO + cfg.transient_timeout + SimDuration::from_secs(1);
+        sys.expire_transients(horizon);
+        assert_eq!(sys.live_lease_count(), 0, "sweep must reclaim all orphans");
+        assert!(sys.lease_stats().reconciles(0));
+        assert!(SystemAuditor::default().audit_at(&sys, Some(horizon)).is_clean());
+    }
+
+    #[test]
+    fn stale_ack_recovers_otherwise_failed_request() {
+        let (mut sys, board) = build(24, 40);
+        let req = path_request(&sys, 24, 3);
+        let cfg = ProbingConfig::default();
+        let setup_cfg = SetupConfig {
+            faults: MessageFaultConfig {
+                confirm_loss: 1.0,
+                stale_ack: 1.0,
+                ..MessageFaultConfig::default()
+            },
+            max_attempts: 1,
+            ..SetupConfig::default()
+        };
+        let mut setup = SetupState::new(4, setup_cfg);
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = probe_compose_with(
+            &mut sys,
+            &board,
+            &req,
+            SimTime::ZERO,
+            &cfg,
+            Some(&mut setup),
+            &mut rng,
+        );
+        // The trapped confirmation resurfaced and salvaged the request.
+        assert_eq!(out.setup.confirms_lost, 1);
+        assert_eq!(out.setup.stale_acks_recovered, 1);
+        assert!(out.session.is_some());
+        assert_eq!(sys.session_count(), 1);
+    }
+
+    /// Regression: a confirmation lost mid-flight must never double-commit
+    /// residuals when the retry succeeds on another composition — the
+    /// commit is idempotent per request, so the resurfacing stale ack is
+    /// rejected.
+    #[test]
+    fn lost_confirm_never_double_commits_after_successful_retry() {
+        let (mut sys, board) = build(25, 50);
+        let cfg = ProbingConfig::default();
+        let setup_cfg = SetupConfig {
+            faults: MessageFaultConfig {
+                confirm_loss: 0.5,
+                stale_ack: 1.0,
+                ..MessageFaultConfig::default()
+            },
+            ..SetupConfig::default()
+        };
+        let mut setup = SetupState::new(11, setup_cfg);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut exercised = false;
+        for id in 0..30u64 {
+            let req = path_request(&sys, 200 + id, 3);
+            let out = probe_compose_with(
+                &mut sys,
+                &board,
+                &req,
+                SimTime::ZERO,
+                &cfg,
+                Some(&mut setup),
+                &mut rng,
+            );
+            let sessions = sys.sessions().filter(|s| s.request == req.id).count();
+            assert!(sessions <= 1, "request {id} double-committed residuals");
+            if out.setup.confirms_lost > 0
+                && out.session.is_some()
+                && out.setup.stale_acks_rejected > 0
+            {
+                exercised = true;
+            }
+            if let Some(sid) = out.session {
+                sys.close_session(sid);
+            }
+        }
+        assert!(exercised, "no request exercised the stale-ack rejection path");
+        assert!(sys.lease_stats().reconciles(sys.live_lease_count() as u64));
     }
 
     #[test]

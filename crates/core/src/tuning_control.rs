@@ -137,6 +137,88 @@ impl PiRatioController {
     }
 }
 
+/// Escalation policy for the two-phase setup retry loop: how aggressively
+/// the probing ratio grows on consecutive failed attempts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EscalationConfig {
+    /// Multiplicative ratio bump per consecutive failure.
+    pub factor: f64,
+    /// Actuator upper bound (the probing-overhead limit of footnote 9).
+    pub max_ratio: f64,
+}
+
+impl Default for EscalationConfig {
+    fn default() -> Self {
+        EscalationConfig { factor: 1.6, max_ratio: 1.0 }
+    }
+}
+
+/// Open-loop probing-ratio escalation for retries within one request.
+///
+/// Where [`PiRatioController`] tunes α across sampling periods from the
+/// measured success rate, the escalator reacts *within* a single request's
+/// setup: each failed attempt widens the next attempt's probe fan-out
+/// multiplicatively, so a request whose probes were unlucky with a lossy
+/// transport quickly buys itself redundancy instead of replaying the same
+/// thin probe tree.
+///
+/// # Example
+///
+/// ```
+/// use acp_core::tuning_control::{AlphaEscalator, EscalationConfig};
+///
+/// let mut esc = AlphaEscalator::new(0.3, EscalationConfig::default());
+/// assert_eq!(esc.ratio(), 0.3);
+/// esc.record_failure();
+/// assert!(esc.ratio() > 0.3);
+/// esc.record_success();
+/// assert_eq!(esc.ratio(), 0.3);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct AlphaEscalator {
+    config: EscalationConfig,
+    base: f64,
+    consecutive_failures: u32,
+}
+
+impl AlphaEscalator {
+    /// Creates an escalator starting from `base` (the configured probing
+    /// ratio).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive base, a factor below 1, or a cap below
+    /// the base.
+    pub fn new(base: f64, config: EscalationConfig) -> Self {
+        assert!(base > 0.0, "base ratio must be positive");
+        assert!(config.factor >= 1.0, "escalation factor must be >= 1");
+        assert!(config.max_ratio >= base, "cap must not undercut the base ratio");
+        AlphaEscalator { config, base, consecutive_failures: 0 }
+    }
+
+    /// The probing ratio for the next attempt:
+    /// `min(base · factor^failures, max_ratio)`.
+    pub fn ratio(&self) -> f64 {
+        (self.base * self.config.factor.powi(self.consecutive_failures as i32))
+            .min(self.config.max_ratio)
+    }
+
+    /// Consecutive failures observed since the last success.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// Records a failed attempt, widening the next attempt's fan-out.
+    pub fn record_failure(&mut self) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+    }
+
+    /// Records a success, resetting to the base ratio.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,5 +328,35 @@ mod tests {
             initial_ratio: 0.01,
             ..PiControllerConfig::default()
         });
+    }
+
+    #[test]
+    fn escalator_grows_geometrically_and_caps() {
+        let mut esc = AlphaEscalator::new(0.2, EscalationConfig { factor: 2.0, max_ratio: 1.0 });
+        assert_eq!(esc.ratio(), 0.2);
+        esc.record_failure();
+        assert!((esc.ratio() - 0.4).abs() < 1e-12);
+        esc.record_failure();
+        assert!((esc.ratio() - 0.8).abs() < 1e-12);
+        esc.record_failure();
+        assert_eq!(esc.ratio(), 1.0, "capped at max_ratio");
+        assert_eq!(esc.consecutive_failures(), 3);
+    }
+
+    #[test]
+    fn escalator_resets_on_success() {
+        let mut esc = AlphaEscalator::new(0.3, EscalationConfig::default());
+        esc.record_failure();
+        esc.record_failure();
+        assert!(esc.ratio() > 0.3);
+        esc.record_success();
+        assert_eq!(esc.ratio(), 0.3);
+        assert_eq!(esc.consecutive_failures(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap must not undercut")]
+    fn escalator_rejects_cap_below_base() {
+        let _ = AlphaEscalator::new(0.5, EscalationConfig { factor: 1.5, max_ratio: 0.4 });
     }
 }

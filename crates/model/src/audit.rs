@@ -27,12 +27,18 @@
 //!   forwarding plane fail together.
 //! * **Path-cache purity**: no memoized virtual path traverses a failed
 //!   node (guarding the targeted invalidation of the route memo).
+//! * **Reservation conservation**: the lease ledger reconciles
+//!   (`created == expired + released + promoted + live`), no request
+//!   holds leases while its session is live, and — via
+//!   [`SystemAuditor::audit_at`] with a reference instant — no lease
+//!   outlives its expiry past the reclamation sweep.
 //!
 //! End-to-end QoS (Eq. 3) is deliberately *not* re-audited: effective
 //! component delay inflates with node load, and the modelled system
 //! keeps admitted sessions running through such drift rather than
 //! tearing them down.
 
+use acp_simcore::SimTime;
 use acp_topology::{OverlayLinkId, OverlayNodeId};
 
 use crate::component::ComponentId;
@@ -160,6 +166,44 @@ pub enum AuditViolation {
         /// The failed node on the cached path.
         via: OverlayNodeId,
     },
+    /// The reservation-lease ledger does not reconcile: every lease ever
+    /// created must be accounted as expired, released, promoted, or
+    /// still live (`created == expired + released + promoted + live`).
+    LeaseLedgerMismatch {
+        /// Leases ever created.
+        created: u64,
+        /// Leases dropped by the expiry sweep.
+        expired: u64,
+        /// Leases released explicitly.
+        released: u64,
+        /// Leases promoted to committed residuals.
+        promoted: u64,
+        /// Leases currently outstanding.
+        live: u64,
+    },
+    /// A node still holds transient leases past their expiry at the
+    /// audited instant (the reclamation sweep must have recovered them).
+    NodeLeaseOutlivedExpiry {
+        /// The node holding stale leases.
+        node: OverlayNodeId,
+        /// How many stale leases it holds.
+        count: usize,
+    },
+    /// An overlay link still holds transient leases past their expiry at
+    /// the audited instant.
+    LinkLeaseOutlivedExpiry {
+        /// The link holding stale leases.
+        link: OverlayLinkId,
+        /// How many stale leases it holds.
+        count: usize,
+    },
+    /// A request with a live session still holds transient leases — the
+    /// confirmation must release or promote every lease of its request,
+    /// so surviving leases here mean double-held resources.
+    LeaseHeldByCommittedRequest {
+        /// The request holding both a session and leases.
+        request: u64,
+    },
 }
 
 impl std::fmt::Display for AuditViolation {
@@ -203,6 +247,21 @@ impl std::fmt::Display for AuditViolation {
             }
             AuditViolation::CachedPathThroughFailed { from, to, via } => {
                 write!(f, "cached path {from}->{to} traverses failed {via}")
+            }
+            AuditViolation::LeaseLedgerMismatch { created, expired, released, promoted, live } => {
+                write!(
+                    f,
+                    "lease ledger: created {created} != expired {expired} + released {released} + promoted {promoted} + live {live}"
+                )
+            }
+            AuditViolation::NodeLeaseOutlivedExpiry { node, count } => {
+                write!(f, "{node}: holds {count} lease(s) past expiry")
+            }
+            AuditViolation::LinkLeaseOutlivedExpiry { link, count } => {
+                write!(f, "link {}: holds {count} lease(s) past expiry", link.0)
+            }
+            AuditViolation::LeaseHeldByCommittedRequest { request } => {
+                write!(f, "request {request}: holds leases while a session is live")
             }
         }
     }
@@ -319,15 +378,71 @@ impl Default for SystemAuditor {
 impl SystemAuditor {
     /// Audits every invariant, returning all violations found (in
     /// deterministic order: nodes by index, links by index, sessions by
-    /// id, cached paths by key).
+    /// id, cached paths by key). Equivalent to
+    /// [`Self::audit_at`]`(system, None)` — without a reference instant
+    /// the lease-expiry check is skipped (leases past their expiry are
+    /// legitimate *between* reclamation sweeps).
     pub fn audit(&self, system: &StreamSystem) -> AuditReport {
+        self.audit_at(system, None)
+    }
+
+    /// Audits every invariant; when `now` is given (an instant at or
+    /// after the latest reclamation sweep), additionally checks that no
+    /// transient lease has outlived its expiry.
+    pub fn audit_at(&self, system: &StreamSystem, now: Option<SimTime>) -> AuditReport {
         let mut out = Vec::new();
         self.audit_nodes(system, &mut out);
         self.audit_conservation(system, &mut out);
         self.audit_links(system, &mut out);
         self.audit_sessions(system, &mut out);
         self.audit_path_cache(system, &mut out);
+        self.audit_leases(system, now, &mut out);
         AuditReport { violations: out }
+    }
+
+    /// Reservation-conservation pass: the lease ledger reconciles
+    /// (`created == expired + released + promoted + live`; combined with
+    /// the per-node Eq. 4 check above this is the paper-side invariant
+    /// committed + leased + residual = capacity), no request holds
+    /// leases while its session is live, and — when `now` is given — no
+    /// lease has outlived its expiry past the reclamation sweep.
+    fn audit_leases(
+        &self,
+        system: &StreamSystem,
+        now: Option<SimTime>,
+        out: &mut Vec<AuditViolation>,
+    ) {
+        let stats = system.lease_stats();
+        let live = system.live_lease_count() as u64;
+        if !stats.reconciles(live) {
+            out.push(AuditViolation::LeaseLedgerMismatch {
+                created: stats.created,
+                expired: stats.expired,
+                released: stats.released,
+                promoted: stats.promoted,
+                live,
+            });
+        }
+        for request in system.leased_requests() {
+            if system.has_session_for(crate::request::RequestId(request)) {
+                out.push(AuditViolation::LeaseHeldByCommittedRequest { request });
+            }
+        }
+        if let Some(now) = now {
+            for i in 0..system.node_count() {
+                let v = OverlayNodeId(i as u32);
+                let count = system.node(v).expired_transient_count(now);
+                if count > 0 {
+                    out.push(AuditViolation::NodeLeaseOutlivedExpiry { node: v, count });
+                }
+            }
+            for l in system.overlay().links() {
+                let count = system.link_expired_transient_count(l, now);
+                if count > 0 {
+                    out.push(AuditViolation::LinkLeaseOutlivedExpiry { link: l, count });
+                }
+            }
+        }
     }
 
     fn audit_nodes(&self, system: &StreamSystem, out: &mut Vec<AuditViolation>) {
@@ -673,6 +788,99 @@ mod tests {
                 .any(|v| matches!(v, AuditViolation::SessionCoverage { .. })),
             "{report}"
         );
+    }
+
+    #[test]
+    fn lease_lifecycle_audits_clean() {
+        let mut sys = build_system(7, 25);
+        let auditor = SystemAuditor::default();
+        let now = acp_simcore::SimTime::from_secs(0);
+        // Reserve a couple of leases for a request that never commits.
+        let f = sys.registry().ids().find(|&f| !sys.candidates(f).is_empty()).unwrap();
+        let c = sys.candidates(f)[0];
+        let r = RequestId(7);
+        let expiry = now + acp_simcore::SimDuration::from_secs(30);
+        assert!(sys.reserve_component_transient(r, c, ResourceVector::new(1.0, 1.0), expiry));
+        assert!(auditor.audit_at(&sys, Some(now)).is_clean());
+        assert_eq!(sys.live_lease_count(), 1);
+        assert_eq!(sys.next_lease_expiry(), Some(expiry));
+        // Past the expiry, an un-swept lease is a violation…
+        let late = expiry + acp_simcore::SimDuration::from_secs(1);
+        let report = auditor.audit_at(&sys, Some(late));
+        assert!(report.violations().iter().any(|v| matches!(
+            v,
+            AuditViolation::NodeLeaseOutlivedExpiry { count: 1, .. }
+        )));
+        // …and clean again right after the reclamation sweep.
+        assert_eq!(sys.expire_transients(late), 1);
+        assert!(auditor.audit_at(&sys, Some(late)).is_clean());
+        let stats = sys.lease_stats();
+        assert_eq!((stats.created, stats.expired), (1, 1));
+        assert!(stats.reconciles(0));
+    }
+
+    #[test]
+    fn committed_sessions_promote_their_leases() {
+        let mut sys = build_system(8, 25);
+        let sessions = commit_sessions(&mut sys, 3);
+        assert!(!sessions.is_empty());
+        // commit_sessions reserves nothing transiently, so promoted stays
+        // zero — now run one commit that *does* hold leases first.
+        let s = sys.session(sessions[0]).unwrap();
+        let request = Request { id: RequestId(900), ..s.request_spec.clone() };
+        let composition = s.composition.clone();
+        let expiry = acp_simcore::SimTime::from_secs(30);
+        for v in request.graph.vertices() {
+            let demand = request.vertex_demand(&sys.registry().clone(), v);
+            assert!(sys.reserve_component_transient(
+                request.id,
+                composition.assignment[v],
+                demand,
+                expiry
+            ));
+        }
+        let held = sys.live_lease_count() as u64;
+        assert!(held > 0);
+        sys.commit_session(&request, composition).expect("qualified");
+        let stats = sys.lease_stats();
+        assert_eq!(stats.promoted, held);
+        assert!(stats.reconciles(sys.live_lease_count() as u64));
+        assert!(SystemAuditor::default().audit(&sys).is_clean());
+    }
+
+    #[test]
+    fn detects_lease_ledger_mismatch_and_double_hold() {
+        let mut sys = build_system(9, 25);
+        let sessions = commit_sessions(&mut sys, 2);
+        assert!(!sessions.is_empty());
+        let s = sys.session(sessions[0]).unwrap();
+        let (rid, comp) = (s.request, s.composition.assignment[0]);
+        // A lease held by a request whose session is live is flagged.
+        assert!(sys.reserve_component_transient(
+            rid,
+            comp,
+            ResourceVector::new(0.5, 0.5),
+            acp_simcore::SimTime::from_secs(30)
+        ));
+        let report = SystemAuditor::default().audit(&sys);
+        assert!(report.violations().iter().any(|v| matches!(
+            v,
+            AuditViolation::LeaseHeldByCommittedRequest { request } if *request == rid.0
+        )));
+        sys.release_component_transient(rid, comp);
+        assert!(SystemAuditor::default().audit(&sys).is_clean());
+        // A reservation made behind the ledger's back breaks reconciliation.
+        let node = comp.node;
+        assert!(sys.node_mut(node).reserve_transient(
+            crate::node::ReservationKey { request: 999, component: comp },
+            ResourceVector::new(0.1, 0.1),
+            acp_simcore::SimTime::from_secs(30)
+        ));
+        let report = SystemAuditor::default().audit(&sys);
+        assert!(report.violations().iter().any(|v| matches!(
+            v,
+            AuditViolation::LeaseLedgerMismatch { .. }
+        )));
     }
 
     #[test]

@@ -73,7 +73,9 @@ pub mod prelude {
     pub use crate::qos::{LossRate, Qos, QosRequirement};
     pub use crate::request::{Request, RequestId};
     pub use crate::resources::{ResourceKind, ResourceVector};
-    pub use crate::system::{AdmissionError, Session, SessionId, StreamSystem, SystemConfig};
+    pub use crate::system::{
+        AdmissionError, LeaseStats, Session, SessionId, StreamSystem, SystemConfig,
+    };
 }
 
 pub use prelude::*;

@@ -244,6 +244,23 @@ impl StreamNode {
     pub fn transient_count(&self) -> usize {
         self.transient.len()
     }
+
+    /// Number of live transient reservations whose expiry has passed at
+    /// `now` — the leases a reclamation sweep at `now` would drop. The
+    /// lease auditor checks this is zero right after a sweep.
+    pub fn expired_transient_count(&self, now: SimTime) -> usize {
+        self.transient.iter().filter(|t| t.expires <= now).count()
+    }
+
+    /// The earliest expiry among live transient reservations.
+    pub fn earliest_transient_expiry(&self) -> Option<SimTime> {
+        self.transient.iter().map(|t| t.expires).min()
+    }
+
+    /// Request ids holding at least one live transient reservation here.
+    pub fn transient_requests(&self) -> impl Iterator<Item = u64> + '_ {
+        self.transient.iter().map(|t| t.key.request)
+    }
 }
 
 #[cfg(test)]

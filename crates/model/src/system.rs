@@ -153,6 +153,35 @@ impl Default for SystemConfig {
     }
 }
 
+/// Running ledger of transient reservation *leases* — one entry per
+/// reservation the system ever placed (a path reservation counts one
+/// lease per overlay link). Every lease created must eventually be
+/// accounted for exactly once: dropped by the expiry sweep, released
+/// explicitly, or promoted to a committed residual by a confirmed
+/// session. The auditor's reconciliation invariant is
+/// `created == expired + released + promoted + live`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeaseStats {
+    /// Leases placed (fresh reservations; idempotent refreshes don't
+    /// count).
+    pub created: u64,
+    /// Leases dropped by the reclamation sweep after their expiry.
+    pub expired: u64,
+    /// Leases released explicitly (losing candidates, failed
+    /// compositions, fault teardown).
+    pub released: u64,
+    /// Leases promoted to committed residuals by a session confirmation.
+    pub promoted: u64,
+}
+
+impl LeaseStats {
+    /// True when every lease ever created is accounted for, given `live`
+    /// leases currently outstanding.
+    pub fn reconciles(&self, live: u64) -> bool {
+        self.created == self.expired + self.released + self.promoted + live
+    }
+}
+
 /// The distributed stream-processing system.
 #[derive(Clone)]
 pub struct StreamSystem {
@@ -175,6 +204,7 @@ pub struct StreamSystem {
     /// `u32::MAX` for tombstones. Dense ids are never reused.
     dense_ids: Vec<Vec<u32>>,
     dense_count: u32,
+    lease_stats: LeaseStats,
 }
 
 impl std::fmt::Debug for StreamSystem {
@@ -350,6 +380,7 @@ impl StreamSystem {
             sessions: HashMap::new(),
             next_session: 0,
             load_delay_factor: config.load_delay_factor,
+            lease_stats: LeaseStats::default(),
         }
     }
 
@@ -510,6 +541,7 @@ impl StreamSystem {
         let before = node.transient_count();
         let ok = node.reserve_transient(key, amount, expires);
         if ok && node.transient_count() != before {
+            self.lease_stats.created += 1;
             self.touch_node(component.node);
         }
         ok
@@ -519,6 +551,7 @@ impl StreamSystem {
     pub fn release_component_transient(&mut self, request: RequestId, component: ComponentId) {
         let key = ReservationKey { request: request.0, component };
         if self.nodes[component.node.index()].release_transient(key).is_some() {
+            self.lease_stats.released += 1;
             self.touch_node(component.node);
         }
     }
@@ -555,6 +588,7 @@ impl StreamSystem {
                 }
             } else {
                 state.transient.push(LinkTransient { key, kbps, expires });
+                self.lease_stats.created += 1;
                 self.touch_link_index(i);
             }
         }
@@ -568,6 +602,7 @@ impl StreamSystem {
             let before = state.transient.len();
             state.transient.retain(|t| t.key != key);
             if state.transient.len() != before {
+                self.lease_stats.released += (before - state.transient.len()) as u64;
                 self.link_versions[i] += 1;
             }
         }
@@ -592,16 +627,21 @@ impl StreamSystem {
             }
             dropped += before - state.transient.len();
         }
+        self.lease_stats.expired += dropped as u64;
         dropped
     }
 
     /// Releases **all** transient reservations belonging to `request`
-    /// (dropped probes, failed compositions).
-    pub fn release_request_transients(&mut self, request: RequestId) {
+    /// (dropped probes, failed compositions). Returns the number of
+    /// leases released.
+    pub fn release_request_transients(&mut self, request: RequestId) -> usize {
+        let mut dropped = 0;
         for (i, node) in self.nodes.iter_mut().enumerate() {
-            if node.release_request_transients(request.0) > 0 {
+            let d = node.release_request_transients(request.0);
+            if d > 0 {
                 self.node_versions[i] += 1;
             }
+            dropped += d;
         }
         for (i, state) in self.links.iter_mut().enumerate() {
             let before = state.transient.len();
@@ -609,7 +649,10 @@ impl StreamSystem {
             if state.transient.len() != before {
                 self.link_versions[i] += 1;
             }
+            dropped += before - state.transient.len();
         }
+        self.lease_stats.released += dropped as u64;
+        dropped
     }
 
     // ------------------------------------------------------------------
@@ -677,8 +720,12 @@ impl StreamSystem {
         composition: Composition,
     ) -> Result<SessionId, AdmissionError> {
         // Free the request's own holds so availability reflects exactly
-        // the non-this-request load, then validate as a group.
-        self.release_request_transients(request.id);
+        // the non-this-request load, then validate as a group. On
+        // success the freed holds are re-classified as *promoted* in the
+        // lease ledger — confirmation is what turns a lease into a
+        // committed residual (§3.3 step 4); a failed confirmation leaves
+        // them counted as released.
+        let held = self.release_request_transients(request.id) as u64;
         self.qualify(request, &composition)?;
 
         // Group node demand and link demand (validated above), then apply.
@@ -693,6 +740,9 @@ impl StreamSystem {
             self.links[link.index()].committed_kbps += kbps;
             self.touch_link_index(link.index());
         }
+
+        self.lease_stats.released -= held;
+        self.lease_stats.promoted += held;
 
         let id = SessionId(self.next_session);
         self.next_session += 1;
@@ -739,6 +789,8 @@ impl StreamSystem {
     /// Returns the undeployed components and the terminated sessions'
     /// request specifications (for failover recomposition).
     pub fn fail_node(&mut self, v: OverlayNodeId) -> (Vec<ComponentId>, Vec<Request>) {
+        // Fail-stop drops the node's transient leases with it.
+        self.lease_stats.released += self.nodes[v.index()].transient_count() as u64;
         let undeployed: Vec<Component> = self.nodes[v.index()].fail();
         self.touch_node(v);
         let undeployed_ids: Vec<ComponentId> = undeployed.iter().map(|c| c.id).collect();
@@ -814,6 +866,7 @@ impl StreamSystem {
             return Vec::new();
         }
         self.links[i].failed = true;
+        self.lease_stats.released += self.links[i].transient.len() as u64;
         self.links[i].transient.clear();
         self.touch_link_index(i);
         self.terminate_sessions_where(|s| s.uses_link(l))
@@ -971,6 +1024,92 @@ impl StreamSystem {
     /// Iterates over live sessions.
     pub fn sessions(&self) -> impl Iterator<Item = &Session> {
         self.sessions.values()
+    }
+
+    /// True when any live session serves `request` — the idempotent-
+    /// commit guard of the two-phase protocol (a stale acknowledgement
+    /// for a request that already holds a session must not commit a
+    /// second set of residuals).
+    pub fn has_session_for(&self, request: RequestId) -> bool {
+        self.sessions.values().any(|s| s.request == request)
+    }
+
+    // ------------------------------------------------------------------
+    // Reservation-lease ledger
+    // ------------------------------------------------------------------
+
+    /// The running lease ledger (see [`LeaseStats`]).
+    pub fn lease_stats(&self) -> LeaseStats {
+        self.lease_stats
+    }
+
+    /// Transient reservation leases currently outstanding across every
+    /// node and overlay link.
+    pub fn live_lease_count(&self) -> usize {
+        self.nodes.iter().map(StreamNode::transient_count).sum::<usize>()
+            + self.links.iter().map(|l| l.transient.len()).sum::<usize>()
+    }
+
+    /// The earliest expiry among outstanding leases — when the next
+    /// reclamation sweep will actually drop something.
+    pub fn next_lease_expiry(&self) -> Option<SimTime> {
+        let node_min = self.nodes.iter().filter_map(StreamNode::earliest_transient_expiry).min();
+        let link_min =
+            self.links.iter().flat_map(|l| l.transient.iter().map(|t| t.expires)).min();
+        match (node_min, link_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Outstanding leases whose expiry has already passed at `now` —
+    /// the leases a reclamation sweep at `now` would drop. Zero right
+    /// after a sweep; the lease auditor checks exactly that.
+    pub fn expired_lease_count(&self, now: SimTime) -> usize {
+        self.nodes.iter().map(|n| n.expired_transient_count(now)).sum::<usize>()
+            + self
+                .links
+                .iter()
+                .map(|l| l.transient.iter().filter(|t| t.expires <= now).count())
+                .sum::<usize>()
+    }
+
+    /// Outstanding transient leases on overlay link `l`.
+    pub fn link_transient_count(&self, l: OverlayLinkId) -> usize {
+        self.links[l.index()].transient.len()
+    }
+
+    /// Outstanding leases on overlay link `l` whose expiry has passed at
+    /// `now`.
+    pub fn link_expired_transient_count(&self, l: OverlayLinkId, now: SimTime) -> usize {
+        self.links[l.index()].transient.iter().filter(|t| t.expires <= now).count()
+    }
+
+    /// Outstanding leases (node and link) held by `request`.
+    pub fn request_lease_count(&self, request: RequestId) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.transient_requests().filter(|&r| r == request.0).count())
+            .sum::<usize>()
+            + self
+                .links
+                .iter()
+                .map(|l| l.transient.iter().filter(|t| t.key.request == request.0).count())
+                .sum::<usize>()
+    }
+
+    /// Request ids holding at least one outstanding lease, sorted and
+    /// deduplicated (deterministic audit order).
+    pub fn leased_requests(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .nodes
+            .iter()
+            .flat_map(StreamNode::transient_requests)
+            .chain(self.links.iter().flat_map(|l| l.transient.iter().map(|t| t.key.request)))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 }
 

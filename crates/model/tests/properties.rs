@@ -116,6 +116,140 @@ proptest! {
     }
 }
 
+mod lease_reconciliation {
+    use super::*;
+    use acp_model::audit::SystemAuditor;
+    use acp_simcore::SimTime;
+    use acp_topology::{InetConfig, Overlay, OverlayConfig, OverlayLinkId, OverlayNodeId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build(seed: u64) -> StreamSystem {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ip = InetConfig { nodes: 120, ..InetConfig::default() }.generate(&mut rng);
+        let overlay =
+            Overlay::build(&ip, &OverlayConfig { stream_nodes: 15, neighbors: 4 }, &mut rng);
+        StreamSystem::generate(
+            overlay,
+            FunctionRegistry::standard(),
+            &SystemConfig::default(),
+            &mut rng,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Any interleaving of reserve / confirm / release / expire /
+        /// fault events keeps the lease ledger reconciled at every step
+        /// and leaves zero orphans after the final reclamation sweep.
+        #[test]
+        fn lease_interleavings_reconcile_to_zero_orphans(
+            seed in 0u64..6,
+            ops in prop::collection::vec((0u8..6, 0usize..64, 1u64..9), 1..48),
+        ) {
+            let mut sys = build(seed);
+            let auditor = SystemAuditor::default();
+            let mut now = SimTime::ZERO;
+            let lease = SimDuration::from_secs(30);
+            let fns: Vec<FunctionId> =
+                sys.registry().ids().filter(|&f| !sys.candidates(f).is_empty()).collect();
+            for (kind, pick, req) in ops {
+                let r = RequestId(req);
+                match kind {
+                    // Reserve end-system resources on a candidate.
+                    0 => {
+                        let f = fns[pick % fns.len()];
+                        let cands = sys.candidates(f);
+                        if !cands.is_empty() {
+                            let c = cands[pick % cands.len()];
+                            let _ = sys.reserve_component_transient(
+                                r, c, ResourceVector::new(0.2, 0.8), now + lease,
+                            );
+                        }
+                    }
+                    // Reserve bandwidth along a virtual path.
+                    1 => {
+                        let n = sys.node_count() as u32;
+                        let a = OverlayNodeId(pick as u32 % n);
+                        let b = OverlayNodeId((pick as u32 / 7 + 1) % n);
+                        if a != b {
+                            if let Some(path) = sys.virtual_path(a, b) {
+                                let _ = sys.reserve_path_transient(r, pick % 4, &path, 1.0, now + lease);
+                            }
+                        }
+                    }
+                    // Explicit release (failed composition / lost probe).
+                    2 => {
+                        sys.release_request_transients(r);
+                    }
+                    // Time passes; the reclamation sweep runs.
+                    3 => {
+                        now += SimDuration::from_secs((pick % 40) as u64);
+                        sys.expire_transients(now);
+                    }
+                    // Confirm: commit a session under this request,
+                    // promoting whatever leases it holds.
+                    4 => {
+                        if fns.len() >= 2 && !sys.has_session_for(r) {
+                            let f0 = fns[pick % fns.len()];
+                            let f1 = fns[(pick + 1) % fns.len()];
+                            let (c0s, c1s) = (sys.candidates(f0).to_vec(), sys.candidates(f1).to_vec());
+                            if !c0s.is_empty() && !c1s.is_empty() {
+                                let c0 = c0s[pick % c0s.len()];
+                                let c1 = c1s[pick % c1s.len()];
+                                if c0 != c1 {
+                                    if let Some(path) = sys.virtual_path(c0.node, c1.node) {
+                                        let request = Request {
+                                            id: r,
+                                            graph: FunctionGraph::path(vec![f0, f1]),
+                                            qos: QosRequirement::unconstrained(),
+                                            base_resources: ResourceVector::new(0.2, 1.0),
+                                            bandwidth_kbps: 2.0,
+                                            stream_rate_kbps: 50.0,
+                                            constraints: PlacementConstraints::none(),
+                                        };
+                                        let comp = Composition { assignment: vec![c0, c1], links: vec![path] };
+                                        let _ = sys.commit_session(&request, comp);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // Fault: fail-stop and immediate recovery.
+                    5 => {
+                        if pick % 2 == 0 {
+                            let v = OverlayNodeId(pick as u32 % sys.node_count() as u32);
+                            if !sys.is_node_failed(v) {
+                                sys.fail_node(v);
+                                sys.recover_node(v);
+                            }
+                        } else {
+                            let l = OverlayLinkId(pick as u32 % sys.overlay().link_count() as u32);
+                            sys.fail_link(l);
+                            sys.restore_link(l);
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+                let stats = sys.lease_stats();
+                prop_assert!(
+                    stats.reconciles(sys.live_lease_count() as u64),
+                    "mid-run ledger broken: {:?}", stats
+                );
+            }
+            // Final reclamation sweep one lease horizon later: every
+            // outstanding lease is past its expiry, so nothing survives.
+            now += lease;
+            sys.expire_transients(now);
+            prop_assert_eq!(sys.live_lease_count(), 0, "orphans survived the sweep");
+            prop_assert!(sys.lease_stats().reconciles(0), "{:?}", sys.lease_stats());
+            let report = auditor.audit_at(&sys, Some(now));
+            prop_assert!(report.is_clean(), "{}", report);
+        }
+    }
+}
+
 mod allocation_conservation {
     use super::*;
     use acp_topology::{InetConfig, Overlay, OverlayConfig};

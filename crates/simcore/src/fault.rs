@@ -384,6 +384,131 @@ impl FaultPlan {
     }
 }
 
+/// Per-message fault rates for the two-phase session-setup protocol.
+///
+/// Probes and confirmations travel as messages; each class below is the
+/// probability that a given message suffers that fault. `0.0` disables a
+/// class, and — critically for the zero-fault equivalence contract — a
+/// disabled class consumes **no** randomness, so a run with every rate
+/// at zero is byte-identical to a run without the injector at all.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MessageFaultConfig {
+    /// Probability a forwarded probe is silently dropped in transit.
+    pub probe_drop: f64,
+    /// Probability a forwarded probe is delayed (exponentially, with
+    /// mean [`mean_probe_delay`](Self::mean_probe_delay)).
+    pub probe_delay: f64,
+    /// Mean of the exponential transit delay for delayed probes.
+    pub mean_probe_delay: SimDuration,
+    /// Probability the session-confirmation message is lost, leaving the
+    /// winning composition's reservations orphaned until they expire.
+    pub confirm_loss: f64,
+    /// Probability a *lost* confirmation later resurfaces as a stale
+    /// acknowledgement after the requester has already moved on.
+    pub stale_ack: f64,
+}
+
+impl Default for MessageFaultConfig {
+    fn default() -> Self {
+        MessageFaultConfig {
+            probe_drop: 0.0,
+            probe_delay: 0.0,
+            mean_probe_delay: SimDuration::from_secs(10),
+            confirm_loss: 0.0,
+            stale_ack: 0.0,
+        }
+    }
+}
+
+impl MessageFaultConfig {
+    /// True when every fault class is disabled — the injector draws no
+    /// randomness and the setup path behaves exactly like the lossless
+    /// single-phase protocol.
+    pub fn is_inert(&self) -> bool {
+        self.probe_drop <= 0.0
+            && self.probe_delay <= 0.0
+            && self.confirm_loss <= 0.0
+            && self.stale_ack <= 0.0
+    }
+}
+
+/// Seeded per-message fault sampler for the setup protocol.
+///
+/// Each fault class draws from its own [`DeterministicRng`] stream, so
+/// enabling or re-rating one class never perturbs another's decision
+/// sequence (the same stream-isolation property [`FaultPlan`] has). A
+/// class whose rate is zero short-circuits without touching its rng.
+#[derive(Debug, Clone)]
+pub struct MessageFaultInjector {
+    config: MessageFaultConfig,
+    probe_drop_rng: StdRng,
+    probe_delay_rng: StdRng,
+    confirm_rng: StdRng,
+    stale_rng: StdRng,
+}
+
+impl MessageFaultInjector {
+    /// Builds an injector from the `"msg"` stream family of `seed`.
+    pub fn new(seed: u64, config: MessageFaultConfig) -> Self {
+        let streams = DeterministicRng::new(seed);
+        MessageFaultInjector {
+            config,
+            probe_drop_rng: streams.stream("msg/probe-drop"),
+            probe_delay_rng: streams.stream("msg/probe-delay"),
+            confirm_rng: streams.stream("msg/confirm"),
+            stale_rng: streams.stream("msg/stale-ack"),
+        }
+    }
+
+    /// The configured rates.
+    pub fn config(&self) -> &MessageFaultConfig {
+        &self.config
+    }
+
+    /// True when every class is disabled (see
+    /// [`MessageFaultConfig::is_inert`]).
+    pub fn is_inert(&self) -> bool {
+        self.config.is_inert()
+    }
+
+    /// Does this forwarded probe get dropped in transit?
+    pub fn probe_dropped(&mut self) -> bool {
+        if self.config.probe_drop <= 0.0 {
+            return false;
+        }
+        self.probe_drop_rng.gen::<f64>() < self.config.probe_drop
+    }
+
+    /// Transit delay suffered by this forwarded probe (`ZERO` for the
+    /// undelayed majority).
+    pub fn probe_delay(&mut self) -> SimDuration {
+        if self.config.probe_delay <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        if self.probe_delay_rng.gen::<f64>() < self.config.probe_delay {
+            sample_exp(&mut self.probe_delay_rng, self.config.mean_probe_delay.as_secs_f64())
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// Does this session-confirmation message get lost in transit?
+    pub fn confirm_lost(&mut self) -> bool {
+        if self.config.confirm_loss <= 0.0 {
+            return false;
+        }
+        self.confirm_rng.gen::<f64>() < self.config.confirm_loss
+    }
+
+    /// Does a lost confirmation later resurface as a stale ack?
+    pub fn stale_ack_resurfaces(&mut self) -> bool {
+        if self.config.stale_ack <= 0.0 {
+            return false;
+        }
+        self.stale_rng.gen::<f64>() < self.config.stale_ack
+    }
+}
+
 /// Replay cursor over a [`FaultPlan`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultScheduler {
@@ -527,5 +652,83 @@ mod tests {
         let lo = FaultPlan::generate(9, &base.scaled(0.5), 20, 40, SimDuration::from_minutes(120));
         let hi = FaultPlan::generate(9, &base.scaled(4.0), 20, 40, SimDuration::from_minutes(120));
         assert!(hi.len() > lo.len() * 2, "hi {} vs lo {}", hi.len(), lo.len());
+    }
+
+    #[test]
+    fn inert_injector_never_faults() {
+        let config = MessageFaultConfig::default();
+        assert!(config.is_inert());
+        let mut inj = MessageFaultInjector::new(42, config);
+        for _ in 0..1000 {
+            assert!(!inj.probe_dropped());
+            assert_eq!(inj.probe_delay(), SimDuration::ZERO);
+            assert!(!inj.confirm_lost());
+            assert!(!inj.stale_ack_resurfaces());
+        }
+    }
+
+    #[test]
+    fn disabled_classes_consume_no_randomness() {
+        // Drawing a disabled class must not advance its rng: an injector
+        // that first answers 1000 disabled-class queries and then has the
+        // class enabled continues with the same decision sequence as a
+        // fresh injector that never saw the disabled phase.
+        let hot =
+            MessageFaultConfig { probe_drop: 0.3, ..MessageFaultConfig::default() };
+        let mut warmed = MessageFaultInjector::new(7, MessageFaultConfig::default());
+        for _ in 0..1000 {
+            assert!(!warmed.probe_dropped());
+        }
+        warmed.config = hot.clone();
+        let mut fresh = MessageFaultInjector::new(7, hot);
+        for _ in 0..256 {
+            assert_eq!(warmed.probe_dropped(), fresh.probe_dropped());
+        }
+    }
+
+    #[test]
+    fn injector_is_deterministic_and_classes_are_independent() {
+        let config = MessageFaultConfig {
+            probe_drop: 0.2,
+            probe_delay: 0.2,
+            confirm_loss: 0.2,
+            stale_ack: 0.5,
+            ..MessageFaultConfig::default()
+        };
+        let mut a = MessageFaultInjector::new(11, config.clone());
+        let mut b = MessageFaultInjector::new(11, config.clone());
+        // b interleaves heavy draws on *other* classes; the probe-drop
+        // sequence must be unaffected (per-class streams).
+        for _ in 0..200 {
+            let da = a.probe_dropped();
+            for _ in 0..3 {
+                b.confirm_lost();
+                b.stale_ack_resurfaces();
+                b.probe_delay();
+            }
+            assert_eq!(da, b.probe_dropped());
+        }
+        // Different seeds give different sequences.
+        let mut c = MessageFaultInjector::new(12, config);
+        let seq_a: Vec<bool> = (0..64).map(|_| a.confirm_lost()).collect();
+        let seq_c: Vec<bool> = (0..64).map(|_| c.confirm_lost()).collect();
+        assert_ne!(seq_a, seq_c, "seed must matter");
+    }
+
+    #[test]
+    fn fault_rates_approximate_their_configured_probability() {
+        let config = MessageFaultConfig {
+            probe_drop: 0.25,
+            probe_delay: 0.5,
+            ..MessageFaultConfig::default()
+        };
+        let mut inj = MessageFaultInjector::new(3, config);
+        let n = 10_000;
+        let drops = (0..n).filter(|_| inj.probe_dropped()).count();
+        let delayed = (0..n).filter(|_| inj.probe_delay() > SimDuration::ZERO).count();
+        let drop_rate = drops as f64 / n as f64;
+        let delay_rate = delayed as f64 / n as f64;
+        assert!((0.22..0.28).contains(&drop_rate), "drop rate {drop_rate}");
+        assert!((0.46..0.54).contains(&delay_rate), "delay rate {delay_rate}");
     }
 }

@@ -51,7 +51,10 @@ pub mod series;
 pub mod time;
 
 pub use engine::{Model, Simulation};
-pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanConfig, FaultScheduler};
+pub use fault::{
+    FaultEvent, FaultKind, FaultPlan, FaultPlanConfig, FaultScheduler, MessageFaultConfig,
+    MessageFaultInjector,
+};
 pub use queue::{EventQueue, ScheduledEvent};
 pub use rng::DeterministicRng;
 pub use series::{Histogram, SummaryStats, TimeSeries, WindowedCounter};

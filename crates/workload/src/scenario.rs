@@ -106,6 +106,10 @@ pub struct ScenarioConfig {
     pub replay_capacity: usize,
     /// Fault injection (chaos) parameters; `None` runs fault-free.
     pub churn: Option<ChurnConfig>,
+    /// Two-phase setup parameters (message faults on probe/confirm
+    /// traffic, retry with escalation); `None` runs the plain path.
+    /// `Some` with all fault rates zero is byte-identical to `None`.
+    pub setup: Option<SetupConfig>,
 }
 
 impl Default for ScenarioConfig {
@@ -136,6 +140,7 @@ impl Default for ScenarioConfig {
             controller: None,
             replay_capacity: 60,
             churn: None,
+            setup: None,
         }
     }
 }
@@ -224,6 +229,22 @@ pub struct ScenarioResult {
     pub audit_digest: u64,
     /// Background migrations performed by the churn rebalancer.
     pub migrations: u64,
+    /// Final reservation-lease ledger (created / expired / released /
+    /// promoted over the whole run).
+    pub lease_stats: LeaseStats,
+    /// Leases still outstanding when the run ended (orphans within their
+    /// lease lifetime; reclaimed by the post-horizon sweep).
+    pub leases_live_end: u64,
+    /// Leases that survived a reclamation sweep past the lease horizon,
+    /// plus one if the ledger failed to reconcile — genuine leaks.
+    pub leases_leaked: u64,
+    /// Two-phase setup ledger summed over every composition attempt.
+    pub setup_stats: SetupStats,
+    /// Requests whose setup was touched by at least one message fault.
+    pub fault_hit_requests: u64,
+    /// Fault-hit requests that still composed (recovered by retry,
+    /// escalation, or a resurfaced stale ack).
+    pub fault_hit_successes: u64,
 }
 
 impl ScenarioResult {
@@ -319,6 +340,9 @@ struct ScenarioModel {
     audit_violations: u64,
     audit_digest: u64,
     sim_events: u64,
+    setup_totals: SetupStats,
+    fault_hit_requests: u64,
+    fault_hit_successes: u64,
 }
 
 impl ScenarioModel {
@@ -326,11 +350,16 @@ impl ScenarioModel {
         self.composer.probing_ratio().unwrap_or(1.0)
     }
 
-    /// Runs the system auditor plus the board coherence audit and folds
-    /// the report into the running digest. Violations accumulate; a run
-    /// whose invariants held throughout ends with `audit_violations == 0`.
-    fn run_audit(&mut self) {
-        let mut report = self.auditor.audit(&self.system);
+    /// Runs the reclamation sweep, then the system auditor (including
+    /// the lease-expiry checks at `now`) plus the board coherence audit,
+    /// and folds the report into the running digest. Violations
+    /// accumulate; a run whose invariants held throughout ends with
+    /// `audit_violations == 0`. The sweep is a no-op on fault-free runs
+    /// (compositions never leave transients behind) and is exactly the
+    /// recovery path for leases orphaned by lost confirmations.
+    fn run_audit(&mut self, now: SimTime) {
+        self.system.expire_transients(now);
+        let mut report = self.auditor.audit_at(&self.system, Some(now));
         report.merge(AuditReport::from_violations(self.board.audit_against(&self.system)));
         self.audit_violations += report.len() as u64;
         self.audit_digest ^= report.digest();
@@ -444,8 +473,15 @@ impl Model for ScenarioModel {
                 let outcome = self.composer.compose(&mut self.system, &self.board, &request, now);
                 self.probe_histogram.add(outcome.stats.probe_messages as f64);
                 self.overhead += outcome.stats;
+                self.setup_totals += outcome.setup;
                 self.total_requests += 1;
                 let success = outcome.session.is_some();
+                if outcome.setup.fault_hit() {
+                    self.fault_hit_requests += 1;
+                    if success {
+                        self.fault_hit_successes += 1;
+                    }
+                }
                 if success {
                     self.total_successes += 1;
                     let sid = outcome.session.expect("checked");
@@ -479,7 +515,7 @@ impl Model for ScenarioModel {
                     self.composer.set_probing_ratio(alpha);
                 }
                 self.trace.clear();
-                self.run_audit();
+                self.run_audit(now);
                 if now + self.config.sampling_period <= SimTime::ZERO + self.config.duration {
                     queue.schedule(now + self.config.sampling_period, Event::Sample);
                 }
@@ -529,6 +565,7 @@ impl Model for ScenarioModel {
                 for (fail_time, request) in due {
                     let outcome = self.composer.compose(&mut self.system, &self.board, &request, now);
                     self.overhead += outcome.stats;
+                    self.setup_totals += outcome.setup;
                     match outcome.session {
                         Some(sid) => {
                             churn.sessions_recovered += 1;
@@ -542,7 +579,7 @@ impl Model for ScenarioModel {
                     }
                 }
                 self.churn = Some(churn);
-                self.run_audit();
+                self.run_audit(now);
             }
             Event::Rebalance => {
                 if let Some(churn) = self.churn.as_mut() {
@@ -593,6 +630,11 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
         "profiling tuner and PI controller are mutually exclusive"
     );
     let mut composer = config.algorithm.build_with(config.probing.clone(), config.optimal, composer_seed);
+    if let Some(setup) = config.setup.clone() {
+        // A dedicated label-derived seed: enabling two-phase setup never
+        // perturbs any existing stream.
+        composer.enable_two_phase(streams.seed_for("setup"), setup);
+    }
     let tuner = config.tuner.map(|t| {
         let tuner = ProbingRatioTuner::new(t);
         composer.set_probing_ratio(tuner.ratio());
@@ -662,6 +704,9 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
         audit_violations: 0,
         audit_digest: 0,
         sim_events: 0,
+        setup_totals: SetupStats::default(),
+        fault_hit_requests: 0,
+        fault_hit_successes: 0,
         config,
     };
 
@@ -681,9 +726,18 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
     sim.run_until(SimTime::ZERO + duration);
 
     let minutes = duration.as_minutes_f64();
+    let end = SimTime::ZERO + duration;
     let mut model = sim.into_model();
     // Closing audit: the final state must satisfy every invariant too.
-    model.run_audit();
+    model.run_audit(end);
+    // Post-horizon reclamation sweep: after the final audit, sweep one
+    // full lease lifetime past the end of the run. Anything that survives
+    // outlived its maximum legitimate window — a leak.
+    let leases_live_end = model.system.live_lease_count() as u64;
+    model.system.expire_transients(end + model.config.probing.transient_timeout);
+    let live_after_horizon = model.system.live_lease_count() as u64;
+    let leases_leaked =
+        live_after_horizon + u64::from(!model.system.lease_stats().reconciles(live_after_horizon));
     let overall = if model.total_requests == 0 {
         0.0
     } else {
@@ -717,6 +771,12 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
         audit_violations: model.audit_violations,
         audit_digest: model.audit_digest,
         migrations: model.churn.as_ref().map_or(0, |c| c.rebalancer.total_migrations()),
+        lease_stats: model.system.lease_stats(),
+        leases_live_end,
+        leases_leaked,
+        setup_stats: model.setup_totals,
+        fault_hit_requests: model.fault_hit_requests,
+        fault_hit_successes: model.fault_hit_successes,
     }
 }
 
@@ -872,5 +932,78 @@ mod tests {
         let a = run_scenario(a_cfg);
         let b = run_scenario(b_cfg);
         assert_ne!(a.fault_digest, b.fault_digest, "plans must derive from the master seed");
+    }
+
+    #[test]
+    fn inert_two_phase_scenario_is_byte_identical_to_plain() {
+        let plain = run_scenario(ScenarioConfig::small(7));
+        let mut cfg = ScenarioConfig::small(7);
+        cfg.setup = Some(SetupConfig::default());
+        let two_phase = run_scenario(cfg);
+        assert_eq!(plain.session_digest, two_phase.session_digest);
+        assert_eq!(plain.audit_digest, two_phase.audit_digest);
+        assert_eq!(plain.chaos_digest(), two_phase.chaos_digest());
+        assert_eq!(plain.overhead, two_phase.overhead);
+        assert_eq!(plain.total_requests, two_phase.total_requests);
+        assert_eq!(plain.total_successes, two_phase.total_successes);
+        assert_eq!(plain.sim_events, two_phase.sim_events);
+        assert_eq!(plain.lease_stats, two_phase.lease_stats);
+        assert_eq!(two_phase.setup_stats.retries, 0);
+        assert_eq!(two_phase.fault_hit_requests, 0);
+        assert_eq!(two_phase.leases_leaked, 0);
+    }
+
+    #[test]
+    fn lossy_transport_scenario_recovers_and_audits_clean() {
+        let mut cfg = ScenarioConfig::small(11);
+        cfg.setup = Some(SetupConfig {
+            faults: acp_simcore::MessageFaultConfig {
+                probe_drop: 0.10,
+                confirm_loss: 0.05,
+                stale_ack: 0.5,
+                ..acp_simcore::MessageFaultConfig::default()
+            },
+            ..SetupConfig::default()
+        });
+        let result = run_scenario(cfg);
+        assert!(result.fault_hit_requests > 0, "faults must actually land");
+        assert!(result.setup_stats.retries > 0, "losses must trigger retries");
+        let fault_lost = result.setup_stats.fault_failures;
+        assert!(
+            result.fault_hit_successes * 10 >= (result.fault_hit_successes + fault_lost) * 9,
+            "retry must recover >=90% of otherwise-failed requests: {} recovered, {} lost",
+            result.fault_hit_successes,
+            fault_lost,
+        );
+        assert_eq!(result.audit_violations, 0, "lease invariants must hold at every sample");
+        assert_eq!(result.leases_leaked, 0, "reclamation sweep must recover every orphan");
+        assert!(
+            result.lease_stats.reconciles(0),
+            "final ledger must reconcile to zero live leases: {:?}",
+            result.lease_stats,
+        );
+    }
+
+    #[test]
+    fn lossy_transport_scenario_is_deterministic() {
+        let make = || {
+            let mut cfg = ScenarioConfig::small(19);
+            cfg.setup = Some(SetupConfig {
+                faults: acp_simcore::MessageFaultConfig {
+                    probe_drop: 0.15,
+                    confirm_loss: 0.05,
+                    ..acp_simcore::MessageFaultConfig::default()
+                },
+                ..SetupConfig::default()
+            });
+            run_scenario(cfg)
+        };
+        let a = make();
+        let b = make();
+        assert_eq!(a.session_digest, b.session_digest);
+        assert_eq!(a.chaos_digest(), b.chaos_digest());
+        assert_eq!(a.setup_stats, b.setup_stats);
+        assert_eq!(a.lease_stats, b.lease_stats);
+        assert_eq!(a.fault_hit_requests, b.fault_hit_requests);
     }
 }

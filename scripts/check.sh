@@ -24,7 +24,7 @@ cargo test -q -p acp-bench --test chaos
 cargo test -q --test failover
 
 echo "==> chaos smoke (quick grid, seed 42, audit must be clean)"
-cargo run --release -q -p acp-bench --bin chaos_soak -- --smoke --seed 42
+cargo run --release -q -p acp-bench --bin chaos_soak -- --smoke --seed 42 --assert-no-leaks
 
 echo "==> criterion benches compile"
 cargo bench --workspace --no-run
