@@ -1,10 +1,12 @@
 //! Performance snapshot for the figure-regeneration harness.
 //!
-//! Times every figure sweep at the chosen scale, samples the
+//! Times every figure sweep at the chosen scale (median of `--repeat`
+//! runs, so one noisy iteration can't skew the trajectory), samples the
 //! `Overlay::virtual_path` memo hit rate and the global-state board's
 //! refresh-scan savings on a Fig. 6 workload, measures the two-phase
-//! setup path's overhead against the plain path at zero fault rate, and
-//! writes the numbers to `BENCH_3.json` (override with `--out-file`):
+//! setup path's overhead against the plain path at zero fault rate
+//! (median of alternating iterations at figure-loop scale), and writes
+//! the numbers to `BENCH_4.json` (override with `--out-file`):
 //!
 //! ```text
 //! cargo run --release -p acp-bench --bin perf_snapshot -- --scale quick
@@ -12,7 +14,8 @@
 //! ```
 //!
 //! The parallel driver is deterministic, so the snapshot only measures
-//! wall-clock — the tables themselves are identical at any thread count.
+//! wall-clock — the tables themselves are identical at any thread count
+//! and on every repeat.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -23,7 +26,8 @@ use acp_bench::experiments::{
 use acp_bench::report::json_string;
 use acp_bench::thread_count;
 use acp_core::prelude::{AlgorithmKind, SetupConfig};
-use acp_workload::{run_scenario, RateSchedule};
+use acp_simcore::MessageFaultConfig;
+use acp_workload::{run_scenario, RateSchedule, ScenarioResult};
 
 struct FigureTiming {
     name: &'static str,
@@ -37,21 +41,52 @@ impl FigureTiming {
     }
 }
 
+/// Median of a sample set (average of the two middles for even sizes).
+fn median(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty());
+    samples.sort_by(f64::total_cmp);
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    }
+}
+
+/// Timed samples of the setup-path A/B comparison. Odd, and enough that
+/// a single scheduler hiccup lands outside the median.
+const SETUP_PATH_ITERS: usize = 5;
+
+/// Scenario runs per timed sample. One anchor point is ~10ms — far too
+/// short for a wall-clock delta to rise above timer noise — so each
+/// sample aggregates a batch, putting the comparison at figure-loop
+/// scale (a figure sweep runs dozens of such points back to back).
+const SETUP_PATH_BATCH: usize = 25;
+
 fn main() {
     // Reuse the figure binaries' flags; `--out-file` picks the JSON path.
     let mut args = std::env::args().skip(1);
     let mut scale_name = "quick".to_string();
     let mut seed = 42u64;
-    let mut out_file = PathBuf::from("BENCH_3.json");
+    let mut repeat = 3usize;
+    let mut out_file = PathBuf::from("BENCH_4.json");
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => scale_name = args.next().expect("--scale needs a value"),
             "--seed" => {
                 seed = args.next().expect("--seed needs a value").parse().expect("seed must be u64");
             }
+            "--repeat" => {
+                repeat = args
+                    .next()
+                    .expect("--repeat needs a value")
+                    .parse()
+                    .expect("repeat must be a positive integer");
+                assert!(repeat > 0, "--repeat must be positive");
+            }
             "--out-file" => out_file = PathBuf::from(args.next().expect("--out-file needs a value")),
             "--help" | "-h" => {
-                eprintln!("usage: [--scale quick|paper] [--seed N] [--out-file FILE]");
+                eprintln!("usage: [--scale quick|paper] [--seed N] [--repeat N] [--out-file FILE]");
                 std::process::exit(0);
             }
             other => panic!("unknown flag {other}"),
@@ -60,14 +95,19 @@ fn main() {
     let scale = Scale::from_name(&scale_name);
     let threads = thread_count();
 
-    eprintln!("perf snapshot: scale={scale_name} seed={seed} threads={threads}");
+    eprintln!("perf snapshot: scale={scale_name} seed={seed} threads={threads} repeat={repeat}");
 
     let mut timings = Vec::new();
     let mut time = |name: &'static str, points: usize, run: &mut dyn FnMut()| {
-        let start = Instant::now();
-        run();
-        let wall_seconds = start.elapsed().as_secs_f64();
-        eprintln!("  {name}: {points} points in {wall_seconds:.2}s");
+        let mut walls: Vec<f64> = (0..repeat)
+            .map(|_| {
+                let start = Instant::now();
+                run();
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        let wall_seconds = median(&mut walls);
+        eprintln!("  {name}: {points} points in {wall_seconds:.2}s (median of {repeat})");
         timings.push(FigureTiming { name, points, wall_seconds });
     };
 
@@ -89,34 +129,50 @@ fn main() {
         fig8_threads(&scale, seed, threads);
     });
 
-    // Path-memo effectiveness and board scan savings over one Fig. 6
-    // sweep point (ACP at the anchor rate), accumulated across the whole
-    // scenario. Timed, so the same run anchors the setup-path overhead
-    // comparison below.
-    let single_start = Instant::now();
-    let probe_point =
-        run_point(&scale, seed, AlgorithmKind::Acp, scale.anchor_rate, scale.stream_nodes);
-    let single_wall = single_start.elapsed().as_secs_f64();
-    let cache = probe_point.path_cache;
-    let scans = probe_point.state_scans;
-
-    // Setup-path overhead: the same point with two-phase setup enabled at
-    // zero fault rate. Results are byte-identical by construction (the
-    // equivalence suite enforces it); the delta is pure lease/ledger
-    // bookkeeping cost.
+    // Setup-path overhead, measured the way the figure loop actually
+    // runs the composer: the same Fig. 6 anchor point, single-phase vs
+    // inert two-phase, alternated for SETUP_PATH_ITERS iterations each
+    // and compared at the medians. (The old single-iteration version of
+    // this benchmark reported −6.54% "overhead" — pure timer noise —
+    // while the figure loop lost 20%; alternating medians keep micro
+    // and macro numbers on the same footing.) Results are byte-identical
+    // by construction (the equivalence suite enforces it); the delta is
+    // pure lease/ledger bookkeeping cost.
     let mut setup_config = scale.base_config(seed);
     setup_config.stream_nodes = scale.stream_nodes;
     setup_config.algorithm = AlgorithmKind::Acp;
     setup_config.schedule = RateSchedule::constant(scale.anchor_rate);
     setup_config.setup = Some(SetupConfig::default());
-    let two_start = Instant::now();
-    let two_phase = run_scenario(setup_config);
-    let two_wall = two_start.elapsed().as_secs_f64();
+    let mut plain_walls = Vec::with_capacity(SETUP_PATH_ITERS);
+    let mut two_walls = Vec::with_capacity(SETUP_PATH_ITERS);
+    let mut probe_point: Option<ScenarioResult> = None;
+    let mut two_phase: Option<ScenarioResult> = None;
+    for _ in 0..SETUP_PATH_ITERS {
+        let start = Instant::now();
+        for _ in 0..SETUP_PATH_BATCH {
+            let plain =
+                run_point(&scale, seed, AlgorithmKind::Acp, scale.anchor_rate, scale.stream_nodes);
+            probe_point = Some(plain);
+        }
+        plain_walls.push(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        for _ in 0..SETUP_PATH_BATCH {
+            let two = run_scenario(setup_config.clone());
+            two_phase = Some(two);
+        }
+        two_walls.push(start.elapsed().as_secs_f64());
+    }
+    let single_wall = median(&mut plain_walls);
+    let two_wall = median(&mut two_walls);
+    let probe_point = probe_point.expect("at least one iteration");
+    let two_phase = two_phase.expect("at least one iteration");
+    let cache = probe_point.path_cache;
+    let scans = probe_point.state_scans;
     let setup_overhead_pct = (two_wall - single_wall) / single_wall.max(1e-9) * 100.0;
     let lease = two_phase.lease_stats;
     let compositions = two_phase.total_requests.max(1);
     eprintln!(
-        "  setup path: plain {:.2}s vs two-phase {:.2}s ({:+.1}%), {} leases created / {} expired / {} released / {} promoted ({:.2} per composition), {} leaked",
+        "  setup path ({SETUP_PATH_BATCH}-run batches, median of {SETUP_PATH_ITERS}): plain {:.2}s vs two-phase {:.2}s ({:+.1}%), {} leases created / {} expired / {} released / {} promoted / {} reused ({:.2} per composition), {} leaked",
         single_wall,
         two_wall,
         setup_overhead_pct,
@@ -124,8 +180,35 @@ fn main() {
         lease.expired,
         lease.released,
         lease.promoted,
+        lease.reused,
         lease.created as f64 / compositions as f64,
         two_phase.leases_leaked,
+    );
+
+    // Lossy-transport lease churn at the same point: faults actually
+    // land, retries fire, and the retained-lease retry path shows up as
+    // `reused` refreshes instead of release/create churn.
+    let mut lossy_config = setup_config.clone();
+    lossy_config.setup = Some(SetupConfig {
+        faults: MessageFaultConfig {
+            probe_drop: 0.10,
+            confirm_loss: 0.05,
+            stale_ack: 0.5,
+            ..MessageFaultConfig::default()
+        },
+        ..SetupConfig::default()
+    });
+    let lossy = run_scenario(lossy_config);
+    let lossy_lease = lossy.lease_stats;
+    let lossy_compositions = lossy.total_requests.max(1);
+    eprintln!(
+        "  lossy path: {} retries over {} requests, {} leases created / {} reused ({:.2} created per composition), {} leaked",
+        lossy.setup_stats.retries,
+        lossy.total_requests,
+        lossy_lease.created,
+        lossy_lease.reused,
+        lossy_lease.created as f64 / lossy_compositions as f64,
+        lossy.leases_leaked,
     );
     eprintln!(
         "  fig6 path cache: {} hits / {} misses ({:.1}% hit rate)",
@@ -150,6 +233,7 @@ fn main() {
     json.push_str(&format!("  \"scale\": {},\n", json_string(&scale_name)));
     json.push_str(&format!("  \"seed\": {seed},\n"));
     json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"repeat\": {repeat},\n"));
     json.push_str("  \"figures\": [\n");
     for (i, t) in timings.iter().enumerate() {
         json.push_str(&format!(
@@ -182,6 +266,8 @@ fn main() {
     json.push_str(&format!("    \"link_skip_rate\": {:.4}\n", scans.link_skip_rate()));
     json.push_str("  },\n");
     json.push_str("  \"setup_path\": {\n");
+    json.push_str(&format!("    \"iterations\": {SETUP_PATH_ITERS},\n"));
+    json.push_str(&format!("    \"batch_runs\": {SETUP_PATH_BATCH},\n"));
     json.push_str(&format!("    \"single_phase_wall_seconds\": {single_wall:.3},\n"));
     json.push_str(&format!("    \"two_phase_wall_seconds\": {two_wall:.3},\n"));
     json.push_str(&format!("    \"overhead_pct\": {setup_overhead_pct:.2},\n"));
@@ -192,11 +278,24 @@ fn main() {
     json.push_str(&format!("    \"leases_expired\": {},\n", lease.expired));
     json.push_str(&format!("    \"leases_released\": {},\n", lease.released));
     json.push_str(&format!("    \"leases_promoted\": {},\n", lease.promoted));
+    json.push_str(&format!("    \"leases_reused\": {},\n", lease.reused));
     json.push_str(&format!(
         "    \"leases_per_composition\": {:.3},\n",
         lease.created as f64 / compositions as f64
     ));
-    json.push_str(&format!("    \"leases_leaked\": {}\n", two_phase.leases_leaked));
+    json.push_str(&format!("    \"leases_leaked\": {},\n", two_phase.leases_leaked));
+    json.push_str("    \"lossy\": {\n");
+    json.push_str(&format!("      \"requests\": {},\n", lossy.total_requests));
+    json.push_str(&format!("      \"retries\": {},\n", lossy.setup_stats.retries));
+    json.push_str(&format!("      \"fault_hit_requests\": {},\n", lossy.fault_hit_requests));
+    json.push_str(&format!("      \"leases_created\": {},\n", lossy_lease.created));
+    json.push_str(&format!("      \"leases_reused\": {},\n", lossy_lease.reused));
+    json.push_str(&format!(
+        "      \"leases_per_composition\": {:.3},\n",
+        lossy_lease.created as f64 / lossy_compositions as f64
+    ));
+    json.push_str(&format!("      \"leases_leaked\": {}\n", lossy.leases_leaked));
+    json.push_str("    }\n");
     json.push_str("  }\n}\n");
 
     std::fs::write(&out_file, &json).expect("writing the snapshot file");

@@ -20,7 +20,8 @@ use crate::naive::{blind_compose, BlindStrategy};
 use crate::optimal::{optimal_compose, OptimalConfig};
 use crate::overhead::OverheadStats;
 use crate::protocol::{
-    probe_compose_with, FinalSelection, ProbingConfig, SetupConfig, SetupState, SetupStats,
+    compose_with_mode, FinalSelection, ProbingConfig, SetupConfig, SetupMode, SetupState,
+    SetupStats, SinglePhase,
 };
 use crate::selection::HopSelection;
 
@@ -62,31 +63,40 @@ pub trait Composer {
     fn probing_ratio(&self) -> Option<f64> {
         None
     }
-
-    /// Enables the two-phase setup path (transient leases under a lossy
-    /// transport, retry with escalation) for algorithms that probe.
-    /// Default: no-op — the non-probing algorithms commit directly.
-    fn enable_two_phase(&mut self, _seed: u64, _config: SetupConfig) {}
 }
 
 /// The ACP algorithm: coarse-state-guided selective probing with
 /// min-φ(λ) final selection.
+///
+/// The setup mode is a type parameter: the default [`SinglePhase`]
+/// instantiation compiles the entire two-phase machinery (retry loop,
+/// fault sampling, backoff draws, lease accounting hooks) out of the hot
+/// path, while `AcpComposer<SetupState>` carries the lossy-transport
+/// protocol. Dispatch happens once, at construction.
 #[derive(Debug)]
-pub struct AcpComposer {
+pub struct AcpComposer<M: SetupMode = SinglePhase> {
     config: ProbingConfig,
     rng: StdRng,
-    setup: Option<SetupState>,
+    mode: M,
 }
 
 impl AcpComposer {
-    /// Creates an ACP composer with the given probing configuration.
+    /// Creates a single-phase ACP composer with the given probing
+    /// configuration.
     pub fn new(config: ProbingConfig, seed: u64) -> Self {
+        AcpComposer::with_mode(config, seed, SinglePhase)
+    }
+}
+
+impl<M: SetupMode> AcpComposer<M> {
+    /// Creates an ACP composer running under an explicit setup mode.
+    pub fn with_mode(config: ProbingConfig, seed: u64, mode: M) -> Self {
         let config = ProbingConfig {
             hop_selection: HopSelection::Ranked,
             final_selection: FinalSelection::MinCongestion,
             ..config
         };
-        AcpComposer { config, rng: StdRng::seed_from_u64(seed), setup: None }
+        AcpComposer { config, rng: StdRng::seed_from_u64(seed), mode }
     }
 
     /// The probing configuration in effect.
@@ -95,7 +105,7 @@ impl AcpComposer {
     }
 }
 
-impl Composer for AcpComposer {
+impl<M: SetupMode> Composer for AcpComposer<M> {
     fn name(&self) -> &'static str {
         "acp"
     }
@@ -107,20 +117,16 @@ impl Composer for AcpComposer {
         request: &Request,
         now: SimTime,
     ) -> ComposeOutcome {
-        let out = probe_compose_with(
+        let out = compose_with_mode(
             system,
             board,
             request,
             now,
             &self.config,
-            self.setup.as_mut(),
+            &mut self.mode,
             &mut self.rng,
         );
         ComposeOutcome { session: out.session, stats: out.stats, attempts: out.attempts, setup: out.setup }
-    }
-
-    fn enable_two_phase(&mut self, seed: u64, config: SetupConfig) {
-        self.setup = Some(SetupState::new(seed, config));
     }
 
     fn set_probing_ratio(&mut self, alpha: f64) {
@@ -134,25 +140,32 @@ impl Composer for AcpComposer {
 
 /// The SP baseline: ACP's per-hop selection, random final selection.
 #[derive(Debug)]
-pub struct SelectiveProbingComposer {
+pub struct SelectiveProbingComposer<M: SetupMode = SinglePhase> {
     config: ProbingConfig,
     rng: StdRng,
-    setup: Option<SetupState>,
+    mode: M,
 }
 
 impl SelectiveProbingComposer {
-    /// Creates an SP composer.
+    /// Creates a single-phase SP composer.
     pub fn new(config: ProbingConfig, seed: u64) -> Self {
+        SelectiveProbingComposer::with_mode(config, seed, SinglePhase)
+    }
+}
+
+impl<M: SetupMode> SelectiveProbingComposer<M> {
+    /// Creates an SP composer running under an explicit setup mode.
+    pub fn with_mode(config: ProbingConfig, seed: u64, mode: M) -> Self {
         let config = ProbingConfig {
             hop_selection: HopSelection::Ranked,
             final_selection: FinalSelection::Random,
             ..config
         };
-        SelectiveProbingComposer { config, rng: StdRng::seed_from_u64(seed), setup: None }
+        SelectiveProbingComposer { config, rng: StdRng::seed_from_u64(seed), mode }
     }
 }
 
-impl Composer for SelectiveProbingComposer {
+impl<M: SetupMode> Composer for SelectiveProbingComposer<M> {
     fn name(&self) -> &'static str {
         "sp"
     }
@@ -164,20 +177,16 @@ impl Composer for SelectiveProbingComposer {
         request: &Request,
         now: SimTime,
     ) -> ComposeOutcome {
-        let out = probe_compose_with(
+        let out = compose_with_mode(
             system,
             board,
             request,
             now,
             &self.config,
-            self.setup.as_mut(),
+            &mut self.mode,
             &mut self.rng,
         );
         ComposeOutcome { session: out.session, stats: out.stats, attempts: out.attempts, setup: out.setup }
-    }
-
-    fn enable_two_phase(&mut self, seed: u64, config: SetupConfig) {
-        self.setup = Some(SetupState::new(seed, config));
     }
 
     fn set_probing_ratio(&mut self, alpha: f64) {
@@ -192,25 +201,32 @@ impl Composer for SelectiveProbingComposer {
 /// The RP baseline: random per-hop selection (fully distributed, no
 /// global state), ACP's min-φ(λ) final selection.
 #[derive(Debug)]
-pub struct RandomProbingComposer {
+pub struct RandomProbingComposer<M: SetupMode = SinglePhase> {
     config: ProbingConfig,
     rng: StdRng,
-    setup: Option<SetupState>,
+    mode: M,
 }
 
 impl RandomProbingComposer {
-    /// Creates an RP composer.
+    /// Creates a single-phase RP composer.
     pub fn new(config: ProbingConfig, seed: u64) -> Self {
+        RandomProbingComposer::with_mode(config, seed, SinglePhase)
+    }
+}
+
+impl<M: SetupMode> RandomProbingComposer<M> {
+    /// Creates an RP composer running under an explicit setup mode.
+    pub fn with_mode(config: ProbingConfig, seed: u64, mode: M) -> Self {
         let config = ProbingConfig {
             hop_selection: HopSelection::Random,
             final_selection: FinalSelection::MinCongestion,
             ..config
         };
-        RandomProbingComposer { config, rng: StdRng::seed_from_u64(seed), setup: None }
+        RandomProbingComposer { config, rng: StdRng::seed_from_u64(seed), mode }
     }
 }
 
-impl Composer for RandomProbingComposer {
+impl<M: SetupMode> Composer for RandomProbingComposer<M> {
     fn name(&self) -> &'static str {
         "rp"
     }
@@ -222,20 +238,16 @@ impl Composer for RandomProbingComposer {
         request: &Request,
         now: SimTime,
     ) -> ComposeOutcome {
-        let out = probe_compose_with(
+        let out = compose_with_mode(
             system,
             board,
             request,
             now,
             &self.config,
-            self.setup.as_mut(),
+            &mut self.mode,
             &mut self.rng,
         );
         ComposeOutcome { session: out.session, stats: out.stats, attempts: out.attempts, setup: out.setup }
-    }
-
-    fn enable_two_phase(&mut self, seed: u64, config: SetupConfig) {
-        self.setup = Some(SetupState::new(seed, config));
     }
 
     fn set_probing_ratio(&mut self, alpha: f64) {
@@ -253,20 +265,31 @@ impl Composer for RandomProbingComposer {
 /// per-function probe budget instead of a tunable probing ratio (and
 /// hence no ratio tuner).
 #[derive(Debug)]
-pub struct BoundedProbingComposer {
+pub struct BoundedProbingComposer<M: SetupMode = SinglePhase> {
     config: ProbingConfig,
     rng: StdRng,
-    setup: Option<SetupState>,
+    mode: M,
 }
 
 impl BoundedProbingComposer {
-    /// Creates a BCP composer probing at most `budget` candidates per
-    /// function.
+    /// Creates a single-phase BCP composer probing at most `budget`
+    /// candidates per function.
     ///
     /// # Panics
     ///
     /// Panics when `budget` is zero.
     pub fn new(budget: usize, config: ProbingConfig, seed: u64) -> Self {
+        BoundedProbingComposer::with_mode(budget, config, seed, SinglePhase)
+    }
+}
+
+impl<M: SetupMode> BoundedProbingComposer<M> {
+    /// Creates a BCP composer running under an explicit setup mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `budget` is zero.
+    pub fn with_mode(budget: usize, config: ProbingConfig, seed: u64, mode: M) -> Self {
         assert!(budget > 0, "probe budget must be positive");
         let config = ProbingConfig {
             hop_selection: HopSelection::Ranked,
@@ -275,7 +298,7 @@ impl BoundedProbingComposer {
             quota_override: Some(budget), // …the budget caps the spawns
             ..config
         };
-        BoundedProbingComposer { config, rng: StdRng::seed_from_u64(seed), setup: None }
+        BoundedProbingComposer { config, rng: StdRng::seed_from_u64(seed), mode }
     }
 
     /// The fixed per-function probe budget.
@@ -284,7 +307,7 @@ impl BoundedProbingComposer {
     }
 }
 
-impl Composer for BoundedProbingComposer {
+impl<M: SetupMode> Composer for BoundedProbingComposer<M> {
     fn name(&self) -> &'static str {
         "bcp"
     }
@@ -296,20 +319,16 @@ impl Composer for BoundedProbingComposer {
         request: &Request,
         now: SimTime,
     ) -> ComposeOutcome {
-        let out = probe_compose_with(
+        let out = compose_with_mode(
             system,
             board,
             request,
             now,
             &self.config,
-            self.setup.as_mut(),
+            &mut self.mode,
             &mut self.rng,
         );
         ComposeOutcome { session: out.session, stats: out.stats, attempts: out.attempts, setup: out.setup }
-    }
-
-    fn enable_two_phase(&mut self, seed: u64, config: SetupConfig) {
-        self.setup = Some(SetupState::new(seed, config));
     }
 }
 
@@ -467,13 +486,46 @@ impl AlgorithmKind {
     /// Like [`Self::build`], with an explicit exhaustive-search
     /// configuration for [`AlgorithmKind::Optimal`].
     pub fn build_with(self, probing: ProbingConfig, optimal: OptimalConfig, seed: u64) -> Box<dyn Composer> {
+        self.build_composer(probing, optimal, seed, None)
+    }
+
+    /// Like [`Self::build_with`], selecting the setup mode at
+    /// construction time: `None` instantiates the probing algorithms
+    /// over [`SinglePhase`] (the two-phase machinery compiles away),
+    /// `Some((setup_seed, config))` over the fault-injecting
+    /// [`SetupState`]. The non-probing algorithms commit directly and
+    /// ignore the setup configuration either way.
+    pub fn build_composer(
+        self,
+        probing: ProbingConfig,
+        optimal: OptimalConfig,
+        seed: u64,
+        setup: Option<(u64, SetupConfig)>,
+    ) -> Box<dyn Composer> {
         match self {
             AlgorithmKind::Optimal => Box::new(OptimalComposer::new(optimal)),
-            AlgorithmKind::Acp => Box::new(AcpComposer::new(probing, seed)),
-            AlgorithmKind::Sp => Box::new(SelectiveProbingComposer::new(probing, seed)),
-            AlgorithmKind::Rp => Box::new(RandomProbingComposer::new(probing, seed)),
             AlgorithmKind::Random => Box::new(RandomComposer::new(seed)),
             AlgorithmKind::Static => Box::new(StaticComposer::new()),
+            AlgorithmKind::Acp => match setup {
+                None => Box::new(AcpComposer::new(probing, seed)),
+                Some((s, cfg)) => {
+                    Box::new(AcpComposer::with_mode(probing, seed, SetupState::new(s, cfg)))
+                }
+            },
+            AlgorithmKind::Sp => match setup {
+                None => Box::new(SelectiveProbingComposer::new(probing, seed)),
+                Some((s, cfg)) => Box::new(SelectiveProbingComposer::with_mode(
+                    probing,
+                    seed,
+                    SetupState::new(s, cfg),
+                )),
+            },
+            AlgorithmKind::Rp => match setup {
+                None => Box::new(RandomProbingComposer::new(probing, seed)),
+                Some((s, cfg)) => {
+                    Box::new(RandomProbingComposer::with_mode(probing, seed, SetupState::new(s, cfg)))
+                }
+            },
         }
     }
 }

@@ -86,8 +86,8 @@ pub mod prelude {
     pub use crate::overhead::{centralized_update_messages_per_minute, OverheadStats};
     pub use crate::probe::Probe;
     pub use crate::protocol::{
-        probe_compose, probe_compose_with, FinalSelection, ProbingConfig, ProbingOutcome,
-        SetupConfig, SetupState, SetupStats,
+        compose_with_mode, probe_compose, probe_compose_with, FinalSelection, ProbingConfig,
+        ProbingOutcome, SetupConfig, SetupMode, SetupState, SetupStats, SinglePhase, TwoPhase,
     };
     pub use crate::selection::{
         probe_quota, select_candidates, select_candidates_with, HopSelection, SelectionScratch,

@@ -115,7 +115,43 @@ pub fn optimal_compose(
         })
         .collect();
 
+    // Admissible per-depth lower bound on the φ contribution of the
+    // remaining suffix: at depth d the search must still place every
+    // vertex order[d..], and placing order[d'] costs at least
+    // min over its feasible candidates of Σ_{r>0} r / ra_snapshot —
+    // the frozen snapshot availability is an upper bound on the actual
+    // availability once earlier picks consume resources (ra_actual ≤
+    // ra_snapshot ⇒ r/ra_actual ≥ r/ra_snapshot), and the bandwidth φ
+    // terms are nonnegative, so the true suffix cost can never undercut
+    // this sum. Pruning on it preserves the exact optimum.
     let depth_count = order.len();
+    let mut suffix_lb = vec![0.0f64; depth_count + 1];
+    for d in (0..depth_count).rev() {
+        let v = order[d];
+        let demand = demands[v];
+        let mut cheapest = f64::INFINITY;
+        for cand in &cands[v] {
+            if !cand.static_ok {
+                continue;
+            }
+            let avail = node_avail[cand.id.node.index()];
+            if !avail.dominates(&demand) {
+                continue; // infeasible even against the snapshot
+            }
+            let mut phi = 0.0;
+            for (kind, r) in demand.iter() {
+                if r > 0.0 {
+                    phi += r / avail.get(kind);
+                }
+            }
+            cheapest = cheapest.min(phi);
+        }
+        // A vertex with no snapshot-feasible candidate contributes 0:
+        // no completion exists through it, so any admissible value
+        // works and 0 keeps the arithmetic finite.
+        suffix_lb[d] = suffix_lb[d + 1] + if cheapest.is_finite() { cheapest } else { 0.0 };
+    }
+
     let (node_count, link_count) = (node_avail.len(), link_avail.len());
     let mut search = Search {
         system,
@@ -132,6 +168,7 @@ pub fn optimal_compose(
         node_used: vec![ResourceVector::ZERO; node_count],
         link_used: vec![0.0; link_count],
         move_pool: (0..depth_count).map(|_| Vec::new()).collect(),
+        suffix_lb,
         phi: 0.0,
         best_phi: f64::INFINITY,
         best: None,
@@ -192,6 +229,10 @@ struct Search<'a> {
     /// Per-depth reusable move buffers (the DFS visits each depth many
     /// times; recycling keeps the allocation out of the hot path).
     move_pool: Vec<Vec<Move>>,
+    /// `suffix_lb[d]`: admissible lower bound on the φ the suffix
+    /// `order[d..]` must still add (see `optimal_compose` for the
+    /// derivation). `suffix_lb[order.len()] == 0`.
+    suffix_lb: Vec<f64>,
     phi: f64,
     best_phi: f64,
     best: Option<(Vec<ComponentId>, Vec<SharedPath>, f64)>,
@@ -222,13 +263,18 @@ impl Search<'_> {
             }
             return;
         }
+        // Suffix bound: even a best-case completion of the remaining
+        // vertices cannot beat the incumbent from here.
+        if self.phi + self.suffix_lb[depth] >= self.best_phi {
+            return;
+        }
         let vertex = self.order[depth];
         let mut moves = self.feasible_moves(depth, vertex);
         // Best-first: descending into the cheapest candidate early makes
         // the φ-dominance bound effective.
         moves.sort_by(|a, b| a.delta_phi.total_cmp(&b.delta_phi));
         for m in &moves {
-            if self.phi + m.delta_phi >= self.best_phi {
+            if self.phi + m.delta_phi + self.suffix_lb[depth + 1] >= self.best_phi {
                 break; // sorted: every later move is at least as expensive
             }
             self.apply(vertex, m);

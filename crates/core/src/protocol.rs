@@ -46,7 +46,7 @@
 
 use acp_model::prelude::*;
 use acp_simcore::{
-    DeterministicRng, MessageFaultConfig, MessageFaultInjector, SimDuration, SimTime,
+    DeterministicRng, MessageFaultConfig, MessageFaultInjector, SimDuration, SimTime, Transport,
 };
 use acp_state::GlobalStateBoard;
 use rand::rngs::StdRng;
@@ -213,37 +213,145 @@ impl std::iter::Sum for SetupStats {
     }
 }
 
-/// Mutable state of the two-phase setup path carried across requests: the
-/// per-class fault injector and the seeded backoff-jitter stream.
+/// Compile-time selection of the setup path.
+///
+/// The probing protocol is generic over its setup mode; every fault,
+/// retry, and backoff branch is gated on [`SetupMode::TWO_PHASE`], a
+/// constant, so the [`SinglePhase`] monomorphization compiles down to
+/// the plain lossless protocol — no injector state, no backoff stream,
+/// no retry loop, no lease-ledger pressure — while [`TwoPhase`] carries
+/// the full reservation machinery. The state machine is identical in
+/// both; only the dispatch moved from run time to compile time.
+pub trait SetupMode: std::fmt::Debug {
+    /// `true` on the two-phase path. Gates every fault/retry branch, so
+    /// the single-phase composer carries none of them in its code.
+    const TWO_PHASE: bool;
+
+    /// Probing rounds allowed per request (1 = no retry).
+    fn max_attempts(&self) -> u32 {
+        1
+    }
+
+    /// Probing-ratio escalation applied on consecutive failed attempts.
+    fn escalation(&self) -> EscalationConfig {
+        EscalationConfig::default()
+    }
+
+    /// Deterministic backoff (plus seeded jitter) before retrying after
+    /// failed attempt number `attempt`.
+    fn backoff_delay(&mut self, _attempt: u32) -> SimDuration {
+        SimDuration::ZERO
+    }
+
+    /// Does this forwarded probe get dropped in transit?
+    fn probe_dropped(&mut self) -> bool {
+        false
+    }
+
+    /// Transit delay suffered by this forwarded probe.
+    fn probe_delay(&mut self) -> SimDuration {
+        SimDuration::ZERO
+    }
+
+    /// Does this session-confirmation message get lost in transit?
+    fn confirm_lost(&mut self) -> bool {
+        false
+    }
+
+    /// Does a lost confirmation later resurface as a stale ack?
+    fn stale_ack_resurfaces(&mut self) -> bool {
+        false
+    }
+}
+
+/// The plain single-phase setup path: reliable transport, one probing
+/// round, no retry state. A zero-sized type — composing with it is the
+/// pre-two-phase protocol, bit for bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SinglePhase;
+
+impl SetupMode for SinglePhase {
+    const TWO_PHASE: bool = false;
+}
+
+/// Mutable state of the two-phase setup path carried across requests:
+/// the message transport (usually a seeded
+/// [`MessageFaultInjector`], or any other [`Transport`]) and the seeded
+/// backoff-jitter stream.
 #[derive(Debug, Clone)]
-pub struct SetupState {
+pub struct TwoPhase<T: Transport = MessageFaultInjector> {
     config: SetupConfig,
-    injector: MessageFaultInjector,
+    transport: T,
     backoff_rng: StdRng,
 }
 
-impl SetupState {
+/// The historical name of [`TwoPhase`] over the fault-injecting
+/// transport, kept for call sites predating the mode split.
+pub type SetupState = TwoPhase<MessageFaultInjector>;
+
+impl TwoPhase<MessageFaultInjector> {
     /// Creates the setup state. All randomness derives from `seed` via
     /// label-separated streams, independent of the composer's selection
     /// RNG.
     pub fn new(seed: u64, config: SetupConfig) -> Self {
-        let root = DeterministicRng::new(seed);
-        SetupState {
-            injector: MessageFaultInjector::new(seed, config.faults.clone()),
-            backoff_rng: root.stream("setup/backoff"),
-            config,
-        }
-    }
-
-    /// The setup configuration in effect.
-    pub fn config(&self) -> &SetupConfig {
-        &self.config
+        let transport = MessageFaultInjector::new(seed, config.faults.clone());
+        TwoPhase::with_transport(seed, config, transport)
     }
 
     /// True when every fault class is disabled — the two-phase path then
     /// behaves byte-identically to the plain path.
     pub fn is_inert(&self) -> bool {
         self.config.faults.is_inert()
+    }
+}
+
+impl<T: Transport> TwoPhase<T> {
+    /// Creates two-phase setup state over an explicit transport. The
+    /// backoff-jitter stream derives from `seed`, independent of the
+    /// transport's own randomness (if any).
+    pub fn with_transport(seed: u64, config: SetupConfig, transport: T) -> Self {
+        let root = DeterministicRng::new(seed);
+        TwoPhase { transport, backoff_rng: root.stream("setup/backoff"), config }
+    }
+
+    /// The setup configuration in effect.
+    pub fn config(&self) -> &SetupConfig {
+        &self.config
+    }
+}
+
+impl<T: Transport> SetupMode for TwoPhase<T> {
+    const TWO_PHASE: bool = true;
+
+    fn max_attempts(&self) -> u32 {
+        self.config.max_attempts.max(1)
+    }
+
+    fn escalation(&self) -> EscalationConfig {
+        self.config.escalation
+    }
+
+    fn backoff_delay(&mut self, attempt: u32) -> SimDuration {
+        let backoff = self.config.backoff_base.as_secs_f64()
+            * self.config.backoff_factor.powi(attempt as i32 - 1);
+        let jitter = backoff * self.config.jitter_frac * self.backoff_rng.gen::<f64>();
+        SimDuration::from_secs_f64(backoff + jitter)
+    }
+
+    fn probe_dropped(&mut self) -> bool {
+        self.transport.probe_dropped()
+    }
+
+    fn probe_delay(&mut self) -> SimDuration {
+        self.transport.probe_delay()
+    }
+
+    fn confirm_lost(&mut self) -> bool {
+        self.transport.confirm_lost()
+    }
+
+    fn stale_ack_resurfaces(&mut self) -> bool {
+        self.transport.stale_ack_resurfaces()
     }
 }
 
@@ -290,26 +398,50 @@ pub fn probe_compose<R: Rng + ?Sized>(
     config: &ProbingConfig,
     rng: &mut R,
 ) -> ProbingOutcome {
-    probe_compose_with(system, board, request, now, config, None, rng)
+    compose_with_mode(system, board, request, now, config, &mut SinglePhase, rng)
 }
 
-/// The two-phase setup path: probing under a lossy message transport with
-/// fault-induced retries (see the module docs).
-///
-/// With `setup` `None` — or present with every fault rate at zero — this
-/// is byte-identical to [`probe_compose`]. When a confirmation was lost
-/// in flight the request's leases are **not** released (the deputy cannot
-/// tell a lost confirm from a committed session whose ack was lost, so
-/// releasing is unsafe and cleanup is left to the expiry-driven
-/// reclamation sweep); every other failure — probe faults included —
-/// releases them as before.
+/// Runtime-dispatch compatibility wrapper over [`compose_with_mode`]:
+/// `None` selects [`SinglePhase`], `Some` the fault-injecting
+/// [`TwoPhase`]. New call sites should pick the mode at construction
+/// time instead (the composers in [`crate::algorithms`] do).
 pub fn probe_compose_with<R: Rng + ?Sized>(
     system: &mut StreamSystem,
     board: &GlobalStateBoard,
     request: &Request,
     now: SimTime,
     config: &ProbingConfig,
-    mut setup: Option<&mut SetupState>,
+    setup: Option<&mut SetupState>,
+    rng: &mut R,
+) -> ProbingOutcome {
+    match setup {
+        Some(state) => compose_with_mode(system, board, request, now, config, state, rng),
+        None => compose_with_mode(system, board, request, now, config, &mut SinglePhase, rng),
+    }
+}
+
+/// The probing protocol, monomorphized over its [`SetupMode`].
+///
+/// With [`SinglePhase`] this is the plain lossless path: the retry loop,
+/// fault sampling, backoff draws, and orphan accounting all compile away
+/// behind `M::TWO_PHASE`. With [`TwoPhase`] it is the setup path under a
+/// lossy message transport with fault-induced retries (see the module
+/// docs) — byte-identical to single-phase while every fault rate is
+/// zero. When a confirmation was lost in flight the request's leases are
+/// **not** released (the deputy cannot tell a lost confirm from a
+/// committed session whose ack was lost, so releasing is unsafe and
+/// cleanup is left to the expiry-driven reclamation sweep); every other
+/// failure releases them as before. A fault-induced retry also keeps the
+/// failed attempt's leases in place: re-probing a still-leased candidate
+/// refreshes the existing reservation (an idempotent `reused` touch,
+/// footnote 7) instead of churning a release/create pair.
+pub fn compose_with_mode<M: SetupMode, R: Rng + ?Sized>(
+    system: &mut StreamSystem,
+    board: &GlobalStateBoard,
+    request: &Request,
+    now: SimTime,
+    config: &ProbingConfig,
+    mode: &mut M,
     rng: &mut R,
 ) -> ProbingOutcome {
     let mut stats = OverheadStats::new();
@@ -321,15 +453,17 @@ pub fn probe_compose_with<R: Rng + ?Sized>(
     let mut attempt_now = now;
     let mut attempts: u32 = 0;
     let mut last_faulted;
-    let max_attempts = setup.as_deref().map_or(1, |s| s.config.max_attempts.max(1));
-    let mut escalator = setup.as_deref().map(|s| {
+    let max_attempts = if M::TWO_PHASE { mode.max_attempts() } else { 1 };
+    let mut escalator = if M::TWO_PHASE {
         let base = config.probing_ratio.max(f64::MIN_POSITIVE);
         let esc = EscalationConfig {
-            max_ratio: s.config.escalation.max_ratio.max(base),
-            ..s.config.escalation
+            max_ratio: mode.escalation().max_ratio.max(base),
+            ..mode.escalation()
         };
-        AlphaEscalator::new(base, esc)
-    });
+        Some(AlphaEscalator::new(base, esc))
+    } else {
+        None
+    };
     let mut ratio = config.probing_ratio;
 
     loop {
@@ -351,7 +485,7 @@ pub fn probe_compose_with<R: Rng + ?Sized>(
             request,
             attempt_now,
             attempt_config,
-            setup.as_deref_mut().map(|s| &mut s.injector),
+            mode,
             rng,
             &mut stats,
             &mut setup_stats,
@@ -366,24 +500,19 @@ pub fn probe_compose_with<R: Rng + ?Sized>(
         }
         // Retry only fault-induced failures: a request the system
         // legitimately cannot serve fails exactly as on the plain path.
-        if !out.faulted || attempts >= max_attempts {
+        // (`faulted` is constant-false for SinglePhase, so the whole
+        // retry arm folds away there.)
+        if !M::TWO_PHASE || !out.faulted || attempts >= max_attempts {
             break;
         }
-        let state = setup.as_deref_mut().expect("faulted attempts require setup state");
         setup_stats.retries += 1;
-        // The deputy concludes the failed attempt by releasing every
-        // lease it reserved (§3.3 step 4 releases losers) — unless a
-        // confirmation is unaccounted for, in which case the commit may
-        // have landed and releasing could tear down a live session, so
-        // the leases are left for the expiry-driven reclamation sweep.
-        if setup_stats.confirms_lost == 0 {
-            system.release_request_transients(request.id);
-        }
-        // Deterministic exponential backoff with seeded jitter.
-        let backoff = state.config.backoff_base.as_secs_f64()
-            * state.config.backoff_factor.powi(attempts as i32 - 1);
-        let jitter = backoff * state.config.jitter_frac * state.backoff_rng.gen::<f64>();
-        attempt_now += SimDuration::from_secs_f64(backoff + jitter);
+        // The failed attempt's leases stay in place across the retry:
+        // the next attempt re-reserves overlapping candidates as
+        // idempotent refreshes instead of fresh leases, and a
+        // confirmation that may still be in flight keeps its leases
+        // regardless. Everything is settled — promoted, released, or
+        // orphaned — when the request concludes below.
+        attempt_now += mode.backoff_delay(attempts);
         // Backoff-time reclamation sweep: recover whatever leases (ours
         // or other requests') have expired in the meantime.
         setup_stats.leases_reclaimed += system.expire_transients(attempt_now) as u64;
@@ -397,27 +526,29 @@ pub fn probe_compose_with<R: Rng + ?Sized>(
     // resurfaces after the protocol concluded. Commits are idempotent per
     // request — a request that already holds a session rejects the
     // duplicate, so residuals are never committed twice.
-    if let Some(composition) = pending_stale.take() {
-        if session.is_some() || system.has_session_for(request.id) {
-            setup_stats.stale_acks_rejected += 1;
-        } else {
-            let assignment_len = composition.assignment.len() as u64;
-            match system.commit_session(request, composition) {
-                Ok(sid) => {
-                    stats.confirmation_messages += assignment_len;
-                    setup_stats.stale_acks_recovered += 1;
-                    session = Some(sid);
+    if M::TWO_PHASE {
+        if let Some(composition) = pending_stale.take() {
+            if session.is_some() || system.has_session_for(request.id) {
+                setup_stats.stale_acks_rejected += 1;
+            } else {
+                let assignment_len = composition.assignment.len() as u64;
+                match system.commit_session(request, composition) {
+                    Ok(sid) => {
+                        stats.confirmation_messages += assignment_len;
+                        setup_stats.stale_acks_recovered += 1;
+                        session = Some(sid);
+                    }
+                    Err(_) => setup_stats.stale_acks_rejected += 1,
                 }
-                Err(_) => setup_stats.stale_acks_rejected += 1,
             }
         }
     }
 
     if session.is_none() {
-        if last_faulted {
+        if M::TWO_PHASE && last_faulted {
             setup_stats.fault_failures += 1;
         }
-        if setup_stats.confirms_lost > 0 {
+        if M::TWO_PHASE && setup_stats.confirms_lost > 0 {
             // A confirmation is unaccounted for: the deputy cannot tell
             // a lost confirm from a committed session whose ack was
             // lost, so releasing is unsafe — leases stay orphaned and
@@ -442,13 +573,13 @@ pub fn probe_compose_with<R: Rng + ?Sized>(
 /// (confirmation) with transport faults injected, no retry and no final
 /// release — the caller owns both.
 #[allow(clippy::too_many_arguments)]
-fn probe_attempt<R: Rng + ?Sized>(
+fn probe_attempt<M: SetupMode, R: Rng + ?Sized>(
     system: &mut StreamSystem,
     board: &GlobalStateBoard,
     request: &Request,
     now: SimTime,
     config: &ProbingConfig,
-    mut faults: Option<&mut MessageFaultInjector>,
+    mode: &mut M,
     rng: &mut R,
     stats: &mut OverheadStats,
     setup_stats: &mut SetupStats,
@@ -563,15 +694,16 @@ fn probe_attempt<R: Rng + ?Sized>(
 
             // --- transport: the hop message may be dropped or delayed.
             // Disabled fault classes consume no randomness, so with all
-            // rates at zero this block is byte-identical to not existing.
+            // rates at zero this block is byte-identical to not existing;
+            // for SinglePhase the whole block folds away at compile time.
             let mut transit_delay = probe.delay;
-            if let Some(inj) = faults.as_deref_mut() {
-                if inj.probe_dropped() {
+            if M::TWO_PHASE {
+                if mode.probe_dropped() {
                     setup_stats.probes_lost += 1;
                     faulted = true;
                     continue;
                 }
-                let d = inj.probe_delay();
+                let d = mode.probe_delay();
                 if d > SimDuration::ZERO {
                     setup_stats.probes_delayed += 1;
                     transit_delay += d;
@@ -688,20 +820,18 @@ fn probe_attempt<R: Rng + ?Sized>(
     let mut session = None;
     for composition in compositions {
         let assignment_len = composition.assignment.len() as u64;
-        if let Some(inj) = faults.as_deref_mut() {
-            if inj.confirm_lost() {
-                setup_stats.confirms_lost += 1;
-                // The confirmation vanished in transit; the deputy times
-                // out waiting for the ack and gives this attempt up. The
-                // winner's leases stay orphaned. With probability
-                // `stale_ack` the message was merely trapped and
-                // resurfaces later as a duplicate delivery.
-                if inj.stale_ack_resurfaces() {
-                    *pending_stale = Some(composition);
-                }
-                faulted = true;
-                break;
+        if M::TWO_PHASE && mode.confirm_lost() {
+            setup_stats.confirms_lost += 1;
+            // The confirmation vanished in transit; the deputy times
+            // out waiting for the ack and gives this attempt up. The
+            // winner's leases stay orphaned. With probability
+            // `stale_ack` the message was merely trapped and
+            // resurfaces later as a duplicate delivery.
+            if mode.stale_ack_resurfaces() {
+                *pending_stale = Some(composition);
             }
+            faulted = true;
+            break;
         }
         match system.commit_session(request, composition) {
             Ok(sid) => {
@@ -894,6 +1024,46 @@ mod tests {
         assert_eq!(two.setup, SetupStats { attempts: 1, ..SetupStats::default() });
         assert_eq!(sys_a.lease_stats(), sys_b.lease_stats());
         // The selection RNG advanced identically on both paths.
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+    }
+
+    #[test]
+    fn reliable_transport_two_phase_is_byte_identical_to_single_phase() {
+        // The other monomorphization axis: TwoPhase over a no-op
+        // transport (rather than an inert injector) must also match the
+        // SinglePhase instantiation byte for byte.
+        let (sys0, board) = build(24, 40);
+        let req = path_request(&sys0, 24, 3);
+        let cfg = ProbingConfig::default();
+        let mut sys_a = sys0.clone();
+        let mut rng_a = StdRng::seed_from_u64(13);
+        let plain = compose_with_mode(
+            &mut sys_a,
+            &board,
+            &req,
+            SimTime::ZERO,
+            &cfg,
+            &mut SinglePhase,
+            &mut rng_a,
+        );
+        let mut sys_b = sys0.clone();
+        let mut rng_b = StdRng::seed_from_u64(13);
+        let mut mode =
+            TwoPhase::with_transport(55, SetupConfig::default(), acp_simcore::ReliableTransport);
+        let two = compose_with_mode(
+            &mut sys_b,
+            &board,
+            &req,
+            SimTime::ZERO,
+            &cfg,
+            &mut mode,
+            &mut rng_b,
+        );
+        assert_eq!(plain.session, two.session);
+        assert_eq!(plain.stats, two.stats);
+        assert_eq!(plain.completed_probes, two.completed_probes);
+        assert_eq!(two.attempts, 1);
+        assert_eq!(sys_a.lease_stats(), sys_b.lease_stats());
         assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
     }
 

@@ -412,6 +412,12 @@ impl SystemAuditor {
         now: Option<SimTime>,
         out: &mut Vec<AuditViolation>,
     ) {
+        if !system.lease_accounting() {
+            // Without the ledger the reconciliation equation is
+            // meaningless (all counters frozen at zero); single-phase
+            // runs have no lease lifetimes to audit.
+            return;
+        }
         let stats = system.lease_stats();
         let live = system.live_lease_count() as u64;
         if !stats.reconciles(live) {

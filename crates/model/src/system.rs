@@ -172,6 +172,12 @@ pub struct LeaseStats {
     pub released: u64,
     /// Leases promoted to committed residuals by a session confirmation.
     pub promoted: u64,
+    /// Idempotent refreshes of an already-held lease (footnote 7): a
+    /// retry re-probing the same `(request, component)` or
+    /// `(request, edge)` key extends the expiry instead of churning a
+    /// release/create pair. Not part of the reconciliation equation —
+    /// a refresh neither creates nor settles a lease.
+    pub reused: u64,
 }
 
 impl LeaseStats {
@@ -205,6 +211,11 @@ pub struct StreamSystem {
     dense_ids: Vec<Vec<u32>>,
     dense_count: u32,
     lease_stats: LeaseStats,
+    /// Whether the [`LeaseStats`] ledger is maintained. On by default;
+    /// single-phase scenarios switch it off so the inert path pays no
+    /// bookkeeping (and the lease audit, which is only meaningful with
+    /// the ledger, is skipped).
+    lease_accounting: bool,
 }
 
 impl std::fmt::Debug for StreamSystem {
@@ -381,6 +392,7 @@ impl StreamSystem {
             next_session: 0,
             load_delay_factor: config.load_delay_factor,
             lease_stats: LeaseStats::default(),
+            lease_accounting: true,
         }
     }
 
@@ -541,8 +553,12 @@ impl StreamSystem {
         let before = node.transient_count();
         let ok = node.reserve_transient(key, amount, expires);
         if ok && node.transient_count() != before {
-            self.lease_stats.created += 1;
+            if self.lease_accounting {
+                self.lease_stats.created += 1;
+            }
             self.touch_node(component.node);
+        } else if ok && self.lease_accounting {
+            self.lease_stats.reused += 1;
         }
         ok
     }
@@ -551,7 +567,9 @@ impl StreamSystem {
     pub fn release_component_transient(&mut self, request: RequestId, component: ComponentId) {
         let key = ReservationKey { request: request.0, component };
         if self.nodes[component.node.index()].release_transient(key).is_some() {
-            self.lease_stats.released += 1;
+            if self.lease_accounting {
+                self.lease_stats.released += 1;
+            }
             self.touch_node(component.node);
         }
     }
@@ -586,9 +604,14 @@ impl StreamSystem {
                 if expires > existing.expires {
                     existing.expires = expires;
                 }
+                if self.lease_accounting {
+                    self.lease_stats.reused += 1;
+                }
             } else {
                 state.transient.push(LinkTransient { key, kbps, expires });
-                self.lease_stats.created += 1;
+                if self.lease_accounting {
+                    self.lease_stats.created += 1;
+                }
                 self.touch_link_index(i);
             }
         }
@@ -602,7 +625,9 @@ impl StreamSystem {
             let before = state.transient.len();
             state.transient.retain(|t| t.key != key);
             if state.transient.len() != before {
-                self.lease_stats.released += (before - state.transient.len()) as u64;
+                if self.lease_accounting {
+                    self.lease_stats.released += (before - state.transient.len()) as u64;
+                }
                 self.link_versions[i] += 1;
             }
         }
@@ -627,7 +652,9 @@ impl StreamSystem {
             }
             dropped += before - state.transient.len();
         }
-        self.lease_stats.expired += dropped as u64;
+        if self.lease_accounting {
+            self.lease_stats.expired += dropped as u64;
+        }
         dropped
     }
 
@@ -651,7 +678,9 @@ impl StreamSystem {
             }
             dropped += before - state.transient.len();
         }
-        self.lease_stats.released += dropped as u64;
+        if self.lease_accounting {
+            self.lease_stats.released += dropped as u64;
+        }
         dropped
     }
 
@@ -741,8 +770,10 @@ impl StreamSystem {
             self.touch_link_index(link.index());
         }
 
-        self.lease_stats.released -= held;
-        self.lease_stats.promoted += held;
+        if self.lease_accounting {
+            self.lease_stats.released -= held;
+            self.lease_stats.promoted += held;
+        }
 
         let id = SessionId(self.next_session);
         self.next_session += 1;
@@ -790,7 +821,9 @@ impl StreamSystem {
     /// request specifications (for failover recomposition).
     pub fn fail_node(&mut self, v: OverlayNodeId) -> (Vec<ComponentId>, Vec<Request>) {
         // Fail-stop drops the node's transient leases with it.
-        self.lease_stats.released += self.nodes[v.index()].transient_count() as u64;
+        if self.lease_accounting {
+            self.lease_stats.released += self.nodes[v.index()].transient_count() as u64;
+        }
         let undeployed: Vec<Component> = self.nodes[v.index()].fail();
         self.touch_node(v);
         let undeployed_ids: Vec<ComponentId> = undeployed.iter().map(|c| c.id).collect();
@@ -866,7 +899,9 @@ impl StreamSystem {
             return Vec::new();
         }
         self.links[i].failed = true;
-        self.lease_stats.released += self.links[i].transient.len() as u64;
+        if self.lease_accounting {
+            self.lease_stats.released += self.links[i].transient.len() as u64;
+        }
         self.links[i].transient.clear();
         self.touch_link_index(i);
         self.terminate_sessions_where(|s| s.uses_link(l))
@@ -1041,6 +1076,22 @@ impl StreamSystem {
     /// The running lease ledger (see [`LeaseStats`]).
     pub fn lease_stats(&self) -> LeaseStats {
         self.lease_stats
+    }
+
+    /// Whether the lease ledger is maintained (see
+    /// [`Self::set_lease_accounting`]).
+    pub fn lease_accounting(&self) -> bool {
+        self.lease_accounting
+    }
+
+    /// Enables or disables lease-ledger maintenance. Single-phase
+    /// scenarios disable it: with no two-phase setup there are no lease
+    /// lifetimes worth auditing, and the inert hot path should not pay
+    /// for the bookkeeping. Reservations themselves are unaffected —
+    /// only the [`LeaseStats`] counters (and the lease audit keyed off
+    /// them) stop updating.
+    pub fn set_lease_accounting(&mut self, enabled: bool) {
+        self.lease_accounting = enabled;
     }
 
     /// Transient reservation leases currently outstanding across every

@@ -53,7 +53,7 @@ pub mod time;
 pub use engine::{Model, Simulation};
 pub use fault::{
     FaultEvent, FaultKind, FaultPlan, FaultPlanConfig, FaultScheduler, MessageFaultConfig,
-    MessageFaultInjector,
+    MessageFaultInjector, ReliableTransport, Transport,
 };
 pub use queue::{EventQueue, ScheduledEvent};
 pub use rng::DeterministicRng;

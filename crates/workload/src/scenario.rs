@@ -358,7 +358,9 @@ impl ScenarioModel {
     /// (compositions never leave transients behind) and is exactly the
     /// recovery path for leases orphaned by lost confirmations.
     fn run_audit(&mut self, now: SimTime) {
-        self.system.expire_transients(now);
+        if self.config.setup.is_some() {
+            self.system.expire_transients(now);
+        }
         let mut report = self.auditor.audit_at(&self.system, Some(now));
         report.merge(AuditReport::from_violations(self.board.audit_against(&self.system)));
         self.audit_violations += report.len() as u64;
@@ -467,7 +469,12 @@ impl Model for ScenarioModel {
         match event {
             Event::Arrival => {
                 // Expire stale transients before admission, as nodes do.
-                self.system.expire_transients(now);
+                // Only the two-phase path can leave transients behind
+                // between events (orphans from lost confirmations), so
+                // single-phase runs skip the sweep entirely.
+                if self.config.setup.is_some() {
+                    self.system.expire_transients(now);
+                }
                 let (request, session_duration) = self.generator.next(&mut self.workload_rng);
                 self.trace.record(request.clone());
                 let outcome = self.composer.compose(&mut self.system, &self.board, &request, now);
@@ -521,7 +528,9 @@ impl Model for ScenarioModel {
                 }
             }
             Event::LocalRefresh => {
-                self.system.expire_transients(now);
+                if self.config.setup.is_some() {
+                    self.system.expire_transients(now);
+                }
                 let msgs = self.board.refresh_nodes(&self.system);
                 self.overhead.state_update_messages += msgs;
                 if now + self.config.local_refresh <= SimTime::ZERO + self.config.duration {
@@ -549,7 +558,9 @@ impl Model for ScenarioModel {
             }
             Event::FailoverSweep => {
                 let Some(mut churn) = self.churn.take() else { return };
-                self.system.expire_transients(now);
+                if self.config.setup.is_some() {
+                    self.system.expire_transients(now);
+                }
                 let delay = churn.config.failover_delay;
                 // Only sessions whose delay has elapsed; later victims
                 // wait for the sweep scheduled by their own fault.
@@ -619,7 +630,11 @@ pub fn build_system(config: &ScenarioConfig) -> (StreamSystem, GlobalStateBoard,
 
 /// Runs one scenario to completion and reports the paper's measurements.
 pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
-    let (system, board, library) = build_system(&config);
+    let (mut system, board, library) = build_system(&config);
+    // The lease ledger (and the audit pass keyed off it) only means
+    // anything when the two-phase setup path can create lease lifetimes;
+    // single-phase runs switch the bookkeeping off.
+    system.set_lease_accounting(config.setup.is_some());
     let streams = DeterministicRng::new(config.seed);
     let workload_rng = streams.stream("workload");
     let composer_seed = streams.seed_for("composer");
@@ -629,12 +644,17 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
         config.tuner.is_none() || config.controller.is_none(),
         "profiling tuner and PI controller are mutually exclusive"
     );
-    let mut composer = config.algorithm.build_with(config.probing.clone(), config.optimal, composer_seed);
-    if let Some(setup) = config.setup.clone() {
-        // A dedicated label-derived seed: enabling two-phase setup never
-        // perturbs any existing stream.
-        composer.enable_two_phase(streams.seed_for("setup"), setup);
-    }
+    // The setup mode is picked here, once: without a setup config the
+    // probing composers are monomorphized over `SinglePhase` and the
+    // two-phase machinery is compiled out of the run entirely. The
+    // label-derived seed means enabling two-phase setup never perturbs
+    // any existing stream.
+    let mut composer = config.algorithm.build_composer(
+        config.probing.clone(),
+        config.optimal,
+        composer_seed,
+        config.setup.clone().map(|setup| (streams.seed_for("setup"), setup)),
+    );
     let tuner = config.tuner.map(|t| {
         let tuner = ProbingRatioTuner::new(t);
         composer.set_probing_ratio(tuner.ratio());
@@ -947,7 +967,11 @@ mod tests {
         assert_eq!(plain.total_requests, two_phase.total_requests);
         assert_eq!(plain.total_successes, two_phase.total_successes);
         assert_eq!(plain.sim_events, two_phase.sim_events);
-        assert_eq!(plain.lease_stats, two_phase.lease_stats);
+        // Single-phase runs don't maintain the lease ledger at all; the
+        // two-phase run does, and the inert ledger must reconcile.
+        assert_eq!(plain.lease_stats, acp_model::prelude::LeaseStats::default());
+        assert!(two_phase.lease_stats.created > 0);
+        assert!(two_phase.lease_stats.reconciles(two_phase.leases_live_end));
         assert_eq!(two_phase.setup_stats.retries, 0);
         assert_eq!(two_phase.fault_hit_requests, 0);
         assert_eq!(two_phase.leases_leaked, 0);

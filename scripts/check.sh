@@ -26,6 +26,9 @@ cargo test -q --test failover
 echo "==> chaos smoke (quick grid, seed 42, audit must be clean)"
 cargo run --release -q -p acp-bench --bin chaos_soak -- --smoke --seed 42 --assert-no-leaks
 
+echo "==> perf-ratio gate (quick snapshot vs BENCH_baseline.json)"
+bash scripts/perf_gate.sh
+
 echo "==> criterion benches compile"
 cargo bench --workspace --no-run
 

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Perf-ratio gate: regenerate the quick perf snapshot and fail when
+# `total_points_per_sec` drops more than PERF_TOLERANCE_PCT below the
+# committed baseline (BENCH_baseline.json).
+#
+# Methodology (see EXPERIMENTS.md):
+#   * quick scale, seed 42, ACP_BENCH_THREADS=1 — the configuration the
+#     baseline was recorded under, so the ratio compares like with like.
+#   * PERF_REPEAT (default 3) runs per figure, medians reported — a
+#     single noisy iteration cannot trip the gate.
+#   * 10% default tolerance: same-machine medians vary by a few percent
+#     run to run; a >10% drop has always been a real regression in this
+#     repo's history (PR 5 cost ~20% before it was recovered).
+#
+# The baseline is machine-relative. After an intentional perf change,
+# re-record it by running the snapshot at least three times under
+# typical machine load and committing the run with the MEDIAN
+# total_points_per_sec (a single quiet-moment run makes the floor too
+# hot and the gate flaky):
+#   ACP_BENCH_THREADS=1 cargo run --release -q -p acp-bench --bin perf_snapshot -- \
+#     --scale quick --seed 42 --repeat 3 --out-file BENCH_baseline.json
+#
+# Env overrides: PERF_BASELINE, PERF_TOLERANCE_PCT, PERF_REPEAT.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${PERF_BASELINE:-BENCH_baseline.json}"
+TOLERANCE_PCT="${PERF_TOLERANCE_PCT:-10}"
+REPEAT="${PERF_REPEAT:-3}"
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "perf gate: baseline '$BASELINE' not found" >&2
+    exit 1
+fi
+
+extract_pps() {
+    # total_points_per_sec from a snapshot JSON (one-key-per-line format).
+    grep -o '"total_points_per_sec":[[:space:]]*[0-9.]*' "$1" | awk -F: '{gsub(/ /,"",$2); print $2}'
+}
+
+SNAPSHOT="$(mktemp /tmp/perf_gate_snapshot.XXXXXX.json)"
+trap 'rm -f "$SNAPSHOT"' EXIT
+
+ACP_BENCH_THREADS=1 cargo run --release -q -p acp-bench --bin perf_snapshot -- \
+    --scale quick --seed 42 --repeat "$REPEAT" --out-file "$SNAPSHOT"
+
+baseline_pps="$(extract_pps "$BASELINE")"
+current_pps="$(extract_pps "$SNAPSHOT")"
+
+if [[ -z "$baseline_pps" || -z "$current_pps" ]]; then
+    echo "perf gate: failed to extract total_points_per_sec (baseline='$baseline_pps', current='$current_pps')" >&2
+    exit 1
+fi
+
+awk -v cur="$current_pps" -v base="$baseline_pps" -v tol="$TOLERANCE_PCT" '
+BEGIN {
+    floor = base * (1 - tol / 100);
+    ratio_pct = (cur / base - 1) * 100;
+    printf "perf gate: current %.3f pts/s vs baseline %.3f pts/s (%+.1f%%, tolerance -%s%%)\n",
+        cur, base, ratio_pct, tol;
+    if (cur < floor) {
+        printf "perf gate: FAIL — throughput below the %.3f pts/s floor\n", floor;
+        exit 1;
+    }
+    print "perf gate: OK";
+}'
