@@ -10,9 +10,14 @@
 //! non-zero on any audit violation — the CI gate used by
 //! `scripts/check.sh`. `--assert-no-leaks` additionally fails the run
 //! if any reservation lease survives a run's post-horizon reclamation
-//! sweep.
+//! sweep. `--shards N` runs every cell on the sharded single-run
+//! runtime — results are byte-identical to `--shards 1` by contract, so
+//! the smoke gate doubles as a sharded-chaos equivalence check.
 
-use acp_bench::{chaos_grid, chaos_table, loss_grid, loss_table, soak, write_results, Scale};
+use acp_bench::{
+    chaos_grid_sharded, chaos_table, loss_grid_sharded, loss_table, soak_sharded, thread_count,
+    write_results, Scale,
+};
 
 fn main() {
     let mut scale_name = String::from("quick");
@@ -20,6 +25,7 @@ fn main() {
     let mut out = std::path::PathBuf::from("target/experiments");
     let mut smoke = false;
     let mut assert_no_leaks = false;
+    let mut shards: usize = 1;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -30,9 +36,17 @@ fn main() {
             "--out" => out = std::path::PathBuf::from(args.next().expect("--out needs a value")),
             "--smoke" => smoke = true,
             "--assert-no-leaks" => assert_no_leaks = true,
+            "--shards" => {
+                shards = args
+                    .next()
+                    .expect("--shards needs a value")
+                    .parse()
+                    .expect("shards must be a positive integer");
+                assert!(shards >= 1, "--shards must be >= 1");
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: [--scale quick|paper] [--seed N] [--out DIR] [--smoke] [--assert-no-leaks]"
+                    "usage: [--scale quick|paper] [--seed N] [--out DIR] [--smoke] [--assert-no-leaks] [--shards N]"
                 );
                 std::process::exit(0);
             }
@@ -41,14 +55,18 @@ fn main() {
     }
 
     let scale = Scale::from_name(&scale_name);
-    eprintln!("running chaos grid at scale '{}' (seed {})…", scale.name, seed);
+    let threads = thread_count();
+    eprintln!(
+        "running chaos grid at scale '{}' (seed {}, shards {})…",
+        scale.name, seed, shards
+    );
     let start = std::time::Instant::now();
-    let cells = chaos_grid(&scale, seed);
+    let cells = chaos_grid_sharded(&scale, seed, threads, shards);
     let table = chaos_table(&scale, &cells);
     println!("{}", table.render());
 
-    eprintln!("running probe-loss grid at scale '{}' (seed {})…", scale.name, seed);
-    let loss_cells = loss_grid(&scale, seed);
+    eprintln!("running probe-loss grid at scale '{}' (seed {}, shards {})…", scale.name, seed, shards);
+    let loss_cells = loss_grid_sharded(&scale, seed, threads, shards);
     let loss = loss_table(&scale, &loss_cells);
     println!("{}", loss.render());
 
@@ -62,7 +80,7 @@ fn main() {
     if !smoke {
         let minutes = if scale.name == "paper" { 150 } else { 60 };
         eprintln!("soaking {} simulated minutes at 2x churn…", minutes);
-        let result = soak(&scale, seed, 2.0, minutes);
+        let result = soak_sharded(&scale, seed, 2.0, minutes, shards);
         soak_violations = result.audit_violations;
         leaks += result.leases_leaked;
         println!(

@@ -5,8 +5,9 @@
 //! `Overlay::virtual_path` memo hit rate and the global-state board's
 //! refresh-scan savings on a Fig. 6 workload, measures the two-phase
 //! setup path's overhead against the plain path at zero fault rate
-//! (median of alternating iterations at figure-loop scale), and writes
-//! the numbers to `BENCH_4.json` (override with `--out-file`):
+//! (median of alternating iterations at figure-loop scale), times the
+//! sharded single-run runtime at increasing shard counts, and writes
+//! the numbers to `BENCH_5.json` (override with `--out-file`):
 //!
 //! ```text
 //! cargo run --release -p acp-bench --bin perf_snapshot -- --scale quick
@@ -63,13 +64,41 @@ const SETUP_PATH_ITERS: usize = 5;
 /// scale (a figure sweep runs dozens of such points back to back).
 const SETUP_PATH_BATCH: usize = 25;
 
+/// Fig. 8 sweeps per timed sample. The sweep is only two points, so a
+/// single run finishes in ~0.14 s at quick scale — short enough that
+/// scheduler noise dominated its perf-gate row. Batching puts the
+/// sample in the same regime as the other figures.
+const FIG8_BATCH: usize = 5;
+
+/// Anchor-point runs per sharded timed sample (same regime as
+/// [`SETUP_PATH_BATCH`]).
+const SHARD_BATCH: usize = 25;
+
+/// Shard counts for the scaling-curve rows.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One row of the sharded scaling curve. Memo/scan counters are summed
+/// over every run in the timed batch — overwriting with the last run's
+/// counters would under-report the batch's actual work 25×.
+struct ShardRow {
+    shards: usize,
+    wall_seconds: f64,
+    runs_per_sec: f64,
+    session_digest: u64,
+    cross_rate: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    nodes_scanned: u64,
+    nodes_total: u64,
+}
+
 fn main() {
     // Reuse the figure binaries' flags; `--out-file` picks the JSON path.
     let mut args = std::env::args().skip(1);
     let mut scale_name = "quick".to_string();
     let mut seed = 42u64;
     let mut repeat = 3usize;
-    let mut out_file = PathBuf::from("BENCH_4.json");
+    let mut out_file = PathBuf::from("BENCH_5.json");
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => scale_name = args.next().expect("--scale needs a value"),
@@ -125,9 +154,68 @@ fn main() {
     time("fig7", scale.node_counts.len() * algos, &mut || {
         fig7_threads(&scale, seed, threads);
     });
-    time("fig8", 2, &mut || {
-        fig8_threads(&scale, seed, threads);
+    time("fig8", 2 * FIG8_BATCH, &mut || {
+        for _ in 0..FIG8_BATCH {
+            fig8_threads(&scale, seed, threads);
+        }
     });
+
+    // Sharded single-run runtime: the same Fig. 6 anchor point at
+    // increasing shard counts. Byte-identity across shard counts is
+    // enforced by the equivalence suite (and re-checked on the digests
+    // here); these rows record the scaling curve — runs/sec vs shards —
+    // and the cross-shard traffic rate. On a single-core machine the
+    // curve is flat-to-negative (barrier overhead with no parallelism);
+    // the speedup column only means something with cores to spend.
+    let mut shard_rows: Vec<ShardRow> = Vec::new();
+    for &shards in &SHARD_COUNTS {
+        let mut shard_config = scale.base_config(seed);
+        shard_config.algorithm = AlgorithmKind::Acp;
+        shard_config.schedule = RateSchedule::constant(scale.anchor_rate);
+        shard_config.shards = shards;
+        let mut walls = Vec::with_capacity(repeat);
+        let (mut digest, mut cross_rate) = (0u64, 0.0f64);
+        let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
+        let (mut nodes_scanned, mut nodes_total) = (0u64, 0u64);
+        for _ in 0..repeat {
+            (cache_hits, cache_misses, nodes_scanned, nodes_total) = (0, 0, 0, 0);
+            let start = Instant::now();
+            for _ in 0..SHARD_BATCH {
+                let r = run_scenario(shard_config.clone());
+                digest = r.session_digest;
+                cross_rate = r.shard_stats.cross_rate();
+                cache_hits += r.path_cache.hits;
+                cache_misses += r.path_cache.misses;
+                nodes_scanned += r.state_scans.nodes_scanned;
+                nodes_total += r.state_scans.nodes_total;
+            }
+            walls.push(start.elapsed().as_secs_f64());
+        }
+        let wall_seconds = median(&mut walls);
+        eprintln!(
+            "  shards={shards}: {SHARD_BATCH} runs in {wall_seconds:.2}s ({:.2} runs/s, cross-rate {:.2})",
+            SHARD_BATCH as f64 / wall_seconds.max(1e-9),
+            cross_rate,
+        );
+        shard_rows.push(ShardRow {
+            shards,
+            wall_seconds,
+            runs_per_sec: SHARD_BATCH as f64 / wall_seconds.max(1e-9),
+            session_digest: digest,
+            cross_rate,
+            cache_hits,
+            cache_misses,
+            nodes_scanned,
+            nodes_total,
+        });
+    }
+    for row in &shard_rows[1..] {
+        assert_eq!(
+            row.session_digest, shard_rows[0].session_digest,
+            "shards={} diverged from the sequential digest",
+            row.shards
+        );
+    }
 
     // Setup-path overhead, measured the way the figure loop actually
     // runs the composer: the same Fig. 6 anchor point, single-phase vs
@@ -265,6 +353,26 @@ fn main() {
     json.push_str(&format!("    \"links_total\": {},\n", scans.links_total));
     json.push_str(&format!("    \"link_skip_rate\": {:.4}\n", scans.link_skip_rate()));
     json.push_str("  },\n");
+    json.push_str("  \"sharded\": [\n");
+    let seq_rps = shard_rows[0].runs_per_sec;
+    for (i, row) in shard_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": {}, \"batch_runs\": {}, \"wall_seconds\": {:.3}, \"runs_per_sec\": {:.3}, \"speedup_vs_sequential\": {:.3}, \"cross_rate\": {:.3}, \"session_digest\": \"{:#018x}\", \"cache_hits\": {}, \"cache_misses\": {}, \"nodes_scanned\": {}, \"nodes_total\": {}}}{}\n",
+            row.shards,
+            SHARD_BATCH,
+            row.wall_seconds,
+            row.runs_per_sec,
+            row.runs_per_sec / seq_rps.max(1e-9),
+            row.cross_rate,
+            row.session_digest,
+            row.cache_hits,
+            row.cache_misses,
+            row.nodes_scanned,
+            row.nodes_total,
+            if i + 1 < shard_rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"setup_path\": {\n");
     json.push_str(&format!("    \"iterations\": {SETUP_PATH_ITERS},\n"));
     json.push_str(&format!("    \"batch_runs\": {SETUP_PATH_BATCH},\n"));

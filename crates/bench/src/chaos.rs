@@ -101,6 +101,14 @@ pub fn chaos_grid(scale: &Scale, seed: u64) -> Vec<ChaosCell> {
 /// [`chaos_grid`] with an explicit worker-thread count. Output depends
 /// only on `(scale, seed)`, never on `threads`.
 pub fn chaos_grid_threads(scale: &Scale, seed: u64, threads: usize) -> Vec<ChaosCell> {
+    chaos_grid_sharded(scale, seed, threads, 1)
+}
+
+/// [`chaos_grid_threads`] with every cell run on the sharded single-run
+/// runtime at `shards` shards. Output depends only on `(scale, seed)` —
+/// never on `threads` or `shards` (byte-identity is the sharded
+/// runtime's contract, and the chaos-soak smoke gate exercises it).
+pub fn chaos_grid_sharded(scale: &Scale, seed: u64, threads: usize, shards: usize) -> Vec<ChaosCell> {
     let streams = acp_simcore::DeterministicRng::new(seed);
     let points: Vec<(usize, f64)> = scale
         .node_counts
@@ -108,7 +116,9 @@ pub fn chaos_grid_threads(scale: &Scale, seed: u64, threads: usize) -> Vec<Chaos
         .flat_map(|&nodes| CHURN_LEVELS.iter().map(move |&churn| (nodes, churn)))
         .collect();
     run_indexed(threads, &points, |i, &(nodes, churn)| {
-        let config = chaos_config(scale, streams.seed_for_indexed("chaos", i as u64), nodes, churn);
+        let mut config =
+            chaos_config(scale, streams.seed_for_indexed("chaos", i as u64), nodes, churn);
+        config.shards = shards;
         let result = acp_workload::run_scenario(config);
         ChaosCell::from_result(nodes, churn, &result)
     })
@@ -253,6 +263,12 @@ pub fn loss_grid(scale: &Scale, seed: u64) -> Vec<LossCell> {
 /// [`loss_grid`] with an explicit worker-thread count. Output depends
 /// only on `(scale, seed)`, never on `threads`.
 pub fn loss_grid_threads(scale: &Scale, seed: u64, threads: usize) -> Vec<LossCell> {
+    loss_grid_sharded(scale, seed, threads, 1)
+}
+
+/// [`loss_grid_threads`] with every cell run on the sharded single-run
+/// runtime at `shards` shards; output is independent of both knobs.
+pub fn loss_grid_sharded(scale: &Scale, seed: u64, threads: usize, shards: usize) -> Vec<LossCell> {
     let streams = acp_simcore::DeterministicRng::new(seed);
     let points: Vec<(usize, f64)> = scale
         .node_counts
@@ -260,7 +276,8 @@ pub fn loss_grid_threads(scale: &Scale, seed: u64, threads: usize) -> Vec<LossCe
         .flat_map(|&nodes| PROBE_LOSS_LEVELS.iter().map(move |&loss| (nodes, loss)))
         .collect();
     run_indexed(threads, &points, |i, &(nodes, loss)| {
-        let config = loss_config(scale, streams.seed_for_indexed("loss", i as u64), nodes, loss);
+        let mut config = loss_config(scale, streams.seed_for_indexed("loss", i as u64), nodes, loss);
+        config.shards = shards;
         let result = acp_workload::run_scenario(config);
         LossCell::from_result(nodes, loss, &result)
     })
@@ -314,9 +331,21 @@ pub fn loss_table(scale: &Scale, cells: &[LossCell]) -> Table {
 /// fault rates. The acceptance bar: tens of thousands of events,
 /// several concurrent fault classes, zero audit violations.
 pub fn soak(scale: &Scale, seed: u64, churn: f64, minutes: u64) -> ScenarioResult {
+    soak_sharded(scale, seed, churn, minutes, 1)
+}
+
+/// [`soak`] on the sharded single-run runtime at `shards` shards.
+pub fn soak_sharded(
+    scale: &Scale,
+    seed: u64,
+    churn: f64,
+    minutes: u64,
+    shards: usize,
+) -> ScenarioResult {
     let mut config = chaos_config(scale, seed, scale.stream_nodes, churn);
     config.schedule = RateSchedule::constant(scale.anchor_rate * 3.0);
     config.duration = SimDuration::from_minutes(minutes);
+    config.shards = shards;
     acp_workload::run_scenario(config)
 }
 

@@ -32,8 +32,9 @@ pub mod report;
 
 pub use ablation::{ablation_bcp, ablation_risk_epsilon, ablation_state_threshold, ablation_tuning};
 pub use chaos::{
-    chaos_grid, chaos_grid_threads, chaos_table, loss_config, loss_grid, loss_grid_threads,
-    loss_table, soak, ChaosCell, LossCell, CHURN_LEVELS, PROBE_LOSS_LEVELS,
+    chaos_grid, chaos_grid_sharded, chaos_grid_threads, chaos_table, loss_config, loss_grid,
+    loss_grid_sharded, loss_grid_threads, loss_table, soak, soak_sharded, ChaosCell, LossCell,
+    CHURN_LEVELS, PROBE_LOSS_LEVELS,
 };
 pub use experiments::{
     fig5, fig5_threads, fig6, fig6_threads, fig7, fig7_threads, fig8, fig8_threads, Scale,

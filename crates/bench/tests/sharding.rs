@@ -1,0 +1,170 @@
+//! Sharded-runtime equivalence suite: one scenario run at `shards = N`
+//! must be **byte-identical** to the sequential run for every N — same
+//! session digest, same audit trail, same message ledger, same series,
+//! same lease/setup accounting. Sharding may only change wall-clock time
+//! and the [`ShardStats`] traffic counters (which are shard-count-
+//! dependent by design and excluded from every digest).
+//!
+//! Four scenario shapes cover every sharded code path:
+//!
+//! * **plain** — single-phase composition, refresh/aggregation scatter;
+//! * **inert two-phase** — the lease ledger and expiry sweeps go live;
+//! * **lossy transport** — message faults, retries, orphaned leases, and
+//!   the reclamation sweep under sharding;
+//! * **chaos** — fault injection, failover recomposition, rebalancing,
+//!   and the sharded invariant audit after every sweep.
+
+use acp_core::SetupConfig;
+use acp_model::prelude::ShardStats;
+use acp_simcore::{MessageFaultConfig, SimDuration};
+use acp_workload::{run_scenario, ChurnConfig, ScenarioConfig, ScenarioResult};
+
+const SHARD_COUNTS: [usize; 3] = [2, 4, 8];
+
+fn run_at(mut config: ScenarioConfig, shards: usize) -> ScenarioResult {
+    config.shards = shards;
+    run_scenario(config)
+}
+
+/// Every digest-relevant field — everything except `shards` and
+/// `shard_stats`, which describe the runtime rather than the outcome.
+fn assert_byte_identical(seq: &ScenarioResult, sharded: &ScenarioResult, label: &str) {
+    assert_eq!(seq.session_digest, sharded.session_digest, "{label}: session digest");
+    assert_eq!(seq.audit_digest, sharded.audit_digest, "{label}: audit digest");
+    assert_eq!(seq.fault_digest, sharded.fault_digest, "{label}: fault digest");
+    assert_eq!(seq.chaos_digest(), sharded.chaos_digest(), "{label}: chaos digest");
+    assert_eq!(seq.overhead, sharded.overhead, "{label}: message ledger");
+    assert_eq!(seq.total_requests, sharded.total_requests, "{label}: requests");
+    assert_eq!(seq.total_successes, sharded.total_successes, "{label}: successes");
+    assert_eq!(seq.final_sessions, sharded.final_sessions, "{label}: live sessions");
+    assert_eq!(seq.sim_events, sharded.sim_events, "{label}: event count");
+    assert_eq!(seq.audit_violations, sharded.audit_violations, "{label}: violations");
+    assert_eq!(seq.state_scans, sharded.state_scans, "{label}: scan stats");
+    assert_eq!(seq.path_cache, sharded.path_cache, "{label}: path-cache stats");
+    assert_eq!(seq.aggregation_rounds, sharded.aggregation_rounds, "{label}: rounds");
+    assert_eq!(seq.lease_stats, sharded.lease_stats, "{label}: lease ledger");
+    assert_eq!(seq.leases_live_end, sharded.leases_live_end, "{label}: live leases");
+    assert_eq!(seq.leases_leaked, sharded.leases_leaked, "{label}: leaked leases");
+    assert_eq!(seq.setup_stats, sharded.setup_stats, "{label}: setup ledger");
+    assert_eq!(seq.fault_hit_requests, sharded.fault_hit_requests, "{label}: fault hits");
+    assert_eq!(seq.fault_hit_successes, sharded.fault_hit_successes, "{label}: fault recoveries");
+    assert_eq!(seq.sessions_killed, sharded.sessions_killed, "{label}: killed");
+    assert_eq!(seq.sessions_recovered, sharded.sessions_recovered, "{label}: recovered");
+    assert_eq!(seq.sessions_lost, sharded.sessions_lost, "{label}: lost");
+    assert_eq!(seq.migrations, sharded.migrations, "{label}: migrations");
+    assert_eq!(
+        seq.success_series.samples(),
+        sharded.success_series.samples(),
+        "{label}: success series"
+    );
+    assert_eq!(seq.ratio_series.samples(), sharded.ratio_series.samples(), "{label}: ratio series");
+    assert_eq!(seq.probe_histogram.count(), sharded.probe_histogram.count(), "{label}: histogram");
+}
+
+/// Runs `config` sequentially and at every shard count, asserting
+/// byte-identity throughout; returns the sequential result for extra
+/// scenario-specific checks.
+fn assert_sharding_invariant(config: ScenarioConfig, label: &str) -> ScenarioResult {
+    let seq = run_at(config.clone(), 1);
+    // shards = 1 is the sequential path: no runtime, no traffic counters.
+    assert_eq!(seq.shards, 1, "{label}: shards");
+    assert_eq!(seq.shard_stats, ShardStats::default(), "{label}: sequential runs record nothing");
+    for shards in SHARD_COUNTS {
+        let sharded = run_at(config.clone(), shards);
+        let label = format!("{label} shards={shards}");
+        assert_eq!(sharded.shards, shards, "{label}: shards");
+        assert_byte_identical(&seq, &sharded, &label);
+        let stats = sharded.shard_stats;
+        assert!(stats.scatter_epochs > 0, "{label}: scatter barriers must have run");
+        assert!(stats.messages() > 0, "{label}: probes/confirms must be classified");
+        assert!(
+            stats.cross_probes + stats.cross_confirms > 0,
+            "{label}: multi-shard runs must see cross-shard traffic"
+        );
+    }
+    seq
+}
+
+fn base_config(seed: u64) -> ScenarioConfig {
+    let mut config = ScenarioConfig::small(seed);
+    // Long enough that the 10-minute aggregation fires and sessions end.
+    config.duration = SimDuration::from_minutes(12);
+    config
+}
+
+#[test]
+fn plain_scenario_identical_at_all_shard_counts() {
+    let seq = assert_sharding_invariant(base_config(42), "plain");
+    assert!(seq.total_requests > 50, "workload must be non-trivial");
+    assert_eq!(seq.audit_violations, 0);
+}
+
+#[test]
+fn inert_two_phase_scenario_identical_at_all_shard_counts() {
+    let mut config = base_config(43);
+    config.setup = Some(SetupConfig::default());
+    let seq = assert_sharding_invariant(config, "inert-two-phase");
+    assert!(seq.lease_stats.created > 0, "ledger must be live");
+    assert_eq!(seq.leases_leaked, 0);
+}
+
+#[test]
+fn lossy_transport_scenario_identical_at_all_shard_counts() {
+    let mut config = base_config(44);
+    config.setup = Some(SetupConfig {
+        faults: MessageFaultConfig {
+            probe_drop: 0.10,
+            confirm_loss: 0.05,
+            stale_ack: 0.5,
+            ..MessageFaultConfig::default()
+        },
+        ..SetupConfig::default()
+    });
+    let seq = assert_sharding_invariant(config, "lossy");
+    assert!(seq.fault_hit_requests > 0, "message faults must land");
+    assert!(seq.setup_stats.retries > 0, "losses must trigger retries");
+    assert_eq!(seq.leases_leaked, 0, "reclamation must recover every orphan");
+}
+
+#[test]
+fn chaos_scenario_identical_at_all_shard_counts() {
+    let mut config = base_config(45);
+    config.churn = Some(ChurnConfig::default());
+    let seq = assert_sharding_invariant(config, "chaos");
+    assert!(seq.fault_events > 0, "plan must contain faults");
+    assert!(seq.sessions_killed > 0, "churn must orphan sessions");
+    assert_eq!(seq.audit_violations, 0, "invariants must hold under churn");
+}
+
+#[test]
+fn lossy_chaos_scenario_identical_at_all_shard_counts() {
+    // The ISSUE's hardest case: lossy two-phase transport *and* fault
+    // injection, sharded — retries, failover recomposition, reclamation
+    // sweeps, and the sharded audit all in one run.
+    let mut config = base_config(46);
+    config.setup = Some(SetupConfig {
+        faults: MessageFaultConfig { probe_drop: 0.10, confirm_loss: 0.05, ..MessageFaultConfig::default() },
+        ..SetupConfig::default()
+    });
+    config.churn = Some(ChurnConfig::default());
+    let seq = assert_sharding_invariant(config, "lossy-chaos");
+    assert!(seq.fault_events > 0 && seq.fault_hit_requests > 0);
+    assert_eq!(seq.audit_violations, 0);
+    assert_eq!(seq.leases_leaked, 0);
+}
+
+#[test]
+fn shard_count_does_not_perturb_tuner_runs() {
+    // The tuner's trace replay clones the system and composes
+    // sequentially regardless of shard count — ratios must match.
+    let mut config = base_config(47);
+    config.tuner = Some(acp_core::prelude::TunerConfig {
+        target_success: 0.9,
+        ..acp_core::prelude::TunerConfig::default()
+    });
+    let seq = run_at(config.clone(), 1);
+    let sharded = run_at(config, 4);
+    assert_eq!(seq.ratio_series.samples(), sharded.ratio_series.samples());
+    assert_eq!(seq.profiling_runs, sharded.profiling_runs);
+    assert_byte_identical(&seq, &sharded, "tuner shards=4");
+}

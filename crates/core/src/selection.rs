@@ -11,7 +11,7 @@
 
 use acp_model::prelude::*;
 use acp_state::GlobalStateBoard;
-use acp_topology::SharedPath;
+use acp_topology::{OverlayNodeId, SharedPath};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -166,32 +166,215 @@ pub fn select_candidates_with<R: Rng + ?Sized>(
                 let v = congestion_function(&avail, &demand, link_avail, ctx.request.bandwidth_kbps);
                 scored.push((d, v, plan));
             }
-            // "Candidates with smaller risk values are better; if two have
-            // similar risk values, compare them by the congestion
-            // function." Raw ±ε closeness is not transitive, so risks are
-            // bucketed into ε-wide bands: order by band, then by the
-            // congestion function within a band. (ε = 0 orders strictly by
-            // risk, breaking exact ties by congestion.)
-            let band = |d: f64| -> i64 {
-                if risk_epsilon <= 0.0 || !d.is_finite() {
-                    return if d.is_finite() { 0 } else { i64::MAX };
-                }
-                (d / risk_epsilon).floor().clamp(i64::MIN as f64, (i64::MAX - 1) as f64) as i64
-            };
-            if risk_epsilon <= 0.0 {
-                scored.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.total_cmp(&b.1)));
-            } else {
-                scored.sort_by(|a, b| {
-                    band(a.0)
-                        .cmp(&band(b.0))
-                        .then_with(|| a.1.total_cmp(&b.1))
-                        .then_with(|| a.0.total_cmp(&b.0))
-                });
-            }
+            rank_scored(scored, risk_epsilon);
             scored.truncate(quota);
             // Drain (rather than move) so the buffer's capacity is kept
             // for the next hop.
             scored.drain(..).map(|(_, _, plan)| plan).collect()
+        }
+    }
+}
+
+/// Orders scored candidates per §3.5: "Candidates with smaller risk
+/// values are better; if two have similar risk values, compare them by
+/// the congestion function." Raw ±ε closeness is not transitive, so risks
+/// are bucketed into ε-wide bands: order by band, then by the congestion
+/// function within a band. (ε = 0 orders strictly by risk, breaking exact
+/// ties by congestion.) Shared by the sequential and sharded selection
+/// paths so their rankings cannot drift.
+fn rank_scored(scored: &mut [(f64, f64, CandidatePlan)], risk_epsilon: f64) {
+    let band = |d: f64| -> i64 {
+        if risk_epsilon <= 0.0 || !d.is_finite() {
+            return if d.is_finite() { 0 } else { i64::MAX };
+        }
+        (d / risk_epsilon).floor().clamp(i64::MIN as f64, (i64::MAX - 1) as f64) as i64
+    };
+    if risk_epsilon <= 0.0 {
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.total_cmp(&b.1)));
+    } else {
+        scored.sort_by(|a, b| {
+            band(a.0)
+                .cmp(&band(b.0))
+                .then_with(|| a.1.total_cmp(&b.1))
+                .then_with(|| a.0.total_cmp(&b.0))
+        });
+    }
+}
+
+/// `(risk, congestion, incoming links)` of a candidate that survived
+/// reachability, board visibility, and qualification.
+type ScoredCandidate = (f64, f64, Vec<(usize, SharedPath)>);
+
+/// One shard worker's verdict on a `(probe, candidate)` scoring item.
+struct ShardItem {
+    /// Path-memo lookups this item executed, in issue order
+    /// (short-circuiting on an unreachable predecessor exactly like
+    /// [`plan_for`]). The coordinator replays them through
+    /// [`StreamSystem::admit_virtual_path`] so memo contents and hit/miss
+    /// counters match the sequential run byte for byte.
+    queries: Vec<(OverlayNodeId, OverlayNodeId, Option<SharedPath>)>,
+    /// `Some` when the candidate survived reachability, board
+    /// visibility, and qualification.
+    scored: Option<ScoredCandidate>,
+}
+
+/// Scores one candidate for one probe entirely read-only: paths resolve
+/// via the memo peek or a cache-neutral recompute, and the risk (Eq. 9) /
+/// congestion (Eq. 10) values use only coarse board state. Path
+/// extraction and the scoring formulas are pure functions of system and
+/// board state, so a shard worker computes exactly the bytes the
+/// sequential [`select_candidates_with`] would.
+fn score_item(
+    system: &StreamSystem,
+    board: &GlobalStateBoard,
+    request: &Request,
+    vertex: VertexId,
+    demand: &ResourceVector,
+    predecessors: &[(usize, ComponentId, Qos)],
+    component: ComponentId,
+) -> ShardItem {
+    let overlay = system.overlay();
+    let mut queries = Vec::with_capacity(predecessors.len());
+    let mut incoming = Vec::with_capacity(predecessors.len());
+    let mut reachable = true;
+    for &(edge, pred, _) in predecessors {
+        let resolved = match overlay.peek_virtual_path(pred.node, component.node) {
+            Some(entry) => entry,
+            None => overlay
+                .compute_virtual_path_readonly(pred.node, component.node)
+                .map(SharedPath::new),
+        };
+        queries.push((pred.node, component.node, resolved.clone()));
+        match resolved {
+            Some(path) => incoming.push((edge, path)),
+            None => {
+                reachable = false;
+                break;
+            }
+        }
+    }
+    if !reachable {
+        return ShardItem { queries, scored: None };
+    }
+    let plan = CandidatePlan { component, incoming };
+    let Some(dense) = system.dense_of(component) else {
+        return ShardItem { queries, scored: None };
+    };
+    let Some(cand_qos) = board.component_qos_dense(dense) else {
+        return ShardItem { queries, scored: None };
+    };
+    let avail = board.node_available(component.node);
+    let ctx = HopContext { request, vertex, predecessors };
+    let (link_qos, link_avail, acc) = incoming_summary(board, &plan, &ctx);
+    if is_unqualified(
+        acc,
+        cand_qos,
+        link_qos,
+        &request.qos,
+        &avail,
+        demand,
+        link_avail,
+        request.bandwidth_kbps,
+    ) {
+        return ShardItem { queries, scored: None };
+    }
+    let d = risk_function(acc, cand_qos, link_qos, &request.qos);
+    let v = congestion_function(&avail, demand, link_avail, request.bandwidth_kbps);
+    ShardItem { queries, scored: Some((d, v, plan.incoming)) }
+}
+
+/// Sharded [`HopSelection::Ranked`] selection for one whole frontier:
+/// every live probe's `(candidate)` scoring items fan out to the shard
+/// that owns the candidate's node, run read-only behind the scatter
+/// barrier, and merge on the coordinator in the exact per-probe,
+/// per-candidate order of the sequential loop — path-memo admissions,
+/// hit/miss accounting, rankings, and the emitted `(rank, probe, plan)`
+/// proposals are byte-identical to calling [`select_candidates_with`]
+/// once per probe. Ranked selection draws no randomness, which is what
+/// makes the fan-out safe; `Random` selection stays sequential.
+#[allow(clippy::too_many_arguments)] // mirrors the sequential entry point
+pub fn select_frontier_sharded(
+    system: &mut StreamSystem,
+    board: &GlobalStateBoard,
+    request: &Request,
+    vertex: VertexId,
+    pred_buf: &[(usize, ComponentId, Qos)],
+    pred_ranges: &[(usize, usize)],
+    alpha: f64,
+    risk_epsilon: f64,
+    stats: &mut OverheadStats,
+    rt: &mut ShardedRuntime,
+    proposals: &mut Vec<(usize, usize, CandidatePlan)>,
+) {
+    let function = request.graph.function(vertex);
+    let n_probes = pred_ranges.len();
+    stats.discovery_lookups += n_probes as u64;
+    let raw = system.candidates(function);
+    let quota = probe_quota(raw.len(), alpha);
+    if quota == 0 {
+        return;
+    }
+    stats.global_state_queries += n_probes as u64;
+    // Static interface/placement filters — identical for every probe.
+    let rate = request.stream_rate_kbps;
+    let ids: Vec<ComponentId> = raw
+        .iter()
+        .copied()
+        .filter(|&c| {
+            let component = system.component(c);
+            component.accepts_rate(rate) && request.constraints.admits(&component.attributes)
+        })
+        .collect();
+    let demand = request.vertex_demand(system.registry(), vertex);
+
+    // Fan out: each (probe, candidate) item goes to the shard owning the
+    // candidate's node — the probe message crossing into that shard.
+    let shards = rt.shards();
+    let mut work: Vec<Vec<(usize, usize)>> = vec![Vec::new(); shards];
+    for p in 0..n_probes {
+        for (ci, &c) in ids.iter().enumerate() {
+            work[rt.node_owner(c.node)].push((p, ci));
+        }
+    }
+    let sys: &StreamSystem = system;
+    let work_ref = &work;
+    let ids_ref = &ids;
+    let results: Vec<Vec<ShardItem>> = rt.scatter(|s| {
+        work_ref[s]
+            .iter()
+            .map(|&(p, ci)| {
+                let (ps, pe) = pred_ranges[p];
+                score_item(sys, board, request, vertex, &demand, &pred_buf[ps..pe], ids_ref[ci])
+            })
+            .collect()
+    });
+    let mut slots: Vec<Option<ShardItem>> = Vec::with_capacity(n_probes * ids.len());
+    slots.resize_with(n_probes * ids.len(), || None);
+    for (items, assignment) in results.into_iter().zip(&work) {
+        for (item, &(p, ci)) in items.into_iter().zip(assignment) {
+            slots[p * ids.len() + ci] = Some(item);
+        }
+    }
+
+    // Deterministic merge: replay each probe's candidate loop in
+    // sequential order, admitting path-memo entries as the sequential
+    // lookups would, then rank and emit under the per-probe quota.
+    let mut scored: Vec<(f64, f64, CandidatePlan)> = Vec::new();
+    for p in 0..n_probes {
+        scored.clear();
+        for (ci, &c) in ids.iter().enumerate() {
+            let item = slots[p * ids.len() + ci].take().expect("every item scored exactly once");
+            for (from, to, resolved) in item.queries {
+                system.admit_virtual_path(from, to, resolved);
+            }
+            if let Some((d, v, incoming)) = item.scored {
+                scored.push((d, v, CandidatePlan { component: c, incoming }));
+            }
+        }
+        rank_scored(&mut scored, risk_epsilon);
+        scored.truncate(quota);
+        for (rank, (_, _, plan)) in scored.drain(..).enumerate() {
+            proposals.push((rank, p, plan));
         }
     }
 }

@@ -389,6 +389,11 @@ impl SystemAuditor {
     /// Audits every invariant; when `now` is given (an instant at or
     /// after the latest reclamation sweep), additionally checks that no
     /// transient lease has outlived its expiry.
+    ///
+    /// The pass bodies are range/slice-parameterised so the sharded
+    /// runtime (`crate::shard`) can fan the same code over worker
+    /// threads; this sequential entry point simply runs each pass over
+    /// the full range, so the two paths cannot drift apart.
     pub fn audit_at(&self, system: &StreamSystem, now: Option<SimTime>) -> AuditReport {
         let mut out = Vec::new();
         self.audit_nodes(system, &mut out);
@@ -435,23 +440,57 @@ impl SystemAuditor {
             }
         }
         if let Some(now) = now {
-            for i in 0..system.node_count() {
-                let v = OverlayNodeId(i as u32);
-                let count = system.node(v).expired_transient_count(now);
-                if count > 0 {
-                    out.push(AuditViolation::NodeLeaseOutlivedExpiry { node: v, count });
-                }
-            }
-            for l in system.overlay().links() {
-                let count = system.link_expired_transient_count(l, now);
-                if count > 0 {
-                    out.push(AuditViolation::LinkLeaseOutlivedExpiry { link: l, count });
-                }
-            }
+            let (nodes, links) = self.lease_expiry_for_ranges(
+                system,
+                now,
+                0..system.node_count(),
+                0..system.link_count(),
+            );
+            out.extend(nodes);
+            out.extend(links);
         }
     }
 
-    fn audit_nodes(&self, system: &StreamSystem, out: &mut Vec<AuditViolation>) {
+    /// Ledger half of the lease pass (reconciliation + double-hold),
+    /// inherently global: it reads whole-system counters.
+    pub(crate) fn lease_ledger_violations(
+        &self,
+        system: &StreamSystem,
+        out: &mut Vec<AuditViolation>,
+    ) {
+        self.audit_leases(system, None, out);
+    }
+
+    /// Expiry half of the lease pass over contiguous node/link index
+    /// ranges, returned separately so the merge can keep the sequential
+    /// order (all node violations ascending, then all link violations).
+    pub(crate) fn lease_expiry_for_ranges(
+        &self,
+        system: &StreamSystem,
+        now: SimTime,
+        node_range: std::ops::Range<usize>,
+        link_range: std::ops::Range<usize>,
+    ) -> (Vec<AuditViolation>, Vec<AuditViolation>) {
+        let mut nodes = Vec::new();
+        for i in node_range {
+            let v = OverlayNodeId(i as u32);
+            let count = system.node(v).expired_transient_count(now);
+            if count > 0 {
+                nodes.push(AuditViolation::NodeLeaseOutlivedExpiry { node: v, count });
+            }
+        }
+        let mut links = Vec::new();
+        for i in link_range {
+            let l = OverlayLinkId(i as u32);
+            let count = system.link_expired_transient_count(l, now);
+            if count > 0 {
+                links.push(AuditViolation::LinkLeaseOutlivedExpiry { link: l, count });
+            }
+        }
+        (nodes, links)
+    }
+
+    pub(crate) fn audit_nodes(&self, system: &StreamSystem, out: &mut Vec<AuditViolation>) {
         let mut seen_dense = vec![false; system.dense_component_count()];
         for i in 0..system.node_count() {
             let v = OverlayNodeId(i as u32);
@@ -516,37 +555,80 @@ impl SystemAuditor {
     /// Conservation: the session table is the ground truth for committed
     /// resources; node and link books must agree with its sums.
     fn audit_conservation(&self, system: &StreamSystem, out: &mut Vec<AuditViolation>) {
-        let mut node_sum = vec![ResourceVector::ZERO; system.node_count()];
-        let mut link_sum = vec![0.0f64; system.overlay().link_count()];
-        for s in sorted_sessions(system) {
+        let sessions = sorted_sessions(system);
+        let (nodes, links) = self.conservation_for_ranges(
+            system,
+            &sessions,
+            0..system.node_count(),
+            0..system.link_count(),
+        );
+        out.extend(nodes);
+        out.extend(links);
+    }
+
+    /// Conservation checks restricted to contiguous node/link ranges.
+    ///
+    /// Each entity in range is summed **fully** by this call, folding the
+    /// sessions in the caller-supplied (id-sorted) order — never from
+    /// merged partial sums — so the f64 accumulation bracketing, and
+    /// therefore every emitted violation, is bit-identical to the
+    /// sequential pass no matter how the ranges are partitioned.
+    pub(crate) fn conservation_for_ranges(
+        &self,
+        system: &StreamSystem,
+        sessions: &[&crate::system::Session],
+        node_range: std::ops::Range<usize>,
+        link_range: std::ops::Range<usize>,
+    ) -> (Vec<AuditViolation>, Vec<AuditViolation>) {
+        let mut node_sum = vec![ResourceVector::ZERO; node_range.len()];
+        let mut link_sum = vec![0.0f64; link_range.len()];
+        for s in sessions {
             for &(node, amount) in s.node_allocations() {
-                node_sum[node.index()] += amount;
+                if node_range.contains(&node.index()) {
+                    node_sum[node.index() - node_range.start] += amount;
+                }
             }
             for &(link, kbps) in s.link_allocations() {
-                link_sum[link.index()] += kbps;
+                if link_range.contains(&link.index()) {
+                    link_sum[link.index() - link_range.start] += kbps;
+                }
             }
         }
-        for (i, expected) in node_sum.iter().enumerate() {
-            let v = OverlayNodeId(i as u32);
+        let mut nodes = Vec::new();
+        for (off, expected) in node_sum.iter().enumerate() {
+            let v = OverlayNodeId((node_range.start + off) as u32);
             let committed = system.node(v).committed();
             for (kind, want) in expected.iter() {
                 let got = committed.get(kind);
                 if (got - want).abs() > self.tolerance(want) {
-                    out.push(AuditViolation::NodeConservation { node: v, kind, committed: got, expected: want });
+                    nodes.push(AuditViolation::NodeConservation { node: v, kind, committed: got, expected: want });
                 }
             }
         }
-        for (i, &want) in link_sum.iter().enumerate() {
-            let l = OverlayLinkId(i as u32);
+        let mut links = Vec::new();
+        for (off, &want) in link_sum.iter().enumerate() {
+            let l = OverlayLinkId((link_range.start + off) as u32);
             let got = system.link_committed(l);
             if (got - want).abs() > self.tolerance(want) {
-                out.push(AuditViolation::LinkConservation { link: l, committed: got, expected: want });
+                links.push(AuditViolation::LinkConservation { link: l, committed: got, expected: want });
             }
         }
+        (nodes, links)
     }
 
     fn audit_links(&self, system: &StreamSystem, out: &mut Vec<AuditViolation>) {
-        for l in system.overlay().links() {
+        out.extend(self.link_state_for_range(system, 0..system.link_count()));
+    }
+
+    /// Link capacity / fail-stop checks over a contiguous link range.
+    pub(crate) fn link_state_for_range(
+        &self,
+        system: &StreamSystem,
+        link_range: std::ops::Range<usize>,
+    ) -> Vec<AuditViolation> {
+        let mut out = Vec::new();
+        for i in link_range {
+            let l = OverlayLinkId(i as u32);
             let committed = system.link_committed(l);
             let capacity = system.link_capacity(l);
             if committed > capacity + self.epsilon {
@@ -556,10 +638,24 @@ impl SystemAuditor {
                 out.push(AuditViolation::FailedLinkCarries { link: l, available: system.link_available(l) });
             }
         }
+        out
     }
 
     fn audit_sessions(&self, system: &StreamSystem, out: &mut Vec<AuditViolation>) {
-        for s in sorted_sessions(system) {
+        let sessions = sorted_sessions(system);
+        out.extend(self.session_violations_for_slice(system, &sessions));
+    }
+
+    /// Session coverage / failed-route checks over a slice of the
+    /// id-sorted session list. Violations come out in slice order, so
+    /// concatenating contiguous slices reproduces the sequential order.
+    pub(crate) fn session_violations_for_slice(
+        &self,
+        system: &StreamSystem,
+        sessions: &[&crate::system::Session],
+    ) -> Vec<AuditViolation> {
+        let mut out = Vec::new();
+        for s in sessions {
             let request = &s.request_spec;
             if !s.composition.is_shape_valid(&request.graph) {
                 out.push(AuditViolation::SessionCoverage {
@@ -604,22 +700,29 @@ impl SystemAuditor {
                 out.push(AuditViolation::SessionOnFailedRoute { session: s.id, detail: "a failed relay node" });
             }
         }
+        out
     }
 
     fn audit_path_cache(&self, system: &StreamSystem, out: &mut Vec<AuditViolation>) {
-        let mut entries: Vec<_> = system
-            .overlay()
-            .cached_paths()
-            .filter_map(|(key, path)| path.map(|p| (key, p)))
-            .collect();
-        entries.sort_unstable_by_key(|&(key, _)| key);
-        for ((from, to), path) in entries {
+        let entries = sorted_cached_paths(system);
+        out.extend(self.path_violations_for_entries(system, &entries));
+    }
+
+    /// Failed-node scan over a slice of the key-sorted cached-path list.
+    pub(crate) fn path_violations_for_entries(
+        &self,
+        system: &StreamSystem,
+        entries: &[((OverlayNodeId, OverlayNodeId), &acp_topology::SharedPath)],
+    ) -> Vec<AuditViolation> {
+        let mut out = Vec::new();
+        for &((from, to), path) in entries {
             for &via in &path.nodes {
                 if system.is_node_failed(via) {
                     out.push(AuditViolation::CachedPathThroughFailed { from, to, via });
                 }
             }
         }
+        out
     }
 
     fn tolerance(&self, magnitude: f64) -> f64 {
@@ -629,10 +732,23 @@ impl SystemAuditor {
 
 /// Live sessions in ascending id order (the session table is a HashMap,
 /// so its natural order is not deterministic).
-fn sorted_sessions(system: &StreamSystem) -> Vec<&crate::system::Session> {
+pub(crate) fn sorted_sessions(system: &StreamSystem) -> Vec<&crate::system::Session> {
     let mut sessions: Vec<_> = system.sessions().collect();
     sessions.sort_unstable_by_key(|s| s.id);
     sessions
+}
+
+/// Memoized virtual paths in ascending key order (the memo is a HashMap).
+pub(crate) fn sorted_cached_paths(
+    system: &StreamSystem,
+) -> Vec<((OverlayNodeId, OverlayNodeId), &acp_topology::SharedPath)> {
+    let mut entries: Vec<_> = system
+        .overlay()
+        .cached_paths()
+        .filter_map(|(key, path)| path.map(|p| (key, p)))
+        .collect();
+    entries.sort_unstable_by_key(|&(key, _)| key);
+    entries
 }
 
 #[cfg(test)]

@@ -24,6 +24,10 @@
 //! * [`audit`] — the [`SystemAuditor`](audit::SystemAuditor), re-checking
 //!   the conservation invariants (Eqs. 2/4/5, dense-index and path-cache
 //!   coherence) after the fact for chaos experiments.
+//! * [`shard`] — the [`ShardedRuntime`](shard::ShardedRuntime): one
+//!   scenario across all cores via per-shard node-range ownership,
+//!   read-only range scans behind a scatter barrier, and a deterministic
+//!   coordinator-side merge (byte-identical at any shard count).
 //!
 //! # Example
 //!
@@ -55,6 +59,7 @@ pub mod node;
 pub mod qos;
 pub mod request;
 pub mod resources;
+pub mod shard;
 pub mod system;
 
 /// One-stop imports for downstream crates.
@@ -73,6 +78,7 @@ pub mod prelude {
     pub use crate::qos::{LossRate, Qos, QosRequirement};
     pub use crate::request::{Request, RequestId};
     pub use crate::resources::{ResourceKind, ResourceVector};
+    pub use crate::shard::{ShardStats, ShardedRuntime};
     pub use crate::system::{
         AdmissionError, LeaseStats, Session, SessionId, StreamSystem, SystemConfig,
     };

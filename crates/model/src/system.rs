@@ -520,6 +520,20 @@ impl StreamSystem {
         self.overlay.virtual_path(from, to)
     }
 
+    /// Replays one memoized path lookup with a shard-computed result —
+    /// see [`Overlay::admit_virtual_path`]. The shard coordinator calls
+    /// this in the exact order the sequential run would issue
+    /// [`Self::virtual_path`], keeping memo contents and hit/miss
+    /// counters byte-identical.
+    pub fn admit_virtual_path(
+        &mut self,
+        from: OverlayNodeId,
+        to: OverlayNodeId,
+        computed: Option<SharedPath>,
+    ) -> Option<SharedPath> {
+        self.overlay.admit_virtual_path(from, to, computed)
+    }
+
     /// Hit/miss counters of the overlay's virtual-path memo.
     pub fn path_cache_stats(&self) -> acp_topology::PathCacheStats {
         self.overlay.path_cache_stats()
@@ -637,25 +651,51 @@ impl StreamSystem {
     /// or before `now`. Returns the number dropped.
     pub fn expire_transients(&mut self, now: SimTime) -> usize {
         let mut dropped = 0;
-        for (i, node) in self.nodes.iter_mut().enumerate() {
-            let d = node.expire_transients(now);
-            if d > 0 {
-                self.node_versions[i] += 1;
-            }
-            dropped += d;
+        for i in 0..self.nodes.len() {
+            dropped += self.expire_node_transients_at(i, now);
         }
-        for (i, state) in self.links.iter_mut().enumerate() {
-            let before = state.transient.len();
-            state.transient.retain(|t| t.expires > now);
-            if state.transient.len() != before {
-                self.link_versions[i] += 1;
-            }
-            dropped += before - state.transient.len();
+        for i in 0..self.links.len() {
+            dropped += self.expire_link_transients_at(i, now);
         }
+        self.record_expired_leases(dropped);
+        dropped
+    }
+
+    /// Number of overlay links in the system.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Drops node `i`'s expired transients; the per-entity apply step
+    /// shared by [`Self::expire_transients`] and the sharded sweep (which
+    /// scans ranges in parallel but applies in ascending index order so
+    /// version bumps match the sequential run exactly).
+    pub(crate) fn expire_node_transients_at(&mut self, i: usize, now: SimTime) -> usize {
+        let d = self.nodes[i].expire_transients(now);
+        if d > 0 {
+            self.node_versions[i] += 1;
+        }
+        d
+    }
+
+    /// Drops link `i`'s expired transients; see
+    /// [`Self::expire_node_transients_at`].
+    pub(crate) fn expire_link_transients_at(&mut self, i: usize, now: SimTime) -> usize {
+        let state = &mut self.links[i];
+        let before = state.transient.len();
+        state.transient.retain(|t| t.expires > now);
+        let d = before - state.transient.len();
+        if d > 0 {
+            self.link_versions[i] += 1;
+        }
+        d
+    }
+
+    /// Folds a completed expiry sweep's drop count into the lease ledger.
+    pub(crate) fn record_expired_leases(&mut self, dropped: usize) {
         if self.lease_accounting {
             self.lease_stats.expired += dropped as u64;
         }
-        dropped
     }
 
     /// Releases **all** transient reservations belonging to `request`

@@ -19,6 +19,9 @@
 //!   simple summary statistics).
 //! * [`fault`] — seeded fault schedules ([`FaultPlan`]) and their replay
 //!   cursor ([`FaultScheduler`]) for deterministic chaos experiments.
+//! * [`shard`] — contiguous index partitions ([`ShardMap`]) and a
+//!   persistent scatter-barrier worker pool ([`ShardPool`]) for running
+//!   one simulation across cores without losing byte-identity.
 //!
 //! # Example
 //!
@@ -48,6 +51,7 @@ pub mod fault;
 pub mod queue;
 pub mod rng;
 pub mod series;
+pub mod shard;
 pub mod time;
 
 pub use engine::{Model, Simulation};
@@ -58,4 +62,5 @@ pub use fault::{
 pub use queue::{EventQueue, ScheduledEvent};
 pub use rng::DeterministicRng;
 pub use series::{Histogram, SummaryStats, TimeSeries, WindowedCounter};
+pub use shard::{ShardMap, ShardPool};
 pub use time::{SimDuration, SimTime};

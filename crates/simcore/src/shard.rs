@@ -1,0 +1,333 @@
+//! Sharded execution substrate: contiguous index partitions and a
+//! persistent worker pool with a scatter barrier.
+//!
+//! One simulation run is parallelised by giving every shard a contiguous
+//! range of dense entity indices (nodes, links, sessions) and fanning
+//! read-only scans over those ranges onto worker threads. Determinism
+//! rests on the same discipline that made the sweep driver
+//! ([`crate::rng`] + bench's `parallel.rs`) thread-count-invariant:
+//!
+//! 1. **scan/apply split** — workers only *read* shared state and return
+//!    per-shard results; every mutation is applied by the coordinator in
+//!    canonical (ascending-index) order during the merge step, so the
+//!    write sequence is identical to a sequential run;
+//! 2. **barrier per epoch** — [`ShardPool::scatter`] does not return
+//!    until every shard's result is in, so no shard ever observes
+//!    another epoch's partial writes;
+//! 3. **order-stable merge** — results come back indexed by shard, and
+//!    shards own ascending ranges, so concatenating per-shard outputs
+//!    reproduces the sequential iteration order exactly.
+//!
+//! [`ShardMap`] computes the ranges; [`ShardPool`] runs the scans. The
+//! pool keeps its threads alive between scatters (a scenario performs
+//! thousands of epochs; spawning per epoch would dominate the win).
+
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+/// A contiguous partition of `len` dense indices into `shards` ranges.
+///
+/// Range sizes differ by at most one (the first `len % shards` shards
+/// get the extra element), so the partition is a pure function of
+/// `(len, shards)` — every run with the same configuration sees the
+/// same ownership, which the deterministic merge relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    len: usize,
+    shards: usize,
+}
+
+impl ShardMap {
+    /// Partitions `len` indices into `shards` contiguous ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero.
+    pub fn new(len: usize, shards: usize) -> Self {
+        assert!(shards > 0, "a shard map needs at least one shard");
+        ShardMap { len, shards }
+    }
+
+    /// Number of shards in the partition.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Total number of indices partitioned.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the map covers no indices.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The contiguous index range owned by `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard >= self.shards()`.
+    pub fn range(&self, shard: usize) -> Range<usize> {
+        assert!(shard < self.shards, "shard {shard} out of {} shards", self.shards);
+        let base = self.len / self.shards;
+        let extra = self.len % self.shards;
+        // The first `extra` shards own `base + 1` indices each.
+        let start = shard * base + shard.min(extra);
+        let size = base + usize::from(shard < extra);
+        start..start + size
+    }
+
+    /// The shard owning index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= self.len()`.
+    pub fn owner(&self, i: usize) -> usize {
+        assert!(i < self.len, "index {i} out of {} indices", self.len);
+        let base = self.len / self.shards;
+        let extra = self.len % self.shards;
+        let boundary = extra * (base + 1);
+        if i < boundary {
+            i / (base + 1)
+        } else {
+            extra + (i - boundary) / base.max(1)
+        }
+    }
+}
+
+/// A job shipped to a worker thread. Lifetime-erased: see the safety
+/// argument in [`ShardPool::scatter`].
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Worker {
+    sender: mpsc::Sender<Job>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A persistent pool of `shards - 1` worker threads plus the calling
+/// thread, executing one closure per shard with a full barrier.
+///
+/// The coordinator (calling thread) always runs the **last** shard
+/// inline, so a 1-shard pool spawns no threads at all and `scatter`
+/// degenerates to a plain call — the `shards = 1` configuration is the
+/// sequential runtime, not an emulation of it.
+pub struct ShardPool {
+    workers: Vec<Worker>,
+}
+
+impl ShardPool {
+    /// Creates a pool serving `shards` shards (`shards - 1` threads).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "a shard pool needs at least one shard");
+        let workers = (0..shards - 1)
+            .map(|i| {
+                let (sender, receiver) = mpsc::channel::<Job>();
+                let handle = std::thread::Builder::new()
+                    .name(format!("acp-shard-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = receiver.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawning a shard worker thread");
+                Worker { sender, handle: Some(handle) }
+            })
+            .collect();
+        ShardPool { workers }
+    }
+
+    /// Number of shards this pool serves (worker threads + the caller).
+    pub fn shards(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Runs `f(shard)` once per shard — worker threads for shards
+    /// `0..shards-1`, the calling thread for the last — and returns the
+    /// results in shard order once **all** shards have finished (this is
+    /// the per-epoch barrier).
+    ///
+    /// `f` may borrow the caller's stack (shared simulation state): the
+    /// barrier guarantees no borrow outlives the call.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first shard panic after every other shard has
+    /// completed (so no borrowed state is still in use when unwinding).
+    pub fn scatter<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let shards = self.shards();
+        if shards == 1 {
+            return vec![f(0)];
+        }
+
+        let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<R>)>();
+        for (i, worker) in self.workers.iter().enumerate() {
+            let tx = tx.clone();
+            let f = &f;
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| f(i)));
+                // The send is the worker's half of the barrier; it happens
+                // even when `f` panics, so the coordinator never deadlocks.
+                let _ = tx.send((i, result));
+            });
+            // SAFETY: the job borrows `f` (and whatever `f` captures) from
+            // this stack frame. `scatter` does not return before receiving
+            // one result per dispatched job below, and a result is sent
+            // unconditionally after the job's closure finishes (panics are
+            // caught), so every borrow ends before this frame is popped —
+            // the 'static erasure is never observable.
+            let job: Job = unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job)
+            };
+            worker.sender.send(job).expect("shard worker thread is alive");
+        }
+        drop(tx);
+
+        // The coordinator's own share runs while the workers run theirs.
+        let last = catch_unwind(AssertUnwindSafe(|| f(shards - 1)));
+
+        let mut slots: Vec<Option<R>> = (0..shards).map(|_| None).collect();
+        let mut panic_payload = None;
+        for _ in 0..shards - 1 {
+            let (i, result) = rx.recv().expect("every dispatched job sends one result");
+            match result {
+                Ok(r) => slots[i] = Some(r),
+                Err(p) => panic_payload = Some(panic_payload.unwrap_or(p)),
+            }
+        }
+        match last {
+            Ok(r) => slots[shards - 1] = Some(r),
+            Err(p) => panic_payload = Some(panic_payload.unwrap_or(p)),
+        }
+        if let Some(p) = panic_payload {
+            resume_unwind(p);
+        }
+        slots.into_iter().map(|slot| slot.expect("barrier filled every slot")).collect()
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        for worker in &mut self.workers {
+            // Closing the channel ends the worker loop.
+            let (closed, _) = mpsc::channel();
+            worker.sender = closed;
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_are_contiguous_and_cover_everything() {
+        for len in [0usize, 1, 2, 7, 16, 100, 101] {
+            for shards in [1usize, 2, 3, 4, 8, 13] {
+                let map = ShardMap::new(len, shards);
+                let mut next = 0;
+                for s in 0..shards {
+                    let r = map.range(s);
+                    assert_eq!(r.start, next, "len={len} shards={shards} shard={s}");
+                    next = r.end;
+                }
+                assert_eq!(next, len);
+            }
+        }
+    }
+
+    #[test]
+    fn range_sizes_differ_by_at_most_one() {
+        let map = ShardMap::new(10, 4);
+        let sizes: Vec<usize> = (0..4).map(|s| map.range(s).len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn owner_agrees_with_range() {
+        for len in [1usize, 5, 9, 64, 65] {
+            for shards in [1usize, 2, 4, 7, 80] {
+                let map = ShardMap::new(len, shards);
+                for i in 0..len {
+                    let owner = map.owner(i);
+                    assert!(map.range(owner).contains(&i), "len={len} shards={shards} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_indices_leaves_tail_ranges_empty() {
+        let map = ShardMap::new(3, 8);
+        assert_eq!(map.range(0), 0..1);
+        assert_eq!(map.range(2), 2..3);
+        for s in 3..8 {
+            assert!(map.range(s).is_empty());
+        }
+    }
+
+    #[test]
+    fn scatter_returns_results_in_shard_order() {
+        let pool = ShardPool::new(4);
+        assert_eq!(pool.scatter(|s| s * 10), vec![0, 10, 20, 30]);
+        // The pool is reusable: a second epoch over the same threads.
+        assert_eq!(pool.scatter(|s| s + 1), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn single_shard_pool_runs_inline() {
+        let pool = ShardPool::new(1);
+        assert_eq!(pool.shards(), 1);
+        assert_eq!(pool.scatter(|s| s), vec![0]);
+    }
+
+    #[test]
+    fn scatter_may_borrow_the_stack() {
+        let data: Vec<u64> = (0..1000).collect();
+        let map = ShardMap::new(data.len(), 3);
+        let pool = ShardPool::new(3);
+        let partials = pool.scatter(|s| data[map.range(s)].iter().sum::<u64>());
+        assert_eq!(partials.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn scatter_matches_sequential_map() {
+        let pool = ShardPool::new(8);
+        let expect: Vec<u64> = (0..8u64)
+            .map(|s| (0..100).fold(s, |acc, _| acc.rotate_left(7).wrapping_add(0xBF58_476D_1CE4_E5B9)))
+            .collect();
+        for _ in 0..5 {
+            let got = pool.scatter(|s| {
+                (0..100).fold(s as u64, |acc, _| acc.rotate_left(7).wrapping_add(0xBF58_476D_1CE4_E5B9))
+            });
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_after_the_barrier() {
+        let pool = ShardPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scatter(|s| {
+                assert!(s != 1, "shard 1 boom");
+                s
+            })
+        }));
+        assert!(result.is_err());
+        // The pool survives a panicked epoch.
+        assert_eq!(pool.scatter(|s| s), vec![0, 1, 2, 3]);
+    }
+}

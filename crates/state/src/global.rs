@@ -204,67 +204,117 @@ impl GlobalStateBoard {
             }
             self.scan.nodes_scanned += 1;
             self.seen_node_versions[i] = versions[i];
-            let actual = system.node_available(v);
-            let published = self.node_available[i];
-            let cap = self.node_capacity[i];
-            let mut significant = ResourceKind::ALL.iter().any(|&k| {
-                let max = cap.get(k);
-                max > 0.0 && (actual.get(k) - published.get(k)).abs() > self.config.threshold * max
-            });
-            if !significant {
-                // Component QoS variation check (delay metric vs its own
-                // published value, relative to the published maximum), and
-                // deployment changes (new/undeployed components are always
-                // significant).
-                for comp in system.node(v).components() {
-                    let dense = system.dense_of(comp.id).expect("live component has a dense id");
-                    let known = self.published[i].contains(&(comp.id.slot, dense.0));
-                    let actual_q = system.effective_component_qos(comp.id);
-                    match self.component_qos[dense.index()].filter(|_| known) {
-                        None => {
-                            significant = true; // newly deployed here
-                            break;
-                        }
-                        Some(published_q) => {
-                            let max = published_q.delay.as_secs_f64().max(actual_q.delay.as_secs_f64());
-                            if max > 0.0 {
-                                let delta =
-                                    (actual_q.delay.as_secs_f64() - published_q.delay.as_secs_f64()).abs();
-                                if delta > self.config.threshold * max {
-                                    significant = true;
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-            if !significant {
-                // Undeployment (migration away) is also always
-                // significant: the published list has entries the node no
-                // longer hosts.
-                if self.published[i].len() != system.node(v).component_count() {
-                    significant = true;
-                }
-            }
-            if significant {
-                self.node_available[i] = actual;
-                // Re-publish this node's full component list; drop stale
-                // entries for components that left the node.
-                for &(_, dense) in &self.published[i] {
-                    self.component_qos[dense as usize] = None;
-                }
-                self.published[i].clear();
-                for comp in system.node(v).components() {
-                    let dense = system.dense_of(comp.id).expect("live component has a dense id");
-                    self.component_qos[dense.index()] = Some(system.effective_component_qos(comp.id));
-                    self.published[i].push((comp.id.slot, dense.0));
-                }
+            if self.node_publish_significant(system, v) {
+                self.apply_node_publish(system, v);
                 messages += 1;
             }
         }
         self.update_messages += messages;
         messages
+    }
+
+    /// Sharded node refresh: shard workers run the per-node significance
+    /// checks read-only over their node ranges (a node's check touches
+    /// only its own board entries — dense ids are never shared between
+    /// nodes — so parallel decisions equal sequential ones); the
+    /// coordinator applies the publishes in ascending node order.
+    /// Published state, message counts, and scan stats are bit-identical
+    /// to [`Self::refresh_nodes`].
+    pub fn refresh_nodes_sharded(
+        &mut self,
+        system: &StreamSystem,
+        rt: &mut acp_model::shard::ShardedRuntime,
+    ) -> u64 {
+        if self.component_qos.len() < system.dense_component_count() {
+            self.component_qos.resize(system.dense_component_count(), None);
+        }
+        let versions = system.node_versions();
+        let ranges: Vec<std::ops::Range<usize>> =
+            (0..rt.shards()).map(|s| rt.node_range(s)).collect();
+        let board = &*self;
+        let incremental = board.config.incremental;
+        // Per shard: (scanned node index, publish decision) in range order.
+        let scans: Vec<Vec<(usize, bool)>> = rt.scatter(|s| {
+            ranges[s]
+                .clone()
+                .filter(|&i| !(incremental && board.seen_node_versions[i] == versions[i]))
+                .map(|i| {
+                    (i, board.node_publish_significant(system, OverlayNodeId(i as u32)))
+                })
+                .collect()
+        });
+        let mut messages = 0;
+        for shard in scans {
+            for (i, significant) in shard {
+                self.scan.nodes_scanned += 1;
+                self.seen_node_versions[i] = versions[i];
+                if significant {
+                    self.apply_node_publish(system, OverlayNodeId(i as u32));
+                    messages += 1;
+                }
+            }
+        }
+        self.scan.nodes_total += system.node_count() as u64;
+        self.update_messages += messages;
+        messages
+    }
+
+    /// Whether node `v`'s true state has drifted past the publish
+    /// threshold relative to the board (read-only; entry-local).
+    fn node_publish_significant(&self, system: &StreamSystem, v: OverlayNodeId) -> bool {
+        let i = v.index();
+        let actual = system.node_available(v);
+        let published = self.node_available[i];
+        let cap = self.node_capacity[i];
+        let significant = ResourceKind::ALL.iter().any(|&k| {
+            let max = cap.get(k);
+            max > 0.0 && (actual.get(k) - published.get(k)).abs() > self.config.threshold * max
+        });
+        if significant {
+            return true;
+        }
+        // Component QoS variation check (delay metric vs its own
+        // published value, relative to the published maximum), and
+        // deployment changes (new/undeployed components are always
+        // significant).
+        for comp in system.node(v).components() {
+            let dense = system.dense_of(comp.id).expect("live component has a dense id");
+            let known = self.published[i].contains(&(comp.id.slot, dense.0));
+            let actual_q = system.effective_component_qos(comp.id);
+            match self.component_qos[dense.index()].filter(|_| known) {
+                None => return true, // newly deployed here
+                Some(published_q) => {
+                    let max = published_q.delay.as_secs_f64().max(actual_q.delay.as_secs_f64());
+                    if max > 0.0 {
+                        let delta =
+                            (actual_q.delay.as_secs_f64() - published_q.delay.as_secs_f64()).abs();
+                        if delta > self.config.threshold * max {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        // Undeployment (migration away) is also always significant: the
+        // published list has entries the node no longer hosts.
+        self.published[i].len() != system.node(v).component_count()
+    }
+
+    /// Publishes node `v`'s full current state onto the board.
+    fn apply_node_publish(&mut self, system: &StreamSystem, v: OverlayNodeId) {
+        let i = v.index();
+        self.node_available[i] = system.node_available(v);
+        // Re-publish this node's full component list; drop stale
+        // entries for components that left the node.
+        for &(_, dense) in &self.published[i] {
+            self.component_qos[dense as usize] = None;
+        }
+        self.published[i].clear();
+        for comp in system.node(v).components() {
+            let dense = system.dense_of(comp.id).expect("live component has a dense id");
+            self.component_qos[dense.index()] = Some(system.effective_component_qos(comp.id));
+            self.published[i].push((comp.id.slot, dense.0));
+        }
     }
 
     /// One virtual-link aggregation round (long interval, paper: 10 min):
@@ -284,18 +334,67 @@ impl GlobalStateBoard {
             }
             self.scan.links_scanned += 1;
             self.seen_link_versions[i] = versions[i];
-            let actual = system.link_available(l);
-            let max = self.link_capacity[i];
-            if max > 0.0 && (actual - self.link_available[i]).abs() > self.config.threshold * max {
-                self.link_available[i] = actual;
+            if self.link_report_changed(system, l) {
+                self.link_available[i] = system.link_available(l);
                 messages += 1; // report to the aggregation node
             }
         }
-        messages += 1; // the aggregation node's global-state publish
-        self.update_messages += messages;
+        self.finish_aggregation_round(system, &mut messages);
+        messages
+    }
+
+    /// Sharded aggregation round: workers scan their link ranges
+    /// read-only (each link's threshold check touches only its own board
+    /// entry), the coordinator applies the changed-bandwidth reports in
+    /// ascending link order. Bit-identical to [`Self::aggregate_links`].
+    pub fn aggregate_links_sharded(
+        &mut self,
+        system: &StreamSystem,
+        rt: &mut acp_model::shard::ShardedRuntime,
+    ) -> u64 {
+        let versions = system.link_versions();
+        let ranges: Vec<std::ops::Range<usize>> =
+            (0..rt.shards()).map(|s| rt.link_range(s)).collect();
+        let board = &*self;
+        let incremental = board.config.incremental;
+        let scans: Vec<Vec<(usize, bool)>> = rt.scatter(|s| {
+            ranges[s]
+                .clone()
+                .filter(|&i| !(incremental && board.seen_link_versions[i] == versions[i]))
+                .map(|i| (i, board.link_report_changed(system, OverlayLinkId(i as u32))))
+                .collect()
+        });
+        let mut messages = 0;
+        for shard in scans {
+            for (i, changed) in shard {
+                self.scan.links_scanned += 1;
+                self.seen_link_versions[i] = versions[i];
+                if changed {
+                    self.link_available[i] = system.link_available(OverlayLinkId(i as u32));
+                    messages += 1; // report to the aggregation node
+                }
+            }
+        }
+        self.scan.links_total += system.link_count() as u64;
+        self.finish_aggregation_round(system, &mut messages);
+        messages
+    }
+
+    /// Whether link `l`'s true bandwidth has drifted past the publish
+    /// threshold relative to the board (read-only; entry-local).
+    fn link_report_changed(&self, system: &StreamSystem, l: OverlayLinkId) -> bool {
+        let i = l.index();
+        let actual = system.link_available(l);
+        let max = self.link_capacity[i];
+        max > 0.0 && (actual - self.link_available[i]).abs() > self.config.threshold * max
+    }
+
+    /// Books the aggregation node's final publish and rotates the role.
+    fn finish_aggregation_round(&mut self, system: &StreamSystem, messages: &mut u64) {
+        *messages += 1; // the aggregation node's global-state publish
+        self.update_messages += *messages;
         self.aggregation_rounds += 1;
         self.aggregation_cursor = (self.aggregation_cursor + 1) % system.node_count() as u32;
-        messages
     }
 
     /// The node currently holding the aggregation role.
@@ -611,5 +710,43 @@ mod tests {
         assert_eq!(inc_scan.nodes_total, full_scan.nodes_total);
         assert!(inc_scan.nodes_scanned < inc_scan.nodes_total, "incremental skips untouched nodes");
         assert!(inc_scan.links_scanned < inc_scan.links_total, "incremental skips untouched links");
+    }
+
+    #[test]
+    fn sharded_refresh_matches_sequential_at_every_shard_count() {
+        for shards in [1usize, 2, 3, 4, 8] {
+            let mut sys = build();
+            let mut seq = GlobalStateBoard::new(&sys, GlobalStateConfig::default());
+            let mut shd = GlobalStateBoard::new(&sys, GlobalStateConfig::default());
+            let mut rt = ShardedRuntime::for_system(shards, &sys);
+            for round in 0..4u64 {
+                load_some_node(&mut sys, round + 1, round % 2 == 0);
+                if round == 2 {
+                    sys.expire_transients(acp_simcore::SimTime::ZERO);
+                }
+                assert_eq!(
+                    seq.refresh_nodes(&sys),
+                    shd.refresh_nodes_sharded(&sys, &mut rt),
+                    "shards={shards} round {round}"
+                );
+                assert_eq!(
+                    seq.aggregate_links(&sys),
+                    shd.aggregate_links_sharded(&sys, &mut rt),
+                    "shards={shards} round {round}"
+                );
+                for v in sys.overlay().nodes() {
+                    assert_eq!(seq.node_available(v), shd.node_available(v));
+                    for c in sys.node(v).components() {
+                        assert_eq!(seq.component_qos(c.id), shd.component_qos(c.id));
+                    }
+                }
+                for l in sys.overlay().links() {
+                    assert_eq!(seq.link_available(l), shd.link_available(l));
+                }
+                assert_eq!(seq.update_messages(), shd.update_messages());
+                assert_eq!(seq.scan_stats(), shd.scan_stats(), "shards={shards} round {round}");
+                assert_eq!(seq.aggregation_node(), shd.aggregation_node());
+            }
+        }
     }
 }

@@ -110,6 +110,11 @@ pub struct ScenarioConfig {
     /// traffic, retry with escalation); `None` runs the plain path.
     /// `Some` with all fault rates zero is byte-identical to `None`.
     pub setup: Option<SetupConfig>,
+    /// Shard count for the sharded single-run runtime. `1` (the default)
+    /// compiles down to the sequential path — no worker pool, no
+    /// [`ShardedRuntime`] at all. Any count produces byte-identical
+    /// results; only wall-clock time and [`ShardStats`] change.
+    pub shards: usize,
 }
 
 impl Default for ScenarioConfig {
@@ -141,6 +146,7 @@ impl Default for ScenarioConfig {
             replay_capacity: 60,
             churn: None,
             setup: None,
+            shards: 1,
         }
     }
 }
@@ -245,6 +251,11 @@ pub struct ScenarioResult {
     /// Fault-hit requests that still composed (recovered by retry,
     /// escalation, or a resurfaced stale ack).
     pub fault_hit_successes: u64,
+    /// Shard count the run executed with (1 = sequential path).
+    pub shards: usize,
+    /// Cross-shard traffic classification (all zero on sequential runs).
+    /// Shard-count-dependent by design — excluded from every digest.
+    pub shard_stats: ShardStats,
 }
 
 impl ScenarioResult {
@@ -343,11 +354,55 @@ struct ScenarioModel {
     setup_totals: SetupStats,
     fault_hit_requests: u64,
     fault_hit_successes: u64,
+    /// Built only when `config.shards > 1`; `None` is the sequential
+    /// path, byte-identical by construction.
+    shard: Option<ShardedRuntime>,
 }
 
 impl ScenarioModel {
     fn current_ratio(&self) -> f64 {
         self.composer.probing_ratio().unwrap_or(1.0)
+    }
+
+    /// Expires stale transients, fanning the sweep over the shards when
+    /// the sharded runtime is live. Only the two-phase path can leave
+    /// transients behind between events, so single-phase runs skip it.
+    fn sweep_transients(&mut self, now: SimTime) {
+        if self.config.setup.is_some() {
+            match self.shard.as_mut() {
+                Some(rt) => {
+                    rt.expire_transients(&mut self.system, now);
+                }
+                None => {
+                    self.system.expire_transients(now);
+                }
+            }
+        }
+    }
+
+    /// Composes one request, through the sharded probing fan-out when
+    /// the runtime is live.
+    fn compose_request(&mut self, request: &Request, now: SimTime) -> ComposeOutcome {
+        match self.shard.as_mut() {
+            Some(rt) => self.composer.compose_sharded(&mut self.system, &self.board, request, now, rt),
+            None => self.composer.compose(&mut self.system, &self.board, request, now),
+        }
+    }
+
+    /// One local-state refresh round, sharded when the runtime is live.
+    fn refresh_board(&mut self) -> u64 {
+        match self.shard.as_mut() {
+            Some(rt) => self.board.refresh_nodes_sharded(&self.system, rt),
+            None => self.board.refresh_nodes(&self.system),
+        }
+    }
+
+    /// One virtual-link aggregation round, sharded when the runtime is live.
+    fn aggregate_board(&mut self) -> u64 {
+        match self.shard.as_mut() {
+            Some(rt) => self.board.aggregate_links_sharded(&self.system, rt),
+            None => self.board.aggregate_links(&self.system),
+        }
     }
 
     /// Runs the reclamation sweep, then the system auditor (including
@@ -358,10 +413,11 @@ impl ScenarioModel {
     /// (compositions never leave transients behind) and is exactly the
     /// recovery path for leases orphaned by lost confirmations.
     fn run_audit(&mut self, now: SimTime) {
-        if self.config.setup.is_some() {
-            self.system.expire_transients(now);
-        }
-        let mut report = self.auditor.audit_at(&self.system, Some(now));
+        self.sweep_transients(now);
+        let mut report = match self.shard.as_mut() {
+            Some(rt) => rt.audit_at(&self.auditor, &self.system, Some(now)),
+            None => self.auditor.audit_at(&self.system, Some(now)),
+        };
         report.merge(AuditReport::from_violations(self.board.audit_against(&self.system)));
         self.audit_violations += report.len() as u64;
         self.audit_digest ^= report.digest();
@@ -382,14 +438,14 @@ impl ScenarioModel {
                 if !self.system.is_node_failed(v) {
                     let (_, victims) = self.system.fail_node(v);
                     orphaned = victims;
-                    self.overhead.state_update_messages += self.board.refresh_nodes(&self.system);
+                    self.overhead.state_update_messages += self.refresh_board();
                 }
             }
             FaultKind::NodeRecover { node } => {
                 let v = OverlayNodeId(node % node_count);
                 if self.system.is_node_failed(v) {
                     self.system.recover_node(v);
-                    self.overhead.state_update_messages += self.board.refresh_nodes(&self.system);
+                    self.overhead.state_update_messages += self.refresh_board();
                 }
             }
             FaultKind::LinkFail { link } => {
@@ -397,8 +453,7 @@ impl ScenarioModel {
                     let l = OverlayLinkId(link % link_count);
                     if !self.system.is_link_failed(l) {
                         orphaned = self.system.fail_link(l);
-                        self.overhead.state_update_messages +=
-                            self.board.aggregate_links(&self.system);
+                        self.overhead.state_update_messages += self.aggregate_board();
                     }
                 }
             }
@@ -406,14 +461,14 @@ impl ScenarioModel {
                 if link_count > 0 {
                     let l = OverlayLinkId(link % link_count);
                     orphaned = self.system.degrade_link(l, factor);
-                    self.overhead.state_update_messages += self.board.aggregate_links(&self.system);
+                    self.overhead.state_update_messages += self.aggregate_board();
                 }
             }
             FaultKind::LinkRestore { link } => {
                 if link_count > 0 {
                     let l = OverlayLinkId(link % link_count);
                     self.system.restore_link(l);
-                    self.overhead.state_update_messages += self.board.aggregate_links(&self.system);
+                    self.overhead.state_update_messages += self.aggregate_board();
                 }
             }
             FaultKind::ComponentCrash { node, ordinal } => {
@@ -423,7 +478,7 @@ impl ScenarioModel {
                 if !live.is_empty() {
                     let id = live[(ordinal % live.len() as u64) as usize];
                     orphaned = self.system.crash_component(id);
-                    self.overhead.state_update_messages += self.board.refresh_nodes(&self.system);
+                    self.overhead.state_update_messages += self.refresh_board();
                 }
             }
         }
@@ -472,12 +527,10 @@ impl Model for ScenarioModel {
                 // Only the two-phase path can leave transients behind
                 // between events (orphans from lost confirmations), so
                 // single-phase runs skip the sweep entirely.
-                if self.config.setup.is_some() {
-                    self.system.expire_transients(now);
-                }
+                self.sweep_transients(now);
                 let (request, session_duration) = self.generator.next(&mut self.workload_rng);
                 self.trace.record(request.clone());
-                let outcome = self.composer.compose(&mut self.system, &self.board, &request, now);
+                let outcome = self.compose_request(&request, now);
                 self.probe_histogram.add(outcome.stats.probe_messages as f64);
                 self.overhead += outcome.stats;
                 self.setup_totals += outcome.setup;
@@ -528,17 +581,15 @@ impl Model for ScenarioModel {
                 }
             }
             Event::LocalRefresh => {
-                if self.config.setup.is_some() {
-                    self.system.expire_transients(now);
-                }
-                let msgs = self.board.refresh_nodes(&self.system);
+                self.sweep_transients(now);
+                let msgs = self.refresh_board();
                 self.overhead.state_update_messages += msgs;
                 if now + self.config.local_refresh <= SimTime::ZERO + self.config.duration {
                     queue.schedule(now + self.config.local_refresh, Event::LocalRefresh);
                 }
             }
             Event::Aggregate => {
-                let msgs = self.board.aggregate_links(&self.system);
+                let msgs = self.aggregate_board();
                 self.overhead.state_update_messages += msgs;
                 if now + self.config.aggregation_interval <= SimTime::ZERO + self.config.duration {
                     queue.schedule(now + self.config.aggregation_interval, Event::Aggregate);
@@ -558,9 +609,7 @@ impl Model for ScenarioModel {
             }
             Event::FailoverSweep => {
                 let Some(mut churn) = self.churn.take() else { return };
-                if self.config.setup.is_some() {
-                    self.system.expire_transients(now);
-                }
+                self.sweep_transients(now);
                 let delay = churn.config.failover_delay;
                 // Only sessions whose delay has elapsed; later victims
                 // wait for the sweep scheduled by their own fault.
@@ -574,7 +623,7 @@ impl Model for ScenarioModel {
                     }
                 });
                 for (fail_time, request) in due {
-                    let outcome = self.composer.compose(&mut self.system, &self.board, &request, now);
+                    let outcome = self.compose_request(&request, now);
                     self.overhead += outcome.stats;
                     self.setup_totals += outcome.setup;
                     match outcome.session {
@@ -593,10 +642,14 @@ impl Model for ScenarioModel {
                 self.run_audit(now);
             }
             Event::Rebalance => {
-                if let Some(churn) = self.churn.as_mut() {
-                    churn.rebalancer.rebalance_round(&mut self.system);
-                    self.overhead.state_update_messages += self.board.refresh_nodes(&self.system);
-                    if let Some(interval) = churn.config.rebalance_interval {
+                if self.churn.is_some() {
+                    if let Some(churn) = self.churn.as_mut() {
+                        churn.rebalancer.rebalance_round(&mut self.system);
+                    }
+                    let msgs = self.refresh_board();
+                    self.overhead.state_update_messages += msgs;
+                    let interval = self.churn.as_ref().and_then(|c| c.config.rebalance_interval);
+                    if let Some(interval) = interval {
                         if now + interval <= SimTime::ZERO + self.config.duration {
                             queue.schedule(now + interval, Event::Rebalance);
                         }
@@ -701,7 +754,12 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
         }
     });
 
+    // shards = 1 builds no runtime at all: the sequential path runs
+    // exactly as before, with zero threads and zero scatter barriers.
+    let shard = (config.shards > 1).then(|| ShardedRuntime::for_system(config.shards, &system));
+
     let model = ScenarioModel {
+        shard,
         system,
         board,
         composer,
@@ -754,7 +812,15 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
     // full lease lifetime past the end of the run. Anything that survives
     // outlived its maximum legitimate window — a leak.
     let leases_live_end = model.system.live_lease_count() as u64;
-    model.system.expire_transients(end + model.config.probing.transient_timeout);
+    let horizon = end + model.config.probing.transient_timeout;
+    match model.shard.as_mut() {
+        Some(rt) => {
+            rt.expire_transients(&mut model.system, horizon);
+        }
+        None => {
+            model.system.expire_transients(horizon);
+        }
+    }
     let live_after_horizon = model.system.live_lease_count() as u64;
     let leases_leaked =
         live_after_horizon + u64::from(!model.system.lease_stats().reconciles(live_after_horizon));
@@ -797,6 +863,8 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
         setup_stats: model.setup_totals,
         fault_hit_requests: model.fault_hit_requests,
         fault_hit_successes: model.fault_hit_successes,
+        shards: model.config.shards.max(1),
+        shard_stats: model.shard.as_ref().map(|rt| rt.stats()).unwrap_or_default(),
     }
 }
 

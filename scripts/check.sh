@@ -23,8 +23,14 @@ echo "==> chaos harness: fault-plan determinism + audit regressions"
 cargo test -q -p acp-bench --test chaos
 cargo test -q --test failover
 
+echo "==> sharded-runtime determinism/equivalence suite"
+cargo test -q -p acp-bench --test sharding
+
 echo "==> chaos smoke (quick grid, seed 42, audit must be clean)"
 cargo run --release -q -p acp-bench --bin chaos_soak -- --smoke --seed 42 --assert-no-leaks
+
+echo "==> sharded chaos smoke (shards=4, byte-identical by contract)"
+cargo run --release -q -p acp-bench --bin chaos_soak -- --smoke --seed 42 --shards 4 --assert-no-leaks
 
 echo "==> perf-ratio gate (quick snapshot vs BENCH_baseline.json)"
 bash scripts/perf_gate.sh

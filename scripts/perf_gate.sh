@@ -44,6 +44,24 @@ trap 'rm -f "$SNAPSHOT"' EXIT
 ACP_BENCH_THREADS=1 cargo run --release -q -p acp-bench --bin perf_snapshot -- \
     --scale quick --seed 42 --repeat "$REPEAT" --out-file "$SNAPSHOT"
 
+# A fresh snapshot with keys the baseline lacks means the snapshot
+# format grew (new figure rows, new sections) since the baseline was
+# recorded — the ratio below would silently compare different workloads.
+# Fail loudly and ask for a re-record instead.
+json_keys() {
+    grep -o '"[a-zA-Z_0-9]*":' "$1" | sort -u
+}
+missing_keys="$(comm -13 <(json_keys "$BASELINE") <(json_keys "$SNAPSHOT"))"
+if [[ -n "$missing_keys" ]]; then
+    echo "perf gate: FAIL — baseline '$BASELINE' lacks key(s) the fresh snapshot has:" >&2
+    echo "$missing_keys" | sed 's/^/    /' >&2
+    echo "perf gate: the snapshot format changed since the baseline was recorded." >&2
+    echo "perf gate: re-record it (median of >=3 runs under typical load):" >&2
+    echo "    ACP_BENCH_THREADS=1 cargo run --release -q -p acp-bench --bin perf_snapshot -- \\" >&2
+    echo "        --scale quick --seed 42 --repeat 3 --out-file $BASELINE" >&2
+    exit 1
+fi
+
 baseline_pps="$(extract_pps "$BASELINE")"
 current_pps="$(extract_pps "$SNAPSHOT")"
 
