@@ -6,13 +6,23 @@
 //! refresh-scan savings on a Fig. 6 workload, measures the two-phase
 //! setup path's overhead against the plain path at zero fault rate
 //! (median of alternating iterations at figure-loop scale), times the
-//! sharded single-run runtime at increasing shard counts, and writes
-//! the numbers to `BENCH_5.json` (override with `--out-file`):
+//! sharded single-run runtime at increasing shard counts, runs the
+//! `fig_scale` memory-layout sweep (nodes × concurrent sessions, up to
+//! 100k × 1M on the `paper` axis — session ops/sec, selection-index
+//! sublinearity, and peak RSS per point), and writes the numbers to
+//! `BENCH_6.json` (override with `--out-file`):
 //!
 //! ```text
 //! cargo run --release -p acp-bench --bin perf_snapshot -- --scale quick
 //! ACP_BENCH_THREADS=8 cargo run --release -p acp-bench --bin perf_snapshot
+//! cargo run --release -p acp-bench --bin perf_snapshot -- --scale quick --scale-axis paper
 //! ```
+//!
+//! `--scale-axis` picks the fig_scale grid independently of `--scale`
+//! (`quick`, `paper`, or `none` to skip; default follows `--scale`).
+//! Peak-RSS rows report the process-wide `VmHWM` high-water mark, so
+//! within one snapshot only the largest (last) row's value is a clean
+//! per-point reading; the rows run smallest-first for that reason.
 //!
 //! The parallel driver is deterministic, so the snapshot only measures
 //! wall-clock — the tables themselves are identical at any thread count
@@ -26,6 +36,7 @@ use acp_bench::experiments::{
 };
 use acp_bench::report::json_string;
 use acp_bench::thread_count;
+use acp_bench::{churn_for, run_scale_point, scale_axis, ScaleConfig, ScalePoint};
 use acp_core::prelude::{AlgorithmKind, SetupConfig};
 use acp_simcore::MessageFaultConfig;
 use acp_workload::{run_scenario, RateSchedule, ScenarioResult};
@@ -98,10 +109,14 @@ fn main() {
     let mut scale_name = "quick".to_string();
     let mut seed = 42u64;
     let mut repeat = 3usize;
-    let mut out_file = PathBuf::from("BENCH_5.json");
+    let mut out_file = PathBuf::from("BENCH_6.json");
+    let mut scale_axis_name: Option<String> = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--scale" => scale_name = args.next().expect("--scale needs a value"),
+            "--scale-axis" => {
+                scale_axis_name = Some(args.next().expect("--scale-axis needs a value"));
+            }
             "--seed" => {
                 seed = args.next().expect("--seed needs a value").parse().expect("seed must be u64");
             }
@@ -115,7 +130,9 @@ fn main() {
             }
             "--out-file" => out_file = PathBuf::from(args.next().expect("--out-file needs a value")),
             "--help" | "-h" => {
-                eprintln!("usage: [--scale quick|paper] [--seed N] [--repeat N] [--out-file FILE]");
+                eprintln!(
+                    "usage: [--scale quick|paper] [--scale-axis quick|paper|none] [--seed N] [--repeat N] [--out-file FILE]"
+                );
                 std::process::exit(0);
             }
             other => panic!("unknown flag {other}"),
@@ -314,6 +331,38 @@ fn main() {
         scans.link_skip_rate() * 100.0
     );
 
+    // fig_scale: the memory-layout sweep. Single-function sessions over a
+    // synthetic overlay, ramp-then-churn to the live-session target —
+    // measures the dense/arena/index hot path in isolation (session
+    // ops/sec, selection sublinearity, peak RSS), not the figure loops.
+    // Rows run smallest-first because VmHWM is a process-wide high-water
+    // mark: only rows that push past every earlier peak read cleanly.
+    let axis = scale_axis_name.unwrap_or_else(|| scale_name.clone());
+    let mut scale_rows: Vec<(ScaleConfig, ScalePoint)> = Vec::new();
+    if axis != "none" {
+        for (nodes, sessions) in scale_axis(&axis) {
+            let cfg = ScaleConfig {
+                nodes,
+                sessions,
+                churn: churn_for(sessions),
+                quota_target: 8,
+                seed,
+            };
+            eprintln!("  fig_scale: {nodes} nodes x {sessions} sessions...");
+            let point = run_scale_point(&cfg);
+            eprintln!(
+                "    {:.0} session ops/s, examined {:.1} of {:.0} candidates per selection ({:.2}%), peak RSS {:.0} MiB",
+                point.ops_per_sec,
+                point.examined_per_selection(),
+                point.overhead.selection_candidates as f64
+                    / (point.committed + point.rejected).max(1) as f64,
+                point.examined_fraction() * 100.0,
+                point.peak_rss_mib,
+            );
+            scale_rows.push((cfg, point));
+        }
+    }
+
     let total_points: usize = timings.iter().map(|t| t.points).sum();
     let total_wall: f64 = timings.iter().map(|t| t.wall_seconds).sum();
 
@@ -370,6 +419,35 @@ fn main() {
             row.nodes_scanned,
             row.nodes_total,
             if i + 1 < shard_rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"fig_scale_axis\": {},\n", json_string(&axis)));
+    json.push_str("  \"fig_scale\": [\n");
+    for (i, (cfg, p)) in scale_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"nodes\": {}, \"sessions\": {}, \"churn\": {}, \"components\": {}, \"committed\": {}, \"closed\": {}, \"rejected\": {}, \"live_at_end\": {}, \"wall_seconds\": {:.3}, \"ops_per_sec\": {:.3}, \"peak_rss_mib\": {:.1}, \"update_messages\": {}, \"selection_candidates\": {}, \"selection_examined\": {}, \"examined_fraction\": {:.6}, \"examined_per_selection\": {:.3}, \"selection_pruned_stale\": {}, \"selection_pruned_static\": {}, \"selection_prescreened\": {}, \"selection_scored\": {}}}{}\n",
+            p.nodes,
+            p.sessions,
+            cfg.churn,
+            p.components,
+            p.committed,
+            p.closed,
+            p.rejected,
+            p.live_at_end,
+            p.wall_seconds,
+            p.ops_per_sec,
+            p.peak_rss_mib,
+            p.update_messages,
+            p.overhead.selection_candidates,
+            p.overhead.selection_examined,
+            p.examined_fraction(),
+            p.examined_per_selection(),
+            p.overhead.selection_pruned_stale,
+            p.overhead.selection_pruned_static,
+            p.overhead.selection_prescreened,
+            p.overhead.selection_scored,
+            if i + 1 < scale_rows.len() { "," } else { "" },
         ));
     }
     json.push_str("  ],\n");

@@ -29,6 +29,7 @@ pub mod chaos;
 pub mod experiments;
 pub mod parallel;
 pub mod report;
+pub mod scale;
 
 pub use ablation::{ablation_bcp, ablation_risk_epsilon, ablation_state_threshold, ablation_tuning};
 pub use chaos::{
@@ -41,3 +42,4 @@ pub use experiments::{
 };
 pub use parallel::{run_indexed, thread_count};
 pub use report::{write_results, CliArgs, Table};
+pub use scale::{churn_for, peak_rss_mib, run_scale_point, scale_axis, ScaleConfig, ScalePoint};

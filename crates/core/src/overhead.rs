@@ -28,6 +28,24 @@ pub struct OverheadStats {
     pub state_update_messages: u64,
     /// Session-setup confirmation messages.
     pub confirmation_messages: u64,
+    /// Candidates the discovery lookups returned across ranked
+    /// selections (the work a full per-hop scan would do).
+    pub selection_candidates: u64,
+    /// Candidate-index entries ranked selection actually examined.
+    /// `examined / candidates` is the measured sublinearity of indexed
+    /// selection — entries past the early-exit point are never visited.
+    pub selection_examined: u64,
+    /// Entries dropped by the static filter (interface rate / placement
+    /// constraints) before any board or path work.
+    pub selection_pruned_static: u64,
+    /// Index entries dropped because their component no longer resolves
+    /// to a live dense id (crashed/migrated since the last publish).
+    pub selection_pruned_stale: u64,
+    /// Entries dropped by the QoS/resource prescreen (Eqs. 6–7 against
+    /// published state) before computing a virtual path.
+    pub selection_prescreened: u64,
+    /// Entries fully scored (path computed, congestion + risk ranked).
+    pub selection_scored: u64,
 }
 
 impl OverheadStats {
@@ -58,6 +76,12 @@ impl Add for OverheadStats {
             global_state_queries: self.global_state_queries + rhs.global_state_queries,
             state_update_messages: self.state_update_messages + rhs.state_update_messages,
             confirmation_messages: self.confirmation_messages + rhs.confirmation_messages,
+            selection_candidates: self.selection_candidates + rhs.selection_candidates,
+            selection_examined: self.selection_examined + rhs.selection_examined,
+            selection_pruned_static: self.selection_pruned_static + rhs.selection_pruned_static,
+            selection_pruned_stale: self.selection_pruned_stale + rhs.selection_pruned_stale,
+            selection_prescreened: self.selection_prescreened + rhs.selection_prescreened,
+            selection_scored: self.selection_scored + rhs.selection_scored,
         }
     }
 }
@@ -97,6 +121,7 @@ mod tests {
             global_state_queries: 7,
             state_update_messages: 4,
             confirmation_messages: 2,
+            ..OverheadStats::new()
         };
         assert_eq!(s.total_messages(), 10 + 3 + 4 + 2);
     }

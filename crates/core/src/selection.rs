@@ -10,7 +10,7 @@
 //! fully distributed baseline (RP) instead picks `M` uniformly at random.
 
 use acp_model::prelude::*;
-use acp_state::GlobalStateBoard;
+use acp_state::{GlobalStateBoard, IndexEntry};
 use acp_topology::{OverlayNodeId, SharedPath};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -39,13 +39,14 @@ pub struct CandidatePlan {
 }
 
 /// Reusable buffers for [`select_candidates_with`]. One selection call
-/// per probe per hop allocates a candidate-id list and (for `Ranked`) a
-/// scored list; threading one scratch through a whole probing run keeps
-/// those allocations out of the hot loop.
+/// per probe per hop allocates a candidate-id list (for `Random`) or a
+/// bounded top-`quota` list (for `Ranked`); threading one scratch
+/// through a whole probing run keeps those allocations out of the hot
+/// loop.
 #[derive(Debug, Default)]
 pub struct SelectionScratch {
     ids: Vec<ComponentId>,
-    scored: Vec<(f64, f64, CandidatePlan)>,
+    ranked: Vec<(RankKey, CandidatePlan)>,
 }
 
 /// Inputs to one hop's selection decision.
@@ -107,24 +108,24 @@ pub fn select_candidates_with<R: Rng + ?Sized>(
 ) -> Vec<CandidatePlan> {
     let function = ctx.request.graph.function(ctx.vertex);
     stats.discovery_lookups += 1;
-    scratch.ids.clear();
-    scratch.ids.extend_from_slice(system.candidates(function));
-    let quota = probe_quota(scratch.ids.len(), alpha);
+    let k = system.candidates(function).len();
+    let quota = probe_quota(k, alpha);
     if quota == 0 {
         return Vec::new();
     }
-
-    // Interface compatibility and placement constraints (both static
-    // specifications known without probing).
     let rate = ctx.request.stream_rate_kbps;
     let request = ctx.request;
-    scratch.ids.retain(|&c| {
-        let component = system.component(c);
-        component.accepts_rate(rate) && request.constraints.admits(&component.attributes)
-    });
 
     match strategy {
         HopSelection::Random => {
+            // Interface compatibility and placement constraints (both
+            // static specifications known without probing).
+            scratch.ids.clear();
+            scratch.ids.extend_from_slice(system.candidates(function));
+            scratch.ids.retain(|&c| {
+                let component = system.component(c);
+                component.accepts_rate(rate) && request.constraints.admits(&component.attributes)
+            });
             scratch.ids.shuffle(rng);
             scratch.ids.truncate(quota);
             let mut plans = Vec::with_capacity(scratch.ids.len());
@@ -137,22 +138,67 @@ pub fn select_candidates_with<R: Rng + ?Sized>(
         }
         HopSelection::Ranked => {
             stats.global_state_queries += 1;
+            stats.selection_candidates += k as u64;
             let demand = ctx.request.vertex_demand(system.registry(), ctx.vertex);
-            let scored = &mut scratch.scored;
-            scored.clear();
-            for &c in &scratch.ids {
-                let Some(plan) = plan_for(system, c, ctx) else { continue };
-                // Coarse states from the board. Candidates the board has
-                // not learnt about yet (freshly migrated) are skipped —
-                // they become visible after their node's next update. The
-                // dense-id lookup is a flat array read, no hashing.
-                let Some(dense) = system.dense_of(c) else { continue };
-                let Some(cand_qos) = board.component_qos_dense(dense) else { continue };
-                let avail = board.node_available(c.node);
-                let (link_qos, link_avail, acc) = incoming_summary(board, &plan, ctx);
+            let acc = accumulated_over(ctx.predecessors);
+            let acc_delay = acc.delay.as_secs_f64();
+            let entries = board.candidate_entries(function);
+            let ranked = &mut scratch.ranked;
+            ranked.clear();
+            for (pos, entry) in entries.iter().enumerate() {
+                if ranked.len() == quota {
+                    // The index walks ascending published delay, so this
+                    // delay-only risk lower bound is nondecreasing: the
+                    // first entry that cannot beat the kept worst ends
+                    // the walk for every remaining entry too.
+                    let d_lb =
+                        risk_delay_lower_bound(acc_delay, entry.qos.delay.as_secs_f64(), &ctx.request.qos);
+                    if cannot_beat(&ranked[ranked.len() - 1].0, d_lb, risk_epsilon) {
+                        break;
+                    }
+                }
+                stats.selection_examined += 1;
+                let cid = ComponentId::new(entry.node, entry.slot);
+                // Entries published before a crash/migration resolve to a
+                // dead or different dense id — drop them; the live
+                // replacement appears after its node's next publish.
+                match system.dense_of(cid) {
+                    Some(d) if d.0 == entry.dense => {}
+                    _ => {
+                        stats.selection_pruned_stale += 1;
+                        continue;
+                    }
+                }
+                let dense = DenseComponentId(entry.dense);
+                if rate > system.dense_max_rate_kbps(dense)
+                    || !request.constraints.admits(&system.dense_attributes(dense))
+                {
+                    stats.selection_pruned_static += 1;
+                    continue;
+                }
+                let avail = board.node_available(entry.node);
+                // Prescreen Eqs. 6–7 on published state with a neutral
+                // link (link QoS only ever adds, and Eq. 8 passes at ∞
+                // availability) — an exact necessary condition, so pruned
+                // entries never pay for a virtual-path lookup.
                 if is_unqualified(
                     acc,
-                    cand_qos,
+                    entry.qos,
+                    Qos::ZERO,
+                    &ctx.request.qos,
+                    &avail,
+                    &demand,
+                    f64::INFINITY,
+                    ctx.request.bandwidth_kbps,
+                ) {
+                    stats.selection_prescreened += 1;
+                    continue;
+                }
+                let Some(plan) = plan_for(system, cid, ctx) else { continue };
+                let (link_qos, link_avail, acc_at) = incoming_summary(board, &plan, ctx);
+                if is_unqualified(
+                    acc_at,
+                    entry.qos,
                     link_qos,
                     &ctx.request.qos,
                     &avail,
@@ -162,89 +208,210 @@ pub fn select_candidates_with<R: Rng + ?Sized>(
                 ) {
                     continue;
                 }
-                let d = risk_function(acc, cand_qos, link_qos, &ctx.request.qos);
+                let d = risk_function(acc_at, entry.qos, link_qos, &ctx.request.qos);
                 let v = congestion_function(&avail, &demand, link_avail, ctx.request.bandwidth_kbps);
-                scored.push((d, v, plan));
+                stats.selection_scored += 1;
+                insert_ranked(ranked, quota, RankKey::new(d, v, pos as u32, risk_epsilon), plan);
             }
-            rank_scored(scored, risk_epsilon);
-            scored.truncate(quota);
             // Drain (rather than move) so the buffer's capacity is kept
             // for the next hop.
-            scored.drain(..).map(|(_, _, plan)| plan).collect()
+            ranked.drain(..).map(|(_, plan)| plan).collect()
         }
     }
 }
 
-/// Orders scored candidates per §3.5: "Candidates with smaller risk
-/// values are better; if two have similar risk values, compare them by
-/// the congestion function." Raw ±ε closeness is not transitive, so risks
-/// are bucketed into ε-wide bands: order by band, then by the congestion
-/// function within a band. (ε = 0 orders strictly by risk, breaking exact
-/// ties by congestion.) Shared by the sequential and sharded selection
-/// paths so their rankings cannot drift.
-fn rank_scored(scored: &mut [(f64, f64, CandidatePlan)], risk_epsilon: f64) {
-    let band = |d: f64| -> i64 {
-        if risk_epsilon <= 0.0 || !d.is_finite() {
-            return if d.is_finite() { 0 } else { i64::MAX };
+/// Ranking key reproducing the §3.5 order: "Candidates with smaller
+/// risk values are better; if two have similar risk values, compare
+/// them by the congestion function." Raw ±ε closeness is not
+/// transitive, so risks are bucketed into ε-wide bands: order by band,
+/// then congestion, then raw risk (ε ≤ 0 orders strictly by risk, then
+/// congestion). `pos` — the candidate-index walk position — is the
+/// deterministic final tie-break, standing in for the stable sort this
+/// replaces: earlier-walked entries win exact ties.
+#[derive(Debug, Clone, Copy)]
+struct RankKey {
+    band: i64,
+    d: f64,
+    v: f64,
+    pos: u32,
+    banded: bool,
+}
+
+impl RankKey {
+    fn new(d: f64, v: f64, pos: u32, risk_epsilon: f64) -> RankKey {
+        RankKey { band: risk_band(d, risk_epsilon), d, v, pos, banded: risk_epsilon > 0.0 }
+    }
+
+    fn cmp(&self, other: &RankKey) -> std::cmp::Ordering {
+        if self.banded {
+            self.band
+                .cmp(&other.band)
+                .then_with(|| self.v.total_cmp(&other.v))
+                .then_with(|| self.d.total_cmp(&other.d))
+                .then_with(|| self.pos.cmp(&other.pos))
+        } else {
+            self.d
+                .total_cmp(&other.d)
+                .then_with(|| self.v.total_cmp(&other.v))
+                .then_with(|| self.pos.cmp(&other.pos))
         }
-        (d / risk_epsilon).floor().clamp(i64::MIN as f64, (i64::MAX - 1) as f64) as i64
-    };
-    if risk_epsilon <= 0.0 {
-        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.total_cmp(&b.1)));
+    }
+}
+
+/// The ε-band of a risk value; `i64::MAX` for non-finite risks.
+fn risk_band(d: f64, risk_epsilon: f64) -> i64 {
+    if risk_epsilon <= 0.0 || !d.is_finite() {
+        return if d.is_finite() { 0 } else { i64::MAX };
+    }
+    (d / risk_epsilon).floor().clamp(i64::MIN as f64, (i64::MAX - 1) as f64) as i64
+}
+
+/// Per-metric maximum of the predecessors' accumulated QoS — the
+/// plan-independent part of [`incoming_summary`], computable before any
+/// candidate work (it feeds the early-exit risk bound).
+fn accumulated_over(predecessors: &[(usize, ComponentId, Qos)]) -> Qos {
+    let mut acc = Qos::ZERO;
+    for &(_, _, pred_acc) in predecessors {
+        if pred_acc.delay > acc.delay {
+            acc.delay = pred_acc.delay;
+        }
+        if pred_acc.loss > acc.loss {
+            acc.loss = pred_acc.loss;
+        }
+    }
+    acc
+}
+
+/// Lower bound on a candidate's risk `D` (Eq. 9) from its published
+/// delay alone: the risk ratio is a max over per-metric ratios and link
+/// QoS only adds, so `D ≥ ratio(acc.delay + cand.delay, req.max_delay)`
+/// (same `ratio` semantics as [`Qos::risk_ratio`]).
+fn risk_delay_lower_bound(acc_delay_secs: f64, entry_delay_secs: f64, req: &QosRequirement) -> f64 {
+    let bound = req.max_delay.as_secs_f64();
+    let value = acc_delay_secs + entry_delay_secs;
+    if bound > 0.0 {
+        value / bound
+    } else if value == 0.0 {
+        0.0
     } else {
-        scored.sort_by(|a, b| {
-            band(a.0)
-                .cmp(&band(b.0))
-                .then_with(|| a.1.total_cmp(&b.1))
-                .then_with(|| a.0.total_cmp(&b.0))
-        });
+        f64::INFINITY
     }
 }
 
-/// `(risk, congestion, incoming links)` of a candidate that survived
-/// reachability, board visibility, and qualification.
-type ScoredCandidate = (f64, f64, Vec<(usize, SharedPath)>);
-
-/// One shard worker's verdict on a `(probe, candidate)` scoring item.
-struct ShardItem {
-    /// Path-memo lookups this item executed, in issue order
-    /// (short-circuiting on an unreachable predecessor exactly like
-    /// [`plan_for`]). The coordinator replays them through
-    /// [`StreamSystem::admit_virtual_path`] so memo contents and hit/miss
-    /// counters match the sequential run byte for byte.
-    queries: Vec<(OverlayNodeId, OverlayNodeId, Option<SharedPath>)>,
-    /// `Some` when the candidate survived reachability, board
-    /// visibility, and qualification.
-    scored: Option<ScoredCandidate>,
+/// True when a candidate whose risk is at least `d_lb` cannot displace
+/// the kept worst (`worst` orders last in a full top-`quota` list).
+/// Within a band (or at equal raw risk) congestion may still win, so
+/// only a *strictly* worse band/risk ends the walk.
+fn cannot_beat(worst: &RankKey, d_lb: f64, risk_epsilon: f64) -> bool {
+    if risk_epsilon > 0.0 {
+        risk_band(d_lb, risk_epsilon) > worst.band
+    } else {
+        d_lb > worst.d
+    }
 }
 
-/// Scores one candidate for one probe entirely read-only: paths resolve
-/// via the memo peek or a cache-neutral recompute, and the risk (Eq. 9) /
-/// congestion (Eq. 10) values use only coarse board state. Path
-/// extraction and the scoring formulas are pure functions of system and
-/// board state, so a shard worker computes exactly the bytes the
-/// sequential [`select_candidates_with`] would.
-fn score_item(
+/// Inserts into a bounded top-`quota` list kept ascending by
+/// [`RankKey`] (worst last). Keys are unique (`pos` differs), so a
+/// candidate equal-or-worse than the kept worst never enters.
+fn insert_ranked(
+    ranked: &mut Vec<(RankKey, CandidatePlan)>,
+    quota: usize,
+    key: RankKey,
+    plan: CandidatePlan,
+) {
+    if ranked.len() == quota
+        && ranked[ranked.len() - 1].0.cmp(&key) != std::cmp::Ordering::Greater
+    {
+        return;
+    }
+    let at = ranked.partition_point(|(k, _)| k.cmp(&key) == std::cmp::Ordering::Less);
+    ranked.insert(at, (key, plan));
+    ranked.truncate(quota);
+}
+
+/// `(risk, congestion, incoming virtual links)` for a candidate that
+/// survived reachability and full qualification on a shard worker.
+type ScoredItem = (f64, f64, Vec<(usize, SharedPath)>);
+
+/// One shard worker's verdict on a `(probe, index entry)` item,
+/// mirroring the sequential loop's per-entry outcomes so the
+/// coordinator replay can bump the exact same counters.
+enum ItemVerdict {
+    /// The entry no longer resolves to a live dense id.
+    Stale,
+    /// Dropped by the static interface/placement filter.
+    Static,
+    /// Dropped by the published-state prescreen (Eqs. 6–7).
+    Prescreened,
+    /// The entry reached path resolution.
+    Pathed {
+        /// Path-memo lookups this item executed, in issue order
+        /// (short-circuiting on an unreachable predecessor exactly like
+        /// [`plan_for`]). The coordinator replays them through
+        /// [`StreamSystem::admit_virtual_path`] so memo contents and
+        /// hit/miss counters match the sequential run byte for byte —
+        /// but only for items the sequential walk would actually reach.
+        queries: Vec<(OverlayNodeId, OverlayNodeId, Option<SharedPath>)>,
+        /// `Some(risk, congestion, incoming links)` when the candidate
+        /// survived reachability and full qualification.
+        scored: Option<ScoredItem>,
+    },
+}
+
+/// Judges one candidate-index entry for one probe entirely read-only:
+/// the same stale/static/prescreen cascade as the sequential loop,
+/// then paths via memo peek or cache-neutral recompute, then the risk
+/// (Eq. 9) / congestion (Eq. 10) scoring on coarse board state. Every
+/// check is a pure function of system and board state, so a shard
+/// worker computes exactly the bytes [`select_candidates_with`] would.
+#[allow(clippy::too_many_arguments)] // mirrors the sequential loop's inputs
+fn judge_item(
     system: &StreamSystem,
     board: &GlobalStateBoard,
     request: &Request,
     vertex: VertexId,
+    rate: f64,
     demand: &ResourceVector,
+    acc: Qos,
     predecessors: &[(usize, ComponentId, Qos)],
-    component: ComponentId,
-) -> ShardItem {
+    entry: &IndexEntry,
+) -> ItemVerdict {
+    let cid = ComponentId::new(entry.node, entry.slot);
+    match system.dense_of(cid) {
+        Some(d) if d.0 == entry.dense => {}
+        _ => return ItemVerdict::Stale,
+    }
+    let dense = DenseComponentId(entry.dense);
+    if rate > system.dense_max_rate_kbps(dense)
+        || !request.constraints.admits(&system.dense_attributes(dense))
+    {
+        return ItemVerdict::Static;
+    }
+    let avail = board.node_available(entry.node);
+    if is_unqualified(
+        acc,
+        entry.qos,
+        Qos::ZERO,
+        &request.qos,
+        &avail,
+        demand,
+        f64::INFINITY,
+        request.bandwidth_kbps,
+    ) {
+        return ItemVerdict::Prescreened;
+    }
     let overlay = system.overlay();
     let mut queries = Vec::with_capacity(predecessors.len());
     let mut incoming = Vec::with_capacity(predecessors.len());
     let mut reachable = true;
     for &(edge, pred, _) in predecessors {
-        let resolved = match overlay.peek_virtual_path(pred.node, component.node) {
+        let resolved = match overlay.peek_virtual_path(pred.node, cid.node) {
             Some(entry) => entry,
             None => overlay
-                .compute_virtual_path_readonly(pred.node, component.node)
+                .compute_virtual_path_readonly(pred.node, cid.node)
                 .map(SharedPath::new),
         };
-        queries.push((pred.node, component.node, resolved.clone()));
+        queries.push((pred.node, cid.node, resolved.clone()));
         match resolved {
             Some(path) => incoming.push((edge, path)),
             None => {
@@ -254,21 +421,14 @@ fn score_item(
         }
     }
     if !reachable {
-        return ShardItem { queries, scored: None };
+        return ItemVerdict::Pathed { queries, scored: None };
     }
-    let plan = CandidatePlan { component, incoming };
-    let Some(dense) = system.dense_of(component) else {
-        return ShardItem { queries, scored: None };
-    };
-    let Some(cand_qos) = board.component_qos_dense(dense) else {
-        return ShardItem { queries, scored: None };
-    };
-    let avail = board.node_available(component.node);
+    let plan = CandidatePlan { component: cid, incoming };
     let ctx = HopContext { request, vertex, predecessors };
-    let (link_qos, link_avail, acc) = incoming_summary(board, &plan, &ctx);
+    let (link_qos, link_avail, acc_at) = incoming_summary(board, &plan, &ctx);
     if is_unqualified(
-        acc,
-        cand_qos,
+        acc_at,
+        entry.qos,
         link_qos,
         &request.qos,
         &avail,
@@ -276,22 +436,25 @@ fn score_item(
         link_avail,
         request.bandwidth_kbps,
     ) {
-        return ShardItem { queries, scored: None };
+        return ItemVerdict::Pathed { queries, scored: None };
     }
-    let d = risk_function(acc, cand_qos, link_qos, &request.qos);
+    let d = risk_function(acc_at, entry.qos, link_qos, &request.qos);
     let v = congestion_function(&avail, demand, link_avail, request.bandwidth_kbps);
-    ShardItem { queries, scored: Some((d, v, plan.incoming)) }
+    ItemVerdict::Pathed { queries, scored: Some((d, v, plan.incoming)) }
 }
 
 /// Sharded [`HopSelection::Ranked`] selection for one whole frontier:
-/// every live probe's `(candidate)` scoring items fan out to the shard
-/// that owns the candidate's node, run read-only behind the scatter
-/// barrier, and merge on the coordinator in the exact per-probe,
-/// per-candidate order of the sequential loop — path-memo admissions,
+/// every live probe's candidate-index items fan out to the shard that
+/// owns the candidate's node, run read-only behind the scatter barrier,
+/// and merge on the coordinator by replaying each probe's index walk in
+/// sequential order — early exit, counter bumps, path-memo admissions,
 /// hit/miss accounting, rankings, and the emitted `(rank, probe, plan)`
 /// proposals are byte-identical to calling [`select_candidates_with`]
-/// once per probe. Ranked selection draws no randomness, which is what
-/// makes the fan-out safe; `Random` selection stays sequential.
+/// once per probe. Items past a probe's early-exit point are judged
+/// speculatively by the workers but dropped unadmitted by the replay,
+/// so the memo never learns paths the sequential walk would not have
+/// asked for. Ranked selection draws no randomness, which is what makes
+/// the fan-out safe; `Random` selection stays sequential.
 #[allow(clippy::too_many_arguments)] // mirrors the sequential entry point
 pub fn select_frontier_sharded(
     system: &mut StreamSystem,
@@ -309,71 +472,99 @@ pub fn select_frontier_sharded(
     let function = request.graph.function(vertex);
     let n_probes = pred_ranges.len();
     stats.discovery_lookups += n_probes as u64;
-    let raw = system.candidates(function);
-    let quota = probe_quota(raw.len(), alpha);
+    let k = system.candidates(function).len();
+    let quota = probe_quota(k, alpha);
     if quota == 0 {
         return;
     }
     stats.global_state_queries += n_probes as u64;
-    // Static interface/placement filters — identical for every probe.
     let rate = request.stream_rate_kbps;
-    let ids: Vec<ComponentId> = raw
-        .iter()
-        .copied()
-        .filter(|&c| {
-            let component = system.component(c);
-            component.accepts_rate(rate) && request.constraints.admits(&component.attributes)
-        })
-        .collect();
     let demand = request.vertex_demand(system.registry(), vertex);
+    let entries: Vec<IndexEntry> = board.candidate_entries(function).to_vec();
+    // Accumulated QoS per probe — plan-independent, feeds both the
+    // prescreen and the early-exit bound during replay.
+    let accs: Vec<Qos> =
+        pred_ranges.iter().map(|&(ps, pe)| accumulated_over(&pred_buf[ps..pe])).collect();
 
-    // Fan out: each (probe, candidate) item goes to the shard owning the
-    // candidate's node — the probe message crossing into that shard.
+    // Fan out: each (probe, index entry) item goes to the shard owning
+    // the candidate's node — the probe message crossing into that shard.
     let shards = rt.shards();
     let mut work: Vec<Vec<(usize, usize)>> = vec![Vec::new(); shards];
     for p in 0..n_probes {
-        for (ci, &c) in ids.iter().enumerate() {
-            work[rt.node_owner(c.node)].push((p, ci));
+        for (ei, entry) in entries.iter().enumerate() {
+            work[rt.node_owner(entry.node)].push((p, ei));
         }
     }
     let sys: &StreamSystem = system;
     let work_ref = &work;
-    let ids_ref = &ids;
-    let results: Vec<Vec<ShardItem>> = rt.scatter(|s| {
+    let entries_ref = &entries;
+    let accs_ref = &accs;
+    let results: Vec<Vec<ItemVerdict>> = rt.scatter(|s| {
         work_ref[s]
             .iter()
-            .map(|&(p, ci)| {
+            .map(|&(p, ei)| {
                 let (ps, pe) = pred_ranges[p];
-                score_item(sys, board, request, vertex, &demand, &pred_buf[ps..pe], ids_ref[ci])
+                judge_item(
+                    sys,
+                    board,
+                    request,
+                    vertex,
+                    rate,
+                    &demand,
+                    accs_ref[p],
+                    &pred_buf[ps..pe],
+                    &entries_ref[ei],
+                )
             })
             .collect()
     });
-    let mut slots: Vec<Option<ShardItem>> = Vec::with_capacity(n_probes * ids.len());
-    slots.resize_with(n_probes * ids.len(), || None);
+    let mut slots: Vec<Option<ItemVerdict>> = Vec::with_capacity(n_probes * entries.len());
+    slots.resize_with(n_probes * entries.len(), || None);
     for (items, assignment) in results.into_iter().zip(&work) {
-        for (item, &(p, ci)) in items.into_iter().zip(assignment) {
-            slots[p * ids.len() + ci] = Some(item);
+        for (item, &(p, ei)) in items.into_iter().zip(assignment) {
+            slots[p * entries.len() + ei] = Some(item);
         }
     }
 
-    // Deterministic merge: replay each probe's candidate loop in
-    // sequential order, admitting path-memo entries as the sequential
-    // lookups would, then rank and emit under the per-probe quota.
-    let mut scored: Vec<(f64, f64, CandidatePlan)> = Vec::new();
+    // Deterministic merge: replay each probe's index walk in sequential
+    // order with the same early exit, admitting path-memo entries only
+    // for items the walk reaches, then emit under the per-probe quota.
+    let mut ranked: Vec<(RankKey, CandidatePlan)> = Vec::new();
     for p in 0..n_probes {
-        scored.clear();
-        for (ci, &c) in ids.iter().enumerate() {
-            let item = slots[p * ids.len() + ci].take().expect("every item scored exactly once");
-            for (from, to, resolved) in item.queries {
-                system.admit_virtual_path(from, to, resolved);
+        ranked.clear();
+        stats.selection_candidates += k as u64;
+        let acc_delay = accs[p].delay.as_secs_f64();
+        for (ei, entry) in entries.iter().enumerate() {
+            if ranked.len() == quota {
+                let d_lb =
+                    risk_delay_lower_bound(acc_delay, entry.qos.delay.as_secs_f64(), &request.qos);
+                if cannot_beat(&ranked[ranked.len() - 1].0, d_lb, risk_epsilon) {
+                    break;
+                }
             }
-            if let Some((d, v, incoming)) = item.scored {
-                scored.push((d, v, CandidatePlan { component: c, incoming }));
+            stats.selection_examined += 1;
+            let verdict =
+                slots[p * entries.len() + ei].take().expect("every examined item judged exactly once");
+            match verdict {
+                ItemVerdict::Stale => stats.selection_pruned_stale += 1,
+                ItemVerdict::Static => stats.selection_pruned_static += 1,
+                ItemVerdict::Prescreened => stats.selection_prescreened += 1,
+                ItemVerdict::Pathed { queries, scored } => {
+                    for (from, to, resolved) in queries {
+                        system.admit_virtual_path(from, to, resolved);
+                    }
+                    if let Some((d, v, incoming)) = scored {
+                        stats.selection_scored += 1;
+                        let plan = CandidatePlan {
+                            component: ComponentId::new(entry.node, entry.slot),
+                            incoming,
+                        };
+                        insert_ranked(&mut ranked, quota, RankKey::new(d, v, ei as u32, risk_epsilon), plan);
+                    }
+                }
             }
         }
-        rank_scored(&mut scored, risk_epsilon);
-        scored.truncate(quota);
-        for (rank, (_, _, plan)) in scored.drain(..).enumerate() {
+        for (rank, (_, plan)) in ranked.drain(..).enumerate() {
             proposals.push((rank, p, plan));
         }
     }

@@ -327,6 +327,22 @@ impl TemplateLibrary {
         Self::generate(registry, 20, rng)
     }
 
+    /// One single-vertex template per registry function. Single-function
+    /// requests place one component and no virtual links, so a workload
+    /// drawn from this library exercises pure selection and session
+    /// churn with zero routing work — the regime the scale experiments
+    /// measure.
+    pub fn singletons(registry: &FunctionRegistry) -> Self {
+        let templates = registry
+            .ids()
+            .map(|f| Template {
+                name: format!("singleton-{:02}", f.0),
+                graph: FunctionGraph::path(vec![f]),
+            })
+            .collect();
+        TemplateLibrary { templates }
+    }
+
     /// Number of templates.
     pub fn len(&self) -> usize {
         self.templates.len()

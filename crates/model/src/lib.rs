@@ -80,7 +80,7 @@ pub mod prelude {
     pub use crate::resources::{ResourceKind, ResourceVector};
     pub use crate::shard::{ShardStats, ShardedRuntime};
     pub use crate::system::{
-        AdmissionError, LeaseStats, Session, SessionId, StreamSystem, SystemConfig,
+        AdmissionError, LeaseStats, Session, SessionHandle, SessionId, StreamSystem, SystemConfig,
     };
 }
 

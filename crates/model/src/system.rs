@@ -6,8 +6,6 @@
 //! bandwidth bookkeeping, the function→components discovery index, and the
 //! session table of the middleware's `Find`/`Process`/`Close` interface.
 
-use std::collections::HashMap;
-
 use acp_simcore::SimTime;
 use acp_topology::{Overlay, OverlayLinkId, OverlayNodeId, OverlayPath, SharedPath};
 use rand::Rng;
@@ -112,6 +110,127 @@ impl Session {
     }
 }
 
+/// Stable handle into the session arena: a slot index plus the
+/// generation the slot carried when the session was inserted. A handle
+/// resolves only while its session is live — once the slot is recycled
+/// the generation moves on and the stale handle yields `None` instead
+/// of silently aliasing the slot's new tenant. Ledgers and auditors can
+/// therefore hold handles across arbitrary churn without dangling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionHandle {
+    slot: u32,
+    generation: u32,
+}
+
+/// Generational arena of live sessions. External [`SessionId`]s stay
+/// strictly monotonic (session digests, newest-first eviction, and
+/// failover ordering all key off them); internally a LIFO free list
+/// recycles slots, so million-session churn reuses a compact,
+/// cache-warm region instead of rehashing a map. `slot_of` maps
+/// `SessionId.0 → slot` for O(1) lookup of any live id.
+#[derive(Debug, Clone, Default)]
+struct SessionArena {
+    /// Slot storage; vacant slots hold `None` and sit on `free`.
+    slots: Vec<Option<Session>>,
+    /// Per-slot generation, bumped each time the slot is vacated.
+    generations: Vec<u32>,
+    /// LIFO free list of vacant slot indices.
+    free: Vec<u32>,
+    /// Indexed by `SessionId.0`; `u32::MAX` marks closed sessions.
+    slot_of: Vec<u32>,
+    /// Monotonic id allocator (never reused).
+    next_id: u64,
+    live: usize,
+}
+
+impl SessionArena {
+    fn insert(&mut self, make: impl FnOnce(SessionId) -> Session) -> SessionId {
+        let id = SessionId(self.next_id);
+        self.next_id += 1;
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(None);
+                self.generations.push(0);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.slots[slot as usize] = Some(make(id));
+        debug_assert_eq!(self.slot_of.len() as u64, id.0, "ids are dense");
+        self.slot_of.push(slot);
+        self.live += 1;
+        id
+    }
+
+    fn remove(&mut self, id: SessionId) -> Option<Session> {
+        let slot = *self.slot_of.get(id.0 as usize)?;
+        if slot == u32::MAX {
+            return None;
+        }
+        let session = self.slots[slot as usize].take().expect("live slot");
+        self.slot_of[id.0 as usize] = u32::MAX;
+        self.generations[slot as usize] += 1;
+        self.free.push(slot);
+        self.live -= 1;
+        Some(session)
+    }
+
+    fn get(&self, id: SessionId) -> Option<&Session> {
+        let slot = *self.slot_of.get(id.0 as usize)?;
+        if slot == u32::MAX {
+            return None;
+        }
+        self.slots[slot as usize].as_ref()
+    }
+
+    fn handle(&self, id: SessionId) -> Option<SessionHandle> {
+        let slot = *self.slot_of.get(id.0 as usize)?;
+        if slot == u32::MAX {
+            return None;
+        }
+        Some(SessionHandle { slot, generation: self.generations[slot as usize] })
+    }
+
+    fn resolve(&self, h: SessionHandle) -> Option<&Session> {
+        if *self.generations.get(h.slot as usize)? != h.generation {
+            return None;
+        }
+        self.slots[h.slot as usize].as_ref()
+    }
+
+    /// Iterates live sessions in slot order — deterministic (slot
+    /// assignment is a pure function of the insert/remove history), but
+    /// **not** id order; callers needing id order sort explicitly.
+    fn iter(&self) -> impl Iterator<Item = &Session> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+}
+
+/// Struct-of-arrays side tables for component statics, indexed by
+/// [`DenseComponentId`] (append-only: tombstoned ids keep their rows).
+/// The per-hop candidate filter reads exactly these three fields for
+/// every discovered candidate; flat arrays keep that scan inside a few
+/// cache lines per candidate instead of chasing node → slot →
+/// `Component` pointers across the heap.
+#[derive(Debug, Clone, Default)]
+struct DenseStatics {
+    function: Vec<FunctionId>,
+    max_rate_kbps: Vec<f64>,
+    attributes: Vec<ComponentAttributes>,
+}
+
+impl DenseStatics {
+    fn push(&mut self, c: &Component) {
+        self.function.push(c.function);
+        self.max_rate_kbps.push(c.max_input_rate_kbps);
+        self.attributes.push(c.attributes);
+    }
+}
+
 /// Parameters for synthetic system generation (paper §4.1: initial
 /// capacities "uniformly distributed within certain range").
 #[derive(Debug, Clone, PartialEq)]
@@ -195,9 +314,13 @@ pub struct StreamSystem {
     overlay: Overlay,
     nodes: Vec<StreamNode>,
     links: Vec<LinkState>,
-    discovery: HashMap<FunctionId, Vec<ComponentId>>,
-    sessions: HashMap<SessionId, Session>,
-    next_session: u64,
+    /// Function → live candidate components, indexed by `FunctionId.0`
+    /// (the registry's ids are dense). Per-function insertion order is
+    /// node/slot discovery order until the first migration re-appends.
+    discovery: Vec<Vec<ComponentId>>,
+    sessions: SessionArena,
+    /// Component statics in struct-of-arrays layout, keyed by dense id.
+    statics: DenseStatics,
     load_delay_factor: f64,
     /// Per-node change counters: bumped on every mutation observable
     /// through [`Self::node_available`] / the node's component list
@@ -322,7 +445,8 @@ impl StreamSystem {
         rng: &mut R,
     ) -> Self {
         let mut nodes = Vec::with_capacity(overlay.node_count());
-        let mut discovery: HashMap<FunctionId, Vec<ComponentId>> = HashMap::new();
+        let mut discovery: Vec<Vec<ComponentId>> = vec![Vec::new(); registry.len()];
+        let mut statics = DenseStatics::default();
 
         for v in overlay.nodes() {
             let capacity = ResourceVector::new(
@@ -343,8 +467,13 @@ impl StreamSystem {
                     let qos = registry.profile(function).sample_component_qos(rng);
                     let max_rate = sample_range(rng, config.component_max_rate_kbps);
                     let attributes = sample_attributes(rng, config);
-                    discovery.entry(function).or_default().push(id);
-                    Component { id, function, qos, max_input_rate_kbps: max_rate, attributes }
+                    discovery[function.0 as usize].push(id);
+                    let c = Component { id, function, qos, max_input_rate_kbps: max_rate, attributes };
+                    // Components are created in node/slot order — exactly
+                    // the order dense ids are assigned below — so the
+                    // statics rows line up with the dense index.
+                    statics.push(&c);
+                    c
                 })
                 .collect();
             nodes.push(StreamNode::new(v, capacity, components));
@@ -388,8 +517,8 @@ impl StreamSystem {
             nodes,
             links,
             discovery,
-            sessions: HashMap::new(),
-            next_session: 0,
+            sessions: SessionArena::default(),
+            statics,
             load_delay_factor: config.load_delay_factor,
             lease_stats: LeaseStats::default(),
             lease_accounting: true,
@@ -495,7 +624,23 @@ impl StreamSystem {
     /// Candidate components currently providing `function` — the
     /// decentralized service-discovery lookup of §3.3 step 2.
     pub fn candidates(&self, function: FunctionId) -> &[ComponentId] {
-        self.discovery.get(&function).map(Vec::as_slice).unwrap_or(&[])
+        self.discovery.get(function.0 as usize).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The function a dense component id serves. Statics are
+    /// append-only, so this answers for tombstoned ids too.
+    pub fn dense_function(&self, d: DenseComponentId) -> FunctionId {
+        self.statics.function[d.index()]
+    }
+
+    /// The interface rate limit of a dense component id (kbit/s).
+    pub fn dense_max_rate_kbps(&self, d: DenseComponentId) -> f64 {
+        self.statics.max_rate_kbps[d.index()]
+    }
+
+    /// The placement attributes of a dense component id.
+    pub fn dense_attributes(&self, d: DenseComponentId) -> ComponentAttributes {
+        self.statics.attributes[d.index()]
     }
 
     /// Currently available end-system resources on `v` (capacity minus
@@ -815,26 +960,21 @@ impl StreamSystem {
             self.lease_stats.promoted += held;
         }
 
-        let id = SessionId(self.next_session);
-        self.next_session += 1;
-        self.sessions.insert(
+        let id = self.sessions.insert(|id| Session {
             id,
-            Session {
-                id,
-                request: request.id,
-                request_spec: request.clone(),
-                composition,
-                node_allocs,
-                link_allocs,
-            },
-        );
+            request: request.id,
+            request_spec: request.clone(),
+            composition,
+            node_allocs,
+            link_allocs,
+        });
         Ok(id)
     }
 
     /// Tears down a session, releasing its allocations (the `Close`
     /// interface). Returns `false` for unknown sessions.
     pub fn close_session(&mut self, id: SessionId) -> bool {
-        let Some(session) = self.sessions.remove(&id) else {
+        let Some(session) = self.sessions.remove(id) else {
             return false;
         };
         for (node, amount) in &session.node_allocs {
@@ -871,15 +1011,12 @@ impl StreamSystem {
             self.dense_ids[v.index()][id.slot as usize] = u32::MAX;
         }
         for component in &undeployed {
-            if let Some(entry) = self.discovery.get_mut(&component.function) {
-                entry.retain(|&c| c != component.id);
-            }
+            self.discovery[component.function.0 as usize].retain(|&c| c != component.id);
         }
         // Terminate sessions placed (partly) on the failed node — and
         // sessions whose virtual links relay through it, since its
-        // forwarding plane dies too — in session-id order so failover
-        // recomposition is deterministic (the session table is a
-        // HashMap; its iteration order is not).
+        // forwarding plane dies too — in ascending session-id order so
+        // failover recomposition is deterministic.
         let orphaned = self.terminate_sessions_where(|s| {
             s.composition.assignment.iter().any(|c| c.node == v)
                 || s.composition.links.iter().any(|p| p.nodes.contains(&v))
@@ -909,14 +1046,18 @@ impl StreamSystem {
 
     /// Closes every live session matching `predicate`, in ascending
     /// session-id order, returning their request specifications for
-    /// failover recomposition.
+    /// failover recomposition. The arena iterates in slot order — a
+    /// deterministic function of the insert/close history, unlike the
+    /// hash-map iteration this replaced — and the explicit sort pins
+    /// the id order the failover contract promises regardless of how
+    /// slots were recycled.
     fn terminate_sessions_where(&mut self, predicate: impl Fn(&Session) -> bool) -> Vec<Request> {
         let mut victims: Vec<SessionId> =
-            self.sessions.values().filter(|s| predicate(s)).map(|s| s.id).collect();
+            self.sessions.iter().filter(|s| predicate(s)).map(|s| s.id).collect();
         victims.sort_unstable();
         let mut orphaned = Vec::with_capacity(victims.len());
         for sid in victims {
-            if let Some(session) = self.sessions.get(&sid) {
+            if let Some(session) = self.sessions.get(sid) {
                 orphaned.push(session.request_spec.clone());
             }
             self.close_session(sid);
@@ -963,14 +1104,14 @@ impl StreamSystem {
         }
         // Evict until the commitments fit (newest session first).
         let mut users: Vec<SessionId> =
-            self.sessions.values().filter(|s| s.uses_link(l)).map(|s| s.id).collect();
+            self.sessions.iter().filter(|s| s.uses_link(l)).map(|s| s.id).collect();
         users.sort_unstable_by(|a, b| b.cmp(a));
         let mut evicted = Vec::new();
         for sid in users {
             if self.links[i].committed_kbps <= self.links[i].capacity_kbps + 1e-9 {
                 break;
             }
-            if let Some(session) = self.sessions.get(&sid) {
+            if let Some(session) = self.sessions.get(sid) {
                 evicted.push(session.request_spec.clone());
             }
             self.close_session(sid);
@@ -1018,16 +1159,14 @@ impl StreamSystem {
             return Vec::new();
         };
         self.dense_ids[id.node.index()][id.slot as usize] = u32::MAX;
-        if let Some(entry) = self.discovery.get_mut(&component.function) {
-            entry.retain(|&c| c != id);
-        }
+        self.discovery[component.function.0 as usize].retain(|&c| c != id);
         self.touch_node(id.node);
         self.terminate_sessions_where(|s| s.composition.assignment.contains(&id))
     }
 
     /// True when any live session's composition uses component `id`.
     pub fn component_in_use(&self, id: ComponentId) -> bool {
-        self.sessions.values().any(|s| s.composition.assignment.contains(&id))
+        self.sessions.iter().any(|s| s.composition.assignment.contains(&id))
     }
 
     /// Migrates a component to another node — the paper's future-work
@@ -1071,9 +1210,11 @@ impl StreamSystem {
         }
         slots[new_id.slot as usize] = self.dense_count;
         self.dense_count += 1;
+        // Fresh dense id ⇒ fresh statics row (same component record).
+        self.statics.push(self.nodes[to.index()].component(new_id.slot).expect("just deployed"));
         self.touch_node(id.node);
         self.touch_node(to);
-        let entry = self.discovery.entry(component.function).or_default();
+        let entry = &mut self.discovery[component.function.0 as usize];
         entry.retain(|&c| c != id);
         entry.push(new_id);
         Ok(new_id)
@@ -1086,9 +1227,22 @@ impl StreamSystem {
         &mut self.nodes[v.index()]
     }
 
-    /// An established session's record.
+    /// An established session's record (O(1) arena lookup).
     pub fn session(&self, id: SessionId) -> Option<&Session> {
-        self.sessions.get(&id)
+        self.sessions.get(id)
+    }
+
+    /// A stable arena handle for a live session — cheaper to resolve
+    /// than an id lookup and safe to hold across churn: once the
+    /// session closes and its slot is recycled, the stale handle
+    /// resolves to `None` instead of the slot's new tenant.
+    pub fn session_handle(&self, id: SessionId) -> Option<SessionHandle> {
+        self.sessions.handle(id)
+    }
+
+    /// Resolves a [`SessionHandle`]; `None` once the session closed.
+    pub fn resolve_session(&self, h: SessionHandle) -> Option<&Session> {
+        self.sessions.resolve(h)
     }
 
     /// Number of live sessions.
@@ -1096,9 +1250,10 @@ impl StreamSystem {
         self.sessions.len()
     }
 
-    /// Iterates over live sessions.
+    /// Iterates over live sessions in arena-slot order — deterministic
+    /// given the insert/close history, but not sorted by id.
     pub fn sessions(&self) -> impl Iterator<Item = &Session> {
-        self.sessions.values()
+        self.sessions.iter()
     }
 
     /// True when any live session serves `request` — the idempotent-
@@ -1106,7 +1261,7 @@ impl StreamSystem {
     /// for a request that already holds a session must not commit a
     /// second set of residuals).
     pub fn has_session_for(&self, request: RequestId) -> bool {
-        self.sessions.values().any(|s| s.request == request)
+        self.sessions.iter().any(|s| s.request == request)
     }
 
     // ------------------------------------------------------------------
@@ -1461,6 +1616,68 @@ mod tests {
         assert!(!sys.reserve_path_transient(RequestId(6), 0, &path, 1.0, SimTime::from_secs(10)));
         sys.release_path_transient(r, 0);
         assert!(sys.reserve_path_transient(RequestId(6), 0, &path, 1.0, SimTime::from_secs(10)));
+    }
+
+    /// Commits `n` copies of the same qualified composition under
+    /// distinct request ids `base..base+n`, returning the session ids
+    /// in commit order.
+    fn commit_n(
+        sys: &mut StreamSystem,
+        request: &Request,
+        composition: &Composition,
+        base: u64,
+        n: u64,
+    ) -> Vec<SessionId> {
+        (0..n)
+            .map(|i| {
+                let mut r = request.clone();
+                r.id = RequestId(base + i);
+                sys.commit_session(&r, composition.clone()).expect("qualified")
+            })
+            .collect()
+    }
+
+    /// Regression for the old HashMap-iteration hazard: termination
+    /// order must be ascending by session id even after arena slots
+    /// have been freed and recycled out of id order.
+    #[test]
+    fn terminate_order_is_ascending_after_slot_reuse() {
+        let mut sys = build_system(12, 30);
+        let (request, composition) = request_and_composition(&mut sys);
+        let ids = commit_n(&mut sys, &request, &composition, 1000, 4);
+        // Free slots 1 and 3 (LIFO free list: slot 3 is recycled first,
+        // so the newest session lands in a *lower* slot than an older
+        // one — exactly the case that breaks order-sensitive iteration).
+        assert!(sys.close_session(ids[1]));
+        assert!(sys.close_session(ids[3]));
+        let more = commit_n(&mut sys, &request, &composition, 2000, 2);
+        assert!(more.iter().all(|m| m > ids.last().unwrap()), "external ids stay monotonic");
+        let orphaned = sys.fail_node(composition.assignment[0].node).1;
+        assert_eq!(orphaned.len(), 4);
+        let order: Vec<u64> = orphaned.iter().map(|r| r.id.0).collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted, "failover recomposition order must be ascending by id");
+    }
+
+    #[test]
+    fn session_handles_survive_churn_but_not_reuse() {
+        let mut sys = build_system(13, 30);
+        let (request, composition) = request_and_composition(&mut sys);
+        let ids = commit_n(&mut sys, &request, &composition, 1000, 3);
+        let h1 = sys.session_handle(ids[1]).expect("live");
+        assert_eq!(sys.resolve_session(h1).unwrap().id, ids[1]);
+        // Closing an unrelated session leaves the handle valid.
+        assert!(sys.close_session(ids[0]));
+        assert_eq!(sys.resolve_session(h1).unwrap().id, ids[1]);
+        // Closing the session invalidates the handle...
+        assert!(sys.close_session(ids[1]));
+        assert!(sys.resolve_session(h1).is_none());
+        assert!(sys.session_handle(ids[1]).is_none());
+        // ...and slot reuse must not resurrect it.
+        let replacement = commit_n(&mut sys, &request, &composition, 2000, 1)[0];
+        assert!(sys.session(replacement).is_some());
+        assert!(sys.resolve_session(h1).is_none(), "stale handle aliases recycled slot");
     }
 
     #[test]

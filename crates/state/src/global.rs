@@ -73,6 +73,86 @@ impl ScanStats {
     }
 }
 
+/// One row of the per-function candidate index: a currently published
+/// component providing the function, carrying everything ranked
+/// selection needs to prescreen it without touching the component
+/// record — its published QoS, dense id, and location.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexEntry {
+    /// The component's QoS as of its node's last publish (identical to
+    /// `component_qos_dense` — the index is a resorted view, never a
+    /// second source of truth).
+    pub qos: Qos,
+    /// Dense component id. Selection re-checks this against
+    /// [`StreamSystem::dense_of`] to drop entries whose component
+    /// crashed or migrated since the node's last publish.
+    pub dense: u32,
+    /// Hosting node.
+    pub node: OverlayNodeId,
+    /// Slot on the hosting node.
+    pub slot: u16,
+}
+
+impl IndexEntry {
+    /// The index sort key: ascending published delay, dense id as the
+    /// deterministic tie-break. Ascending delay is what makes ranked
+    /// selection's early exit sound — the accumulated-delay lower bound
+    /// is nondecreasing along the walk.
+    fn key(&self) -> (acp_simcore::SimDuration, u32) {
+        (self.qos.delay, self.dense)
+    }
+}
+
+/// Incremental per-function candidate index over the board's published
+/// component QoS. Maintained on every publish (the same version-counter
+/// driven moments that update `component_qos`), so ranked selection can
+/// walk a function's candidates in ascending published-delay order and
+/// stop early, instead of scanning the full discovery list per hop.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CandidateIndex {
+    /// Indexed by `FunctionId.0`; each list sorted by
+    /// [`IndexEntry::key`].
+    by_function: Vec<Vec<IndexEntry>>,
+}
+
+impl CandidateIndex {
+    fn sized(functions: usize) -> Self {
+        CandidateIndex { by_function: vec![Vec::new(); functions] }
+    }
+
+    /// Published candidates for `function`, sorted by ascending
+    /// published delay (dense id tie-break).
+    pub fn entries(&self, function: FunctionId) -> &[IndexEntry] {
+        self.by_function.get(function.0 as usize).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total entries across all functions.
+    pub fn len(&self) -> usize {
+        self.by_function.iter().map(Vec::len).sum()
+    }
+
+    /// True when no function has any published candidate.
+    pub fn is_empty(&self) -> bool {
+        self.by_function.iter().all(Vec::is_empty)
+    }
+
+    fn insert(&mut self, function: FunctionId, entry: IndexEntry) {
+        let list = &mut self.by_function[function.0 as usize];
+        let at = list.partition_point(|e| e.key() < entry.key());
+        list.insert(at, entry);
+    }
+
+    fn remove(&mut self, function: FunctionId, qos: Qos, dense: u32) {
+        let list = &mut self.by_function[function.0 as usize];
+        let probe = IndexEntry { qos, dense, node: OverlayNodeId(0), slot: 0 };
+        if let Ok(at) = list.binary_search_by(|e| e.key().cmp(&probe.key())) {
+            list.remove(at);
+        } else {
+            debug_assert!(false, "index entry missing for dense id {dense}");
+        }
+    }
+}
+
 /// Coarse, possibly stale, global view of the system state.
 #[derive(Debug, Clone)]
 pub struct GlobalStateBoard {
@@ -85,6 +165,9 @@ pub struct GlobalStateBoard {
     /// Per node: the published component list as `(slot, dense id)`
     /// pairs, mirroring the node's component list as of its last publish.
     published: Vec<Vec<(u16, u32)>>,
+    /// Per-function ranked view of the published components, maintained
+    /// incrementally alongside `component_qos` on every publish.
+    index: CandidateIndex,
     link_available: Vec<f64>,
     link_capacity: Vec<f64>,
     /// Last [`StreamSystem::node_versions`] values this board compared
@@ -106,13 +189,16 @@ impl GlobalStateBoard {
         let mut node_capacity = Vec::with_capacity(n);
         let mut component_qos = vec![None; system.dense_component_count()];
         let mut published = Vec::with_capacity(n);
+        let mut index = CandidateIndex::sized(system.registry().len());
         for v in system.overlay().nodes() {
             node_available.push(system.node_available(v));
             node_capacity.push(system.node(v).capacity());
             let mut list = Vec::new();
             for c in system.node(v).components() {
                 let dense = system.dense_of(c.id).expect("live component has a dense id");
-                component_qos[dense.index()] = Some(system.effective_component_qos(c.id));
+                let qos = system.effective_component_qos(c.id);
+                component_qos[dense.index()] = Some(qos);
+                index.insert(c.function, IndexEntry { qos, dense: dense.0, node: v, slot: c.id.slot });
                 list.push((c.id.slot, dense.0));
             }
             published.push(list);
@@ -125,6 +211,7 @@ impl GlobalStateBoard {
             node_capacity,
             component_qos,
             published,
+            index,
             link_available,
             link_capacity,
             seen_node_versions: system.node_versions().to_vec(),
@@ -163,6 +250,38 @@ impl GlobalStateBoard {
     /// hot-path lookup used by candidate selection.
     pub fn component_qos_dense(&self, d: DenseComponentId) -> Option<Qos> {
         self.component_qos.get(d.index()).copied().flatten()
+    }
+
+    /// The incrementally maintained per-function candidate index —
+    /// published candidates of `function` in ascending published-delay
+    /// order. This is the ranked-selection entry point: O(α·k) walks
+    /// with early exit instead of full discovery scans.
+    pub fn candidate_entries(&self, function: FunctionId) -> &[IndexEntry] {
+        self.index.entries(function)
+    }
+
+    /// The whole candidate index (tests / diagnostics).
+    pub fn candidate_index(&self) -> &CandidateIndex {
+        &self.index
+    }
+
+    /// From-scratch rebuild of the candidate index out of the published
+    /// per-node lists — the oracle that incremental maintenance must
+    /// match entry-for-entry (property-tested in `tests/properties.rs`).
+    pub fn rebuilt_index(&self, system: &StreamSystem) -> CandidateIndex {
+        let mut index = CandidateIndex::sized(system.registry().len());
+        for (i, list) in self.published.iter().enumerate() {
+            for &(slot, dense) in list {
+                let qos = self.component_qos[dense as usize]
+                    .expect("published list entries always carry a QoS");
+                let function = system.dense_function(DenseComponentId(dense));
+                index.insert(
+                    function,
+                    IndexEntry { qos, dense, node: OverlayNodeId(i as u32), slot },
+                );
+            }
+        }
+        index
     }
 
     /// Coarse available bandwidth of overlay link `l`.
@@ -305,14 +424,23 @@ impl GlobalStateBoard {
         let i = v.index();
         self.node_available[i] = system.node_available(v);
         // Re-publish this node's full component list; drop stale
-        // entries for components that left the node.
+        // entries for components that left the node. The candidate
+        // index shadows `component_qos` exactly, so each withdrawal /
+        // re-publish edits both.
         for &(_, dense) in &self.published[i] {
-            self.component_qos[dense as usize] = None;
+            let old = self.component_qos[dense as usize]
+                .take()
+                .expect("published list entries always carry a QoS");
+            let function = system.dense_function(DenseComponentId(dense));
+            self.index.remove(function, old, dense);
         }
         self.published[i].clear();
         for comp in system.node(v).components() {
             let dense = system.dense_of(comp.id).expect("live component has a dense id");
-            self.component_qos[dense.index()] = Some(system.effective_component_qos(comp.id));
+            let qos = system.effective_component_qos(comp.id);
+            self.component_qos[dense.index()] = Some(qos);
+            self.index
+                .insert(comp.function, IndexEntry { qos, dense: dense.0, node: v, slot: comp.id.slot });
             self.published[i].push((comp.id.slot, dense.0));
         }
     }
@@ -458,13 +586,16 @@ impl GlobalStateBoard {
             ));
         }
         let dense_limit = system.dense_component_count();
+        let mut dense_ids_valid = true;
         let mut referenced = vec![false; self.component_qos.len()];
         for (i, list) in self.published.iter().enumerate() {
             for &(slot, dense) in list {
                 if (dense as usize) >= dense_limit {
                     push(format!("node v{i} publishes slot {slot} with unissued dense id {dense}"));
+                    dense_ids_valid = false;
                 } else if (dense as usize) >= referenced.len() {
                     push(format!("node v{i} publishes dense id {dense} beyond the QoS store"));
+                    dense_ids_valid = false;
                 } else if referenced[dense as usize] {
                     push(format!("dense id {dense} published by two nodes"));
                 } else {
@@ -476,6 +607,13 @@ impl GlobalStateBoard {
             if qos.is_some() && !referenced.get(d).copied().unwrap_or(false) {
                 push(format!("orphan QoS entry for dense id {d} (no node publishes it)"));
             }
+        }
+        // The candidate index must be exactly the resorted view of the
+        // published lists — no extra, missing, or stale entries. (Only
+        // checkable when the published dense ids resolve in `system`;
+        // otherwise the violations above already tell the story.)
+        if dense_ids_valid && self.index != self.rebuilt_index(system) {
+            push("candidate index diverges from published component state".to_string());
         }
         for (i, (&seen, &current)) in
             self.seen_node_versions.iter().zip(system.node_versions()).enumerate()
@@ -672,6 +810,46 @@ mod tests {
             violations.iter().any(|v| matches!(v, AuditViolation::ViewIncoherent { .. })),
             "{violations:?}"
         );
+    }
+
+    #[test]
+    fn candidate_index_tracks_publish_and_churn() {
+        let mut sys = build();
+        let mut board = GlobalStateBoard::new(&sys, GlobalStateConfig::default());
+        assert_eq!(board.candidate_index(), &board.rebuilt_index(&sys), "fresh board coherent");
+        // Entries are sorted by published delay and mirror component_qos.
+        for f in sys.registry().ids() {
+            let entries = board.candidate_entries(f);
+            for w in entries.windows(2) {
+                assert!((w[0].qos.delay, w[0].dense) < (w[1].qos.delay, w[1].dense));
+            }
+            for e in entries {
+                assert_eq!(
+                    board.component_qos_dense(DenseComponentId(e.dense)),
+                    Some(e.qos),
+                    "index shadows the QoS store"
+                );
+                assert_eq!(sys.dense_function(DenseComponentId(e.dense)), f);
+            }
+        }
+        let total: usize = sys.registry().ids().map(|f| board.candidate_entries(f).len()).sum();
+        assert_eq!(total, sys.dense_component_count(), "every component indexed at bootstrap");
+        // Churn: load (QoS republish), fail a node (withdrawals), then a
+        // migration (fresh dense id) — index stays the resorted view.
+        load_some_node(&mut sys, 1, true);
+        board.refresh_nodes(&sys);
+        assert_eq!(board.candidate_index(), &board.rebuilt_index(&sys), "after republish");
+        let failed = OverlayNodeId(3);
+        sys.fail_node(failed);
+        board.refresh_nodes(&sys);
+        assert_eq!(board.candidate_index(), &board.rebuilt_index(&sys), "after node failure");
+        assert!(
+            sys.registry()
+                .ids()
+                .all(|f| board.candidate_entries(f).iter().all(|e| e.node != failed)),
+            "failed node's candidates withdrawn"
+        );
+        assert!(board.audit_against(&sys).is_empty());
     }
 
     #[test]

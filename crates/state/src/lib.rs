@@ -18,5 +18,5 @@
 pub mod global;
 pub mod local;
 
-pub use global::{GlobalStateBoard, GlobalStateConfig, ScanStats};
+pub use global::{CandidateIndex, GlobalStateBoard, GlobalStateConfig, IndexEntry, ScanStats};
 pub use local::{LocalStateView, OutOfScope};

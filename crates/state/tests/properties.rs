@@ -110,6 +110,105 @@ proptest! {
         }
     }
 
+    /// Incremental candidate-index maintenance matches a from-scratch
+    /// rebuild of the published per-node lists after arbitrary churn:
+    /// session commits and closes (load moves the published QoS through
+    /// the load-delay factor), component crashes, migrations (fresh
+    /// dense ids), and node failures/recoveries — across thresholds, so
+    /// publishes land on some nodes and not others.
+    #[test]
+    fn candidate_index_matches_rebuilt_oracle(
+        seed in 0u64..50,
+        churn_seed in any::<u64>(),
+        threshold in 0.0f64..0.4,
+    ) {
+        let mut system = build(seed);
+        let mut board = GlobalStateBoard::new(
+            &system,
+            GlobalStateConfig { threshold, ..Default::default() },
+        );
+        prop_assert_eq!(board.candidate_index(), &board.rebuilt_index(&system));
+        let mut rng = StdRng::seed_from_u64(churn_seed);
+        let mut live: Vec<SessionId> = Vec::new();
+        let mut next_request = 50_000u64;
+        let fns: Vec<FunctionId> =
+            system.registry().ids().filter(|&f| !system.candidates(f).is_empty()).collect();
+        let mut failed: Vec<OverlayNodeId> = Vec::new();
+        for _ in 0..8 {
+            match rng.gen_range(0..5) {
+                // Commit a batch of single-function sessions.
+                0 => {
+                    for _ in 0..6 {
+                        let f = fns[rng.gen_range(0..fns.len())];
+                        let cands = system.candidates(f);
+                        if cands.is_empty() {
+                            continue;
+                        }
+                        let c = cands[rng.gen_range(0..cands.len())];
+                        let request = Request {
+                            id: RequestId(next_request),
+                            graph: FunctionGraph::path(vec![f]),
+                            qos: QosRequirement::unconstrained(),
+                            base_resources: ResourceVector::new(
+                                rng.gen_range(0.5..6.0),
+                                rng.gen_range(4.0..48.0),
+                            ),
+                            bandwidth_kbps: 0.0,
+                            stream_rate_kbps: 1.0,
+                            constraints: PlacementConstraints::none(),
+                        };
+                        next_request += 1;
+                        let composition = Composition { assignment: vec![c], links: vec![] };
+                        if let Ok(sid) = system.commit_session(&request, composition) {
+                            live.push(sid);
+                        }
+                    }
+                }
+                // Close up to half the live sessions.
+                1 => {
+                    for _ in 0..live.len() / 2 {
+                        let sid = live.swap_remove(rng.gen_range(0..live.len()));
+                        system.close_session(sid);
+                    }
+                }
+                // Crash a random candidate component.
+                2 => {
+                    let f = fns[rng.gen_range(0..fns.len())];
+                    let cands = system.candidates(f);
+                    if !cands.is_empty() {
+                        let c = cands[rng.gen_range(0..cands.len())];
+                        system.crash_component(c);
+                    }
+                }
+                // Migrate a random candidate component (appends a fresh
+                // dense id the board must grow into).
+                3 => {
+                    let f = fns[rng.gen_range(0..fns.len())];
+                    let cands = system.candidates(f);
+                    if !cands.is_empty() {
+                        let c = cands[rng.gen_range(0..cands.len())];
+                        let to = OverlayNodeId(rng.gen_range(0..system.node_count()) as u32);
+                        let _ = system.migrate_component(c, to);
+                    }
+                }
+                // Fail a node, or recover the longest-failed one.
+                _ => {
+                    if failed.len() >= 2 || (!failed.is_empty() && rng.gen_bool(0.5)) {
+                        system.recover_node(failed.remove(0));
+                    } else {
+                        let v = OverlayNodeId(rng.gen_range(0..system.node_count()) as u32);
+                        if !system.is_node_failed(v) {
+                            system.fail_node(v);
+                            failed.push(v);
+                        }
+                    }
+                }
+            }
+            board.refresh_nodes(&system);
+            prop_assert_eq!(board.candidate_index(), &board.rebuilt_index(&system));
+        }
+    }
+
     /// Closing sessions and refreshing brings the board back in sync with
     /// the initial snapshot (conservation through the coarse layer).
     #[test]

@@ -266,6 +266,65 @@ impl Overlay {
         }
     }
 
+    /// Builds a synthetic overlay mesh directly, without an IP underlay:
+    /// a ring (guaranteeing connectivity) plus `chords_per_node` random
+    /// chords per node, with link properties sampled per link. Each
+    /// overlay node maps to the identically-numbered synthetic IP node.
+    ///
+    /// [`Self::build`] runs one Dijkstra per node over the IP graph plus
+    /// an all-pairs nearest-neighbour scan — quadratic and far too slow
+    /// past a few thousand nodes. The scale experiments need 100k-node
+    /// overlays whose *structure* is irrelevant (they stress state-table
+    /// and selection-index size, not routing); this constructor is O(n)
+    /// and allocation-exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes < 2`.
+    pub fn synthetic<R: Rng + ?Sized>(nodes: usize, chords_per_node: usize, rng: &mut R) -> Self {
+        assert!(nodes >= 2, "need at least two stream nodes");
+        let n = nodes as u32;
+        let mut mesh = Graph::new(nodes);
+        let mut ip_hops = Vec::with_capacity(nodes * (1 + chords_per_node));
+        let sample_props = |rng: &mut R| {
+            LinkProps::new(
+                SimDuration::from_secs_f64(rng.gen_range(0.002..0.020)),
+                rng.gen_range(1_000.0..10_000.0),
+                rng.gen_range(0.0..0.02),
+            )
+        };
+        for i in 0..n {
+            let next = (i + 1) % n;
+            let props = sample_props(rng);
+            mesh.add_edge(NodeId(i), NodeId(next), props);
+            ip_hops.push(1);
+        }
+        for i in 0..n {
+            for _ in 0..chords_per_node {
+                let j = rng.gen_range(0..n);
+                if j == i || mesh.has_edge(NodeId(i), NodeId(j)) {
+                    continue;
+                }
+                let props = sample_props(rng);
+                mesh.add_edge(NodeId(i), NodeId(j), props);
+                ip_hops.push(1);
+            }
+        }
+        let ip_nodes: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let ip_index: HashMap<NodeId, OverlayNodeId> =
+            ip_nodes.iter().enumerate().map(|(i, &node)| (node, OverlayNodeId(i as u32))).collect();
+        Overlay {
+            down: vec![false; nodes],
+            ip_nodes,
+            ip_index,
+            mesh,
+            ip_hops,
+            route_cache: HashMap::new(),
+            path_cache: HashMap::new(),
+            cache_stats: PathCacheStats::default(),
+        }
+    }
+
     /// Number of stream-processing nodes.
     pub fn node_count(&self) -> usize {
         self.ip_nodes.len()
@@ -709,6 +768,43 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn synthetic_overlay_is_connected_and_routable() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ov = Overlay::synthetic(500, 2, &mut rng);
+        assert_eq!(ov.node_count(), 500);
+        assert!(ov.is_connected(), "ring guarantees connectivity");
+        assert!(ov.link_count() >= 500, "ring plus chords");
+        for v in ov.nodes() {
+            assert_eq!(ov.overlay_node(ov.ip_node(v)), Some(v));
+        }
+        let p = ov.virtual_path(OverlayNodeId(0), OverlayNodeId(250)).expect("connected");
+        assert!(p.hop_count() >= 1);
+        assert!(p.delay > SimDuration::ZERO);
+        assert!(p.bottleneck_kbps.is_finite());
+    }
+
+    #[test]
+    fn synthetic_overlay_is_deterministic_and_linear_time() {
+        let mut rng_a = StdRng::seed_from_u64(12);
+        let mut rng_b = StdRng::seed_from_u64(12);
+        let a = Overlay::synthetic(2_000, 3, &mut rng_a);
+        let b = Overlay::synthetic(2_000, 3, &mut rng_b);
+        assert_eq!(a.link_count(), b.link_count());
+        for l in a.links() {
+            assert_eq!(a.link_endpoints(l), b.link_endpoints(l));
+            assert_eq!(a.link_props(l), b.link_props(l));
+            assert_eq!(a.link_ip_hops(l), 1, "synthetic links have no IP underlay");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two stream nodes")]
+    fn rejects_tiny_synthetic_overlay() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = Overlay::synthetic(1, 2, &mut rng);
     }
 
     #[test]

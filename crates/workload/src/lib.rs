@@ -11,13 +11,17 @@
 //! * [`scenario`] — the full simulation loop of §4.1: topology → overlay
 //!   → deployment → event-driven workload with state maintenance,
 //!   sampling, and optional probing-ratio tuning.
+//! * [`streaming`] — lazy per-epoch arrival generation for the scale
+//!   experiments (the workload is pulled, never materialized whole).
 
 pub mod arrivals;
 pub mod requests;
 pub mod scenario;
+pub mod streaming;
 
 pub use arrivals::RateSchedule;
 pub use requests::{standard_universe, QosTier, RequestConfig, RequestGenerator, RequestTrace};
+pub use streaming::{Arrival, StreamingArrivals};
 pub use scenario::{
     build_system, run_scenario, session_digest, ChurnConfig, ScenarioConfig, ScenarioResult,
 };

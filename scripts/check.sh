@@ -32,6 +32,9 @@ cargo run --release -q -p acp-bench --bin chaos_soak -- --smoke --seed 42 --asse
 echo "==> sharded chaos smoke (shards=4, byte-identical by contract)"
 cargo run --release -q -p acp-bench --bin chaos_soak -- --smoke --seed 42 --shards 4 --assert-no-leaks
 
+echo "==> fig_scale smoke (10k nodes x 50k sessions, RSS ceiling)"
+cargo run --release -q -p acp-bench --bin scale_smoke
+
 echo "==> perf-ratio gate (quick snapshot vs BENCH_baseline.json)"
 bash scripts/perf_gate.sh
 
