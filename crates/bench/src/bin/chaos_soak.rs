@@ -13,10 +13,13 @@
 //! sweep. `--shards N` runs every cell on the sharded single-run
 //! runtime — results are byte-identical to `--shards 1` by contract, so
 //! the smoke gate doubles as a sharded-chaos equivalence check.
+//! `--tenants` attaches the standard multi-tenant mix (admission
+//! shedding, best-effort preemption, tenant-isolation audits) to every
+//! cell and fails the run on any tenant-isolation violation.
 
 use acp_bench::{
-    chaos_grid_sharded, chaos_table, loss_grid_sharded, loss_table, soak_sharded, thread_count,
-    write_results, Scale,
+    chaos_grid_sharded, chaos_grid_tenanted, chaos_table, loss_grid_sharded, loss_grid_tenanted,
+    loss_table, soak_sharded, soak_tenanted, thread_count, write_results, Scale,
 };
 
 fn main() {
@@ -25,6 +28,7 @@ fn main() {
     let mut out = std::path::PathBuf::from("target/experiments");
     let mut smoke = false;
     let mut assert_no_leaks = false;
+    let mut tenants = false;
     let mut shards: usize = 1;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -36,6 +40,7 @@ fn main() {
             "--out" => out = std::path::PathBuf::from(args.next().expect("--out needs a value")),
             "--smoke" => smoke = true,
             "--assert-no-leaks" => assert_no_leaks = true,
+            "--tenants" => tenants = true,
             "--shards" => {
                 shards = args
                     .next()
@@ -46,7 +51,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: [--scale quick|paper] [--seed N] [--out DIR] [--smoke] [--assert-no-leaks] [--shards N]"
+                    "usage: [--scale quick|paper] [--seed N] [--out DIR] [--smoke] [--assert-no-leaks] [--tenants] [--shards N]"
                 );
                 std::process::exit(0);
             }
@@ -57,16 +62,27 @@ fn main() {
     let scale = Scale::from_name(&scale_name);
     let threads = thread_count();
     eprintln!(
-        "running chaos grid at scale '{}' (seed {}, shards {})…",
-        scale.name, seed, shards
+        "running chaos grid at scale '{}' (seed {}, shards {}{})…",
+        scale.name,
+        seed,
+        shards,
+        if tenants { ", tenanted" } else { "" }
     );
     let start = std::time::Instant::now();
-    let cells = chaos_grid_sharded(&scale, seed, threads, shards);
+    let cells = if tenants {
+        chaos_grid_tenanted(&scale, seed, threads, shards)
+    } else {
+        chaos_grid_sharded(&scale, seed, threads, shards)
+    };
     let table = chaos_table(&scale, &cells);
     println!("{}", table.render());
 
     eprintln!("running probe-loss grid at scale '{}' (seed {}, shards {})…", scale.name, seed, shards);
-    let loss_cells = loss_grid_sharded(&scale, seed, threads, shards);
+    let loss_cells = if tenants {
+        loss_grid_tenanted(&scale, seed, threads, shards)
+    } else {
+        loss_grid_sharded(&scale, seed, threads, shards)
+    };
     let loss = loss_table(&scale, &loss_cells);
     println!("{}", loss.render());
 
@@ -76,12 +92,19 @@ fn main() {
         + loss_cells.iter().map(|c| c.leases_leaked).sum::<u64>();
     let recovered: u64 = loss_cells.iter().map(|c| c.recovered).sum();
     let fault_lost: u64 = loss_cells.iter().map(|c| c.fault_failed).sum();
+    let mut tenant_violations: u64 = cells.iter().map(|c| c.tenant_violations).sum::<u64>()
+        + loss_cells.iter().map(|c| c.tenant_violations).sum::<u64>();
     let mut soak_violations = 0u64;
     if !smoke {
         let minutes = if scale.name == "paper" { 150 } else { 60 };
         eprintln!("soaking {} simulated minutes at 2x churn…", minutes);
-        let result = soak_sharded(&scale, seed, 2.0, minutes, shards);
+        let result = if tenants {
+            soak_tenanted(&scale, seed, 2.0, minutes, shards)
+        } else {
+            soak_sharded(&scale, seed, 2.0, minutes, shards)
+        };
         soak_violations = result.audit_violations;
+        tenant_violations += result.tenant_violations;
         leaks += result.leases_leaked;
         println!(
             "soak: {} events, {} faults ({} classes), {}/{} sessions recovered, \
@@ -100,6 +123,10 @@ fn main() {
     eprintln!("done in {:.1}s", start.elapsed().as_secs_f64());
     if grid_violations + soak_violations > 0 {
         eprintln!("AUDIT FAILED: {} violations", grid_violations + soak_violations);
+        std::process::exit(1);
+    }
+    if tenant_violations > 0 {
+        eprintln!("TENANT ISOLATION FAILED: {} violations", tenant_violations);
         std::process::exit(1);
     }
     if recovered * 10 < (recovered + fault_lost) * 9 {

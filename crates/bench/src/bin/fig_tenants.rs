@@ -1,0 +1,18 @@
+//! Regenerates the multi-tenant QoS sweep. See `--help` for flags.
+
+use acp_bench::{fig_tenants, tenants_table, write_results, CliArgs, Scale};
+
+fn main() {
+    let args = CliArgs::parse();
+    let scale = Scale::from_name(&args.scale);
+    eprintln!("running fig_tenants at scale '{}' (seed {})…", scale.name, args.seed);
+    let start = std::time::Instant::now();
+    let points = fig_tenants(&scale, args.seed);
+    let table = tenants_table(&scale, &points);
+    println!("{}", table.render());
+    let violations: u64 = points.iter().map(|p| p.tenant_violations).sum();
+    assert_eq!(violations, 0, "tenant-isolation invariants must hold at every load level");
+    write_results(&args.out, &format!("fig_tenants-{}", scale.name), &[table])
+        .expect("write results");
+    eprintln!("done in {:.1}s; results under {}", start.elapsed().as_secs_f64(), args.out.display());
+}

@@ -9,8 +9,10 @@
 //! sharded single-run runtime at increasing shard counts, runs the
 //! `fig_scale` memory-layout sweep (nodes × concurrent sessions, up to
 //! 100k × 1M on the `paper` axis — session ops/sec, selection-index
-//! sublinearity, and peak RSS per point), and writes the numbers to
-//! `BENCH_6.json` (override with `--out-file`):
+//! sublinearity, and peak RSS per point), runs the `fig_tenants`
+//! multi-tenant QoS sweep (per-tier success and Jain fairness vs
+//! offered load), and writes the numbers to `BENCH_7.json` (override
+//! with `--out-file`):
 //!
 //! ```text
 //! cargo run --release -p acp-bench --bin perf_snapshot -- --scale quick
@@ -37,6 +39,8 @@ use acp_bench::experiments::{
 use acp_bench::report::json_string;
 use acp_bench::thread_count;
 use acp_bench::{churn_for, run_scale_point, scale_axis, ScaleConfig, ScalePoint};
+use acp_bench::{fig_tenants_threads, TenantPoint, LOAD_LEVELS};
+use acp_model::prelude::TenantTier;
 use acp_core::prelude::{AlgorithmKind, SetupConfig};
 use acp_simcore::MessageFaultConfig;
 use acp_workload::{run_scenario, RateSchedule, ScenarioResult};
@@ -109,7 +113,7 @@ fn main() {
     let mut scale_name = "quick".to_string();
     let mut seed = 42u64;
     let mut repeat = 3usize;
-    let mut out_file = PathBuf::from("BENCH_6.json");
+    let mut out_file = PathBuf::from("BENCH_7.json");
     let mut scale_axis_name: Option<String> = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -176,6 +180,12 @@ fn main() {
             fig8_threads(&scale, seed, threads);
         }
     });
+    let mut tenant_points: Vec<TenantPoint> = Vec::new();
+    time("fig_tenants", LOAD_LEVELS.len(), &mut || {
+        tenant_points = fig_tenants_threads(&scale, seed, threads);
+    });
+    let tenant_violations: u64 = tenant_points.iter().map(|p| p.tenant_violations).sum();
+    assert_eq!(tenant_violations, 0, "tenant-isolation invariants must hold in the snapshot");
 
     // Sharded single-run runtime: the same Fig. 6 anchor point at
     // increasing shard counts. Byte-identity across shard counts is
@@ -448,6 +458,24 @@ fn main() {
             p.overhead.selection_prescreened,
             p.overhead.selection_scored,
             if i + 1 < scale_rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"fig_tenants\": [\n");
+    for (i, p) in tenant_points.iter().enumerate() {
+        let shed: u64 = p.tiers.iter().map(|t| t.shed).sum();
+        json.push_str(&format!(
+            "    {{\"load\": {:.1}, \"rate\": {:.1}, \"gold_success\": {:.4}, \"silver_success\": {:.4}, \"best_effort_success\": {:.4}, \"jain\": {:.4}, \"shed\": {}, \"preemptions\": {}, \"tenant_violations\": {}}}{}\n",
+            p.load,
+            p.rate,
+            p.success(TenantTier::Gold),
+            p.success(TenantTier::Silver),
+            p.success(TenantTier::BestEffort),
+            p.jain,
+            shed,
+            p.preemptions,
+            p.tenant_violations,
+            if i + 1 < tenant_points.len() { "," } else { "" },
         ));
     }
     json.push_str("  ],\n");

@@ -54,6 +54,12 @@ pub struct ChaosCell {
     /// sweep (must be 0: a leak means the sweep failed to recover an
     /// orphan).
     pub leases_leaked: u64,
+    /// Sessions preempted by the tenant pressure controller (0 on
+    /// tenant-less cells).
+    pub preemptions: u64,
+    /// Tenant-isolation audit violations (must be 0; always 0 on
+    /// tenant-less cells).
+    pub tenant_violations: u64,
 }
 
 impl ChaosCell {
@@ -72,6 +78,8 @@ impl ChaosCell {
             chaos_digest: result.chaos_digest(),
             sim_events: result.sim_events,
             leases_leaked: result.leases_leaked,
+            preemptions: result.tenant_preemptions,
+            tenant_violations: result.tenant_violations,
         }
     }
 }
@@ -109,6 +117,23 @@ pub fn chaos_grid_threads(scale: &Scale, seed: u64, threads: usize) -> Vec<Chaos
 /// never on `threads` or `shards` (byte-identity is the sharded
 /// runtime's contract, and the chaos-soak smoke gate exercises it).
 pub fn chaos_grid_sharded(scale: &Scale, seed: u64, threads: usize, shards: usize) -> Vec<ChaosCell> {
+    chaos_grid_run(scale, seed, threads, shards, false)
+}
+
+/// [`chaos_grid_sharded`] with the standard tenant mix attached to
+/// every cell: admission shedding, best-effort preemption, and the
+/// tenant-isolation audit pass all run under the same churn.
+pub fn chaos_grid_tenanted(scale: &Scale, seed: u64, threads: usize, shards: usize) -> Vec<ChaosCell> {
+    chaos_grid_run(scale, seed, threads, shards, true)
+}
+
+fn chaos_grid_run(
+    scale: &Scale,
+    seed: u64,
+    threads: usize,
+    shards: usize,
+    tenanted: bool,
+) -> Vec<ChaosCell> {
     let streams = acp_simcore::DeterministicRng::new(seed);
     let points: Vec<(usize, f64)> = scale
         .node_counts
@@ -119,6 +144,9 @@ pub fn chaos_grid_sharded(scale: &Scale, seed: u64, threads: usize, shards: usiz
         let mut config =
             chaos_config(scale, streams.seed_for_indexed("chaos", i as u64), nodes, churn);
         config.shards = shards;
+        if tenanted {
+            config.tenants = Some(crate::tenants::sweep_mix());
+        }
         let result = acp_workload::run_scenario(config);
         ChaosCell::from_result(nodes, churn, &result)
     })
@@ -194,6 +222,9 @@ pub struct LossCell {
     pub leases_leaked: u64,
     /// Audit violations across every audit pass (must be 0).
     pub audit_violations: u64,
+    /// Tenant-isolation audit violations (must be 0; always 0 on
+    /// tenant-less cells).
+    pub tenant_violations: u64,
     /// Combined session + audit digest of the run.
     pub chaos_digest: u64,
 }
@@ -214,6 +245,7 @@ impl LossCell {
             leases_reclaimed: result.setup_stats.leases_reclaimed,
             leases_leaked: result.leases_leaked,
             audit_violations: result.audit_violations,
+            tenant_violations: result.tenant_violations,
             chaos_digest: result.chaos_digest(),
         }
     }
@@ -269,6 +301,22 @@ pub fn loss_grid_threads(scale: &Scale, seed: u64, threads: usize) -> Vec<LossCe
 /// [`loss_grid_threads`] with every cell run on the sharded single-run
 /// runtime at `shards` shards; output is independent of both knobs.
 pub fn loss_grid_sharded(scale: &Scale, seed: u64, threads: usize, shards: usize) -> Vec<LossCell> {
+    loss_grid_run(scale, seed, threads, shards, false)
+}
+
+/// [`loss_grid_sharded`] with the standard tenant mix attached to every
+/// cell: tenant isolation must also survive lossy two-phase transport.
+pub fn loss_grid_tenanted(scale: &Scale, seed: u64, threads: usize, shards: usize) -> Vec<LossCell> {
+    loss_grid_run(scale, seed, threads, shards, true)
+}
+
+fn loss_grid_run(
+    scale: &Scale,
+    seed: u64,
+    threads: usize,
+    shards: usize,
+    tenanted: bool,
+) -> Vec<LossCell> {
     let streams = acp_simcore::DeterministicRng::new(seed);
     let points: Vec<(usize, f64)> = scale
         .node_counts
@@ -278,6 +326,9 @@ pub fn loss_grid_sharded(scale: &Scale, seed: u64, threads: usize, shards: usize
     run_indexed(threads, &points, |i, &(nodes, loss)| {
         let mut config = loss_config(scale, streams.seed_for_indexed("loss", i as u64), nodes, loss);
         config.shards = shards;
+        if tenanted {
+            config.tenants = Some(crate::tenants::sweep_mix());
+        }
         let result = acp_workload::run_scenario(config);
         LossCell::from_result(nodes, loss, &result)
     })
@@ -342,10 +393,35 @@ pub fn soak_sharded(
     minutes: u64,
     shards: usize,
 ) -> ScenarioResult {
+    soak_run(scale, seed, churn, minutes, shards, false)
+}
+
+/// [`soak_sharded`] with the standard tenant mix attached.
+pub fn soak_tenanted(
+    scale: &Scale,
+    seed: u64,
+    churn: f64,
+    minutes: u64,
+    shards: usize,
+) -> ScenarioResult {
+    soak_run(scale, seed, churn, minutes, shards, true)
+}
+
+fn soak_run(
+    scale: &Scale,
+    seed: u64,
+    churn: f64,
+    minutes: u64,
+    shards: usize,
+    tenanted: bool,
+) -> ScenarioResult {
     let mut config = chaos_config(scale, seed, scale.stream_nodes, churn);
     config.schedule = RateSchedule::constant(scale.anchor_rate * 3.0);
     config.duration = SimDuration::from_minutes(minutes);
     config.shards = shards;
+    if tenanted {
+        config.tenants = Some(crate::tenants::sweep_mix());
+    }
     acp_workload::run_scenario(config)
 }
 
@@ -380,10 +456,33 @@ mod tests {
                 chaos_digest: 7,
                 sim_events: 1000,
                 leases_leaked: 0,
+                preemptions: 0,
+                tenant_violations: 0,
             };
             4
         ];
         let table = chaos_table(&scale, &cells);
         assert_eq!(table.to_csv().lines().count(), 5, "header + 4 rows");
+    }
+
+    #[test]
+    fn tenanted_grid_is_live_deterministic_and_isolation_clean() {
+        let scale = Scale::quick();
+        let cells = chaos_grid_tenanted(&scale, 42, 2, 1);
+        assert_eq!(cells.len(), scale.node_counts.len() * CHURN_LEVELS.len());
+        for cell in &cells {
+            assert_eq!(cell.tenant_violations, 0, "isolation must hold under churn");
+            assert_eq!(cell.audit_violations, 0);
+        }
+        // The mix must actually engage, not ride along inertly: the
+        // seeded grid diverges from its tenant-less twin somewhere.
+        let plain = chaos_grid_sharded(&scale, 42, 2, 1);
+        assert!(
+            cells.iter().zip(&plain).any(|(t, p)| t.chaos_digest != p.chaos_digest),
+            "tenanted grid must shed or preempt at some cell"
+        );
+        // …and stays deterministic across thread counts.
+        let again = chaos_grid_tenanted(&scale, 42, 4, 1);
+        assert_eq!(cells, again);
     }
 }

@@ -30,12 +30,13 @@ pub mod experiments;
 pub mod parallel;
 pub mod report;
 pub mod scale;
+pub mod tenants;
 
 pub use ablation::{ablation_bcp, ablation_risk_epsilon, ablation_state_threshold, ablation_tuning};
 pub use chaos::{
-    chaos_grid, chaos_grid_sharded, chaos_grid_threads, chaos_table, loss_config, loss_grid,
-    loss_grid_sharded, loss_grid_threads, loss_table, soak, soak_sharded, ChaosCell, LossCell,
-    CHURN_LEVELS, PROBE_LOSS_LEVELS,
+    chaos_grid, chaos_grid_sharded, chaos_grid_tenanted, chaos_grid_threads, chaos_table,
+    loss_config, loss_grid, loss_grid_sharded, loss_grid_tenanted, loss_grid_threads, loss_table,
+    soak, soak_sharded, soak_tenanted, ChaosCell, LossCell, CHURN_LEVELS, PROBE_LOSS_LEVELS,
 };
 pub use experiments::{
     fig5, fig5_threads, fig6, fig6_threads, fig7, fig7_threads, fig8, fig8_threads, Scale,
@@ -43,3 +44,7 @@ pub use experiments::{
 pub use parallel::{run_indexed, thread_count};
 pub use report::{write_results, CliArgs, Table};
 pub use scale::{churn_for, peak_rss_mib, run_scale_point, scale_axis, ScaleConfig, ScalePoint};
+pub use tenants::{
+    fig_tenants, fig_tenants_threads, jain_index, sweep_mix, tenants_config, tenants_table,
+    TenantPoint, LOAD_LEVELS,
+};

@@ -7,10 +7,12 @@
 
 use acp_bench::experiments::Scale;
 use acp_core::{AlgorithmKind, SetupConfig};
-use acp_model::prelude::LeaseStats;
+use acp_model::prelude::{LeaseStats, TenantTier};
 use acp_simcore::SimDuration;
 use acp_state::GlobalStateConfig;
-use acp_workload::{run_scenario, RateSchedule, ScenarioResult};
+use acp_workload::{
+    run_scenario, tier_index, RateSchedule, ScenarioResult, TenantsConfig, TierSummary,
+};
 
 fn fig6_style_point(incremental: bool) -> ScenarioResult {
     // Long enough that the 10-minute virtual-link aggregation fires at
@@ -120,4 +122,43 @@ fn inert_two_phase_matches_single_phase_scenario() {
     assert_eq!(two_phase.fault_hit_requests, 0);
     assert_eq!(two_phase.leases_live_end, 0);
     assert_eq!(two_phase.leases_leaked, 0);
+}
+
+/// The tenant layer's inertness contract at figure scale: a single
+/// uncapped `Gold` tenant with no preemption admits every request, so
+/// the run is byte-identical to the tenant-less run — same compositions,
+/// same audit trail, same message ledger, same event count. The tenanted
+/// run additionally keeps a per-tenant ledger, and it must be clean.
+#[test]
+fn single_gold_tenant_matches_tenant_less_scenario() {
+    let tenant_less = fig6_style_point(true);
+
+    let mut scale = Scale::quick();
+    scale.duration = SimDuration::from_minutes(12);
+    let mut config = scale.base_config(42);
+    config.algorithm = AlgorithmKind::Acp;
+    config.schedule = RateSchedule::constant(scale.anchor_rate);
+    config.global_state = GlobalStateConfig { incremental: true, ..GlobalStateConfig::default() };
+    config.tenants = Some(TenantsConfig::single_gold());
+    let tenanted = run_scenario(config);
+
+    assert_eq!(tenant_less.session_digest, tenanted.session_digest, "compositions diverged");
+    assert_eq!(tenant_less.audit_digest, tenanted.audit_digest, "audit trails diverged");
+    assert_eq!(tenant_less.chaos_digest(), tenanted.chaos_digest(), "chaos digests diverged");
+    assert_eq!(tenant_less.overhead, tenanted.overhead, "message ledger diverged");
+    assert_eq!(tenant_less.total_requests, tenanted.total_requests);
+    assert_eq!(tenant_less.total_successes, tenanted.total_successes);
+    assert_eq!(tenant_less.final_sessions, tenanted.final_sessions);
+    assert_eq!(tenant_less.sim_events, tenanted.sim_events);
+    assert_eq!(tenant_less.success_series.samples(), tenanted.success_series.samples());
+
+    // Tenant-less runs never touch the tenant ledger.
+    assert_eq!(tenant_less.tenant_tiers, [TierSummary::default(); 3]);
+    // The tenanted ledger is live, clean, and accounts every request.
+    let gold = tenanted.tenant_tiers[tier_index(TenantTier::Gold)];
+    assert_eq!(gold.offered, tenanted.total_requests);
+    assert_eq!(gold.composed, tenanted.total_successes);
+    assert_eq!(gold.shed, 0, "uncapped gold must never shed");
+    assert_eq!(tenanted.tenant_violations, 0, "isolation invariants must hold");
+    assert_eq!(tenanted.tenant_preemptions, 0);
 }

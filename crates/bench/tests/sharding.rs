@@ -17,7 +17,7 @@
 use acp_core::SetupConfig;
 use acp_model::prelude::ShardStats;
 use acp_simcore::{MessageFaultConfig, SimDuration};
-use acp_workload::{run_scenario, ChurnConfig, ScenarioConfig, ScenarioResult};
+use acp_workload::{run_scenario, ChurnConfig, ScenarioConfig, ScenarioResult, TenantsConfig};
 
 const SHARD_COUNTS: [usize; 3] = [2, 4, 8];
 
@@ -59,6 +59,9 @@ fn assert_byte_identical(seq: &ScenarioResult, sharded: &ScenarioResult, label: 
     );
     assert_eq!(seq.ratio_series.samples(), sharded.ratio_series.samples(), "{label}: ratio series");
     assert_eq!(seq.probe_histogram.count(), sharded.probe_histogram.count(), "{label}: histogram");
+    assert_eq!(seq.tenant_tiers, sharded.tenant_tiers, "{label}: tier summaries");
+    assert_eq!(seq.tenant_preemptions, sharded.tenant_preemptions, "{label}: preemptions");
+    assert_eq!(seq.tenant_violations, sharded.tenant_violations, "{label}: tenant violations");
 }
 
 /// Runs `config` sequentially and at every shard count, asserting
@@ -151,6 +154,47 @@ fn lossy_chaos_scenario_identical_at_all_shard_counts() {
     assert!(seq.fault_events > 0 && seq.fault_hit_requests > 0);
     assert_eq!(seq.audit_violations, 0);
     assert_eq!(seq.leases_leaked, 0);
+}
+
+#[test]
+fn single_gold_tenant_matches_tenant_less_at_all_shard_counts() {
+    // The tenant layer's inertness contract, crossed with sharding: a
+    // single uncapped Gold tenant with no preemption admits everything,
+    // so the run must be byte-identical to the tenant-less run at every
+    // shard count — not merely self-consistent.
+    let tenant_less = run_at(base_config(48), 1);
+    let mut config = base_config(48);
+    config.tenants = Some(TenantsConfig::single_gold());
+    for shards in [1, 2, 4, 8] {
+        let tenanted = run_at(config.clone(), shards);
+        let label = format!("single-gold shards={shards}");
+        assert_eq!(tenant_less.session_digest, tenanted.session_digest, "{label}: sessions");
+        assert_eq!(tenant_less.audit_digest, tenanted.audit_digest, "{label}: audits");
+        assert_eq!(tenant_less.chaos_digest(), tenanted.chaos_digest(), "{label}: chaos digest");
+        assert_eq!(tenant_less.overhead, tenanted.overhead, "{label}: message ledger");
+        assert_eq!(tenant_less.sim_events, tenanted.sim_events, "{label}: event count");
+        assert_eq!(tenant_less.total_requests, tenanted.total_requests, "{label}: requests");
+        assert_eq!(tenant_less.total_successes, tenanted.total_successes, "{label}: successes");
+        assert_eq!(tenanted.tenant_violations, 0, "{label}: isolation invariants");
+    }
+}
+
+#[test]
+fn tenanted_chaos_scenario_identical_at_all_shard_counts() {
+    // Admission shedding, best-effort preemption, and fault churn all
+    // live on the coordinator; shard fan-out must not perturb any of it.
+    let mut config = base_config(49);
+    config.churn = Some(ChurnConfig::default());
+    let mut tenants = TenantsConfig::standard_mix();
+    tenants.admission = acp_core::AdmissionConfig {
+        best_effort_threshold: 0.30,
+        silver_threshold: 0.55,
+    };
+    config.tenants = Some(tenants);
+    let seq = assert_sharding_invariant(config, "tenanted-chaos");
+    assert!(seq.fault_events > 0, "plan must contain faults");
+    assert_eq!(seq.tenant_violations, 0, "isolation invariants must hold under churn");
+    assert_eq!(seq.audit_violations, 0);
 }
 
 #[test]

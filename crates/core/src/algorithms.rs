@@ -667,6 +667,7 @@ mod tests {
             bandwidth_kbps: 3.0,
             stream_rate_kbps: 64.0,
             constraints: PlacementConstraints::none(),
+            tenant: None,
         }
     }
 
@@ -725,6 +726,7 @@ mod tests {
             bandwidth_kbps: 3.0,
             stream_rate_kbps: 64.0,
             constraints: PlacementConstraints::none(),
+            tenant: None,
         };
         let mut msgs = std::collections::HashMap::new();
         for kind in [AlgorithmKind::Optimal, AlgorithmKind::Acp, AlgorithmKind::Rp, AlgorithmKind::Random] {
@@ -764,6 +766,7 @@ mod tests {
             bandwidth_kbps: 3.0,
             stream_rate_kbps: 64.0,
             constraints: PlacementConstraints::none(),
+            tenant: None,
         };
         let mut small = BoundedProbingComposer::new(1, ProbingConfig::default(), 3);
         let out_small = small.compose(&mut sys0.clone(), &board, &req, SimTime::ZERO);
@@ -784,6 +787,7 @@ mod tests {
             bandwidth_kbps: 3.0,
             stream_rate_kbps: 64.0,
             constraints: PlacementConstraints::none(),
+            tenant: None,
         }
     }
 

@@ -53,6 +53,7 @@
 //!     bandwidth_kbps: 5.0,
 //!     stream_rate_kbps: 100.0,
 //!     constraints: PlacementConstraints::none(),
+//!     tenant: None,
 //! };
 //! let mut acp = AcpComposer::new(ProbingConfig::default(), 42);
 //! let outcome = acp.compose(&mut system, &board, &request, SimTime::ZERO);
@@ -60,6 +61,7 @@
 //! # }
 //! ```
 
+pub mod admission;
 pub mod algorithms;
 pub mod middleware;
 pub mod migration;
@@ -74,13 +76,18 @@ pub mod tuning_control;
 
 /// One-stop imports for downstream crates.
 pub mod prelude {
+    pub use crate::admission::{
+        AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionStats, TokenBucket,
+    };
     pub use crate::algorithms::{
         AcpComposer, AlgorithmKind, BoundedProbingComposer, ComposeOutcome, Composer,
         OptimalComposer, RandomComposer, RandomProbingComposer, SelectiveProbingComposer,
         StaticComposer,
     };
     pub use crate::middleware::{FailoverReport, Middleware, ProcessReport};
-    pub use crate::migration::{MigrationRecord, RebalanceConfig, Rebalancer};
+    pub use crate::migration::{
+        MigrationRecord, PreemptionConfig, Preemptor, RebalanceConfig, Rebalancer,
+    };
     pub use crate::naive::{blind_compose, BlindStrategy};
     pub use crate::optimal::{optimal_compose, OptimalConfig, OptimalOutcome};
     pub use crate::overhead::{centralized_update_messages_per_minute, OverheadStats};

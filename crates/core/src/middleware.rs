@@ -279,6 +279,7 @@ mod tests {
             bandwidth_kbps: 3.0,
             stream_rate_kbps: 64.0,
             constraints: PlacementConstraints::none(),
+            tenant: None,
         }
     }
 

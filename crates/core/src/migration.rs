@@ -136,6 +136,78 @@ impl Rebalancer {
     }
 }
 
+/// Preemption policy knobs (multi-tenant pressure relief).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreemptionConfig {
+    /// Upper bound on sessions preempted per round.
+    pub max_preemptions_per_round: usize,
+    /// Skip nodes below this utilisation — preemption is pressure
+    /// relief, not garbage collection.
+    pub min_node_utilization: f64,
+}
+
+impl Default for PreemptionConfig {
+    fn default() -> Self {
+        PreemptionConfig { max_preemptions_per_round: 4, min_node_utilization: 0.5 }
+    }
+}
+
+/// Pressure-driven preemption of `BestEffort` sessions, sharing the
+/// [`Rebalancer`]'s utilisation ranking: when the congestion gate alone
+/// can't relieve pressure (the caller decides when to run a round —
+/// typically when the φ-congestion estimate crosses a threshold),
+/// best-effort sessions on the hottest nodes are reclaimed, hottest node
+/// first, ascending session id within a node. By construction only
+/// best-effort sessions are ever touched; the tenant auditor
+/// independently verifies that no higher tier accrues preemptions.
+#[derive(Debug, Clone, Default)]
+pub struct Preemptor {
+    config: PreemptionConfig,
+    total_preempted: u64,
+}
+
+impl Preemptor {
+    /// Creates a preemptor with the given policy.
+    pub fn new(config: PreemptionConfig) -> Self {
+        Preemptor { config, total_preempted: 0 }
+    }
+
+    /// Sessions preempted over the preemptor's lifetime.
+    pub fn total_preempted(&self) -> u64 {
+        self.total_preempted
+    }
+
+    /// Runs one preemption round, returning the reclaimed requests (for
+    /// per-tenant bookkeeping at the caller).
+    pub fn preempt_round(&mut self, system: &mut StreamSystem) -> Vec<Request> {
+        let mut ranked: Vec<(f64, OverlayNodeId)> = system
+            .overlay()
+            .nodes()
+            .map(|v| {
+                let node = system.node(v);
+                (node.capacity().max_utilization_of(&node.committed()).min(1.0), v)
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let mut reclaimed = Vec::new();
+        'nodes: for &(util, v) in &ranked {
+            if util < self.config.min_node_utilization {
+                break;
+            }
+            for sid in system.best_effort_sessions_on(v) {
+                if reclaimed.len() >= self.config.max_preemptions_per_round {
+                    break 'nodes;
+                }
+                if let Some(spec) = system.preempt_session(sid) {
+                    reclaimed.push(spec);
+                    self.total_preempted += 1;
+                }
+            }
+        }
+        reclaimed
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +242,7 @@ mod tests {
                 bandwidth_kbps: 0.0,
                 stream_rate_kbps: 1.0,
                 constraints: PlacementConstraints::none(),
+                tenant: None,
             };
             let comp = Composition { assignment: vec![c], links: vec![] };
             if system.commit_session(&req, comp).is_ok() {

@@ -107,6 +107,7 @@ mod tests {
             bandwidth_kbps: 2.0,
             stream_rate_kbps: 64.0,
             constraints: PlacementConstraints::none(),
+            tenant: None,
         }
     }
 
@@ -191,6 +192,7 @@ mod tests {
                 bandwidth_kbps: 0.0,
                 stream_rate_kbps: 0.0,
                 constraints: PlacementConstraints::none(),
+                tenant: None,
             };
             let mut rng = StdRng::seed_from_u64(4);
             let out = blind_compose(&mut sys, &req, SimTime::ZERO, BlindStrategy::Random, &mut rng);

@@ -436,6 +436,7 @@ mod tests {
             bandwidth_kbps: 5.0,
             stream_rate_kbps: 100.0,
             constraints: PlacementConstraints::none(),
+            tenant: None,
         }
     }
 
@@ -535,6 +536,7 @@ mod tests {
             bandwidth_kbps: 2.0,
             stream_rate_kbps: 64.0,
             constraints: PlacementConstraints::none(),
+            tenant: None,
         };
         let out = optimal_compose(&mut sys, &req, SimTime::ZERO, &OptimalConfig::default());
         assert!(out.session.is_some());

@@ -986,6 +986,7 @@ mod tests {
             bandwidth_kbps: 5.0,
             stream_rate_kbps: 100.0,
             constraints: PlacementConstraints::none(),
+            tenant: None,
         }
     }
 
@@ -1025,6 +1026,7 @@ mod tests {
             bandwidth_kbps: 2.0,
             stream_rate_kbps: 64.0,
             constraints: PlacementConstraints::none(),
+            tenant: None,
         };
         let mut rng = StdRng::seed_from_u64(2);
         let out = probe_compose(&mut sys, &board, &req, SimTime::ZERO, &ProbingConfig::default(), &mut rng);

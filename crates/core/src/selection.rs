@@ -668,6 +668,7 @@ mod tests {
             bandwidth_kbps: 5.0,
             stream_rate_kbps: 100.0,
             constraints: PlacementConstraints::none(),
+            tenant: None,
         }
     }
 
@@ -782,6 +783,7 @@ mod tests {
             bandwidth_kbps: 0.0,
             stream_rate_kbps: 0.0,
             constraints: PlacementConstraints::none(),
+            tenant: None,
         };
         let slow = Qos::from_delay(acp_simcore::SimDuration::from_millis(40));
         let fast = Qos::from_delay(acp_simcore::SimDuration::from_millis(2));

@@ -44,6 +44,7 @@ fn random_request(system: &StreamSystem, seed: u64, id: u64) -> Request {
         bandwidth_kbps: rng.gen_range(1.0..200.0),
         stream_rate_kbps: rng.gen_range(10.0..700.0),
         constraints: PlacementConstraints::none(),
+        tenant: None,
     }
 }
 

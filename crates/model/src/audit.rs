@@ -204,6 +204,51 @@ pub enum AuditViolation {
         /// The request holding both a session and leases.
         request: u64,
     },
+    /// A tenant's ledger does not reconcile: admitted sessions are not
+    /// all accounted for as closed + killed + preempted + live.
+    TenantLedgerMismatch {
+        /// The tenant whose ledger is off.
+        tenant: u32,
+        /// Sessions admitted.
+        admitted: u64,
+        /// Orderly closes recorded.
+        closed: u64,
+        /// Fault kills recorded.
+        killed: u64,
+        /// Preemptions recorded.
+        preempted: u64,
+        /// Live sessions per the ledger.
+        live: u64,
+    },
+    /// A tenant's ledger disagrees with the live sessions: the recorded
+    /// live count or committed-resource sums don't match what the
+    /// session table derives (which the conservation pass in turn ties
+    /// to the global Eq. 2/4/5 brackets).
+    TenantConservation {
+        /// The inconsistent tenant.
+        tenant: u32,
+        /// What disagrees.
+        detail: String,
+    },
+    /// A tenant above `BestEffort` has preemptions recorded — preemption
+    /// under pressure may only ever reclaim `BestEffort` sessions.
+    PreemptionOutsideBestEffort {
+        /// The wrongly preempted tenant.
+        tenant: u32,
+        /// Its tier label.
+        tier: &'static str,
+        /// Preemptions recorded against it.
+        preempted: u64,
+    },
+    /// A `Gold` tenant was shed by the congestion gate while lower tiers
+    /// held live sessions — gold starved on resources held by lower
+    /// tiers.
+    GoldStarvation {
+        /// The starved gold tenant.
+        tenant: u32,
+        /// Starvation events recorded.
+        starved: u64,
+    },
 }
 
 impl std::fmt::Display for AuditViolation {
@@ -262,6 +307,28 @@ impl std::fmt::Display for AuditViolation {
             }
             AuditViolation::LeaseHeldByCommittedRequest { request } => {
                 write!(f, "request {request}: holds leases while a session is live")
+            }
+            AuditViolation::TenantLedgerMismatch {
+                tenant,
+                admitted,
+                closed,
+                killed,
+                preempted,
+                live,
+            } => {
+                write!(
+                    f,
+                    "tenant t{tenant}: ledger admitted {admitted} != closed {closed} + killed {killed} + preempted {preempted} + live {live}"
+                )
+            }
+            AuditViolation::TenantConservation { tenant, detail } => {
+                write!(f, "tenant t{tenant}: ledger disagrees with sessions: {detail}")
+            }
+            AuditViolation::PreemptionOutsideBestEffort { tenant, tier, preempted } => {
+                write!(f, "tenant t{tenant} ({tier}): {preempted} preemption(s) recorded outside best-effort")
+            }
+            AuditViolation::GoldStarvation { tenant, starved } => {
+                write!(f, "tenant t{tenant} (gold): shed {starved} time(s) while lower tiers held live sessions")
             }
         }
     }
@@ -402,6 +469,7 @@ impl SystemAuditor {
         self.audit_sessions(system, &mut out);
         self.audit_path_cache(system, &mut out);
         self.audit_leases(system, now, &mut out);
+        self.audit_tenants(system, &mut out);
         AuditReport { violations: out }
     }
 
@@ -448,6 +516,113 @@ impl SystemAuditor {
             );
             out.extend(nodes);
             out.extend(links);
+        }
+    }
+
+    /// Tenant-isolation pass: every tenant's ledger reconciles
+    /// (`admitted == closed + killed + preempted + live`), the ledger's
+    /// live counts and committed-resource sums match what the session
+    /// table derives (the conservation pass above ties sessions to the
+    /// global Eq. 2/4/5 brackets, so matching the ledger to sessions
+    /// transitively sums the per-tenant partition to those brackets),
+    /// preemption counts exist only on `BestEffort` tenants, and no
+    /// `Gold` tenant was starved by the congestion gate while lower
+    /// tiers held live sessions.
+    ///
+    /// Inherently global (whole-ledger + whole-session-table reads): the
+    /// sharded runtime runs it on the coordinator after the fanned-out
+    /// passes, as the final pass in both audit paths.
+    pub(crate) fn audit_tenants(&self, system: &StreamSystem, out: &mut Vec<AuditViolation>) {
+        if !system.tenant_accounting() {
+            // Without the ledger there is nothing to reconcile against;
+            // tenant-less runs skip the pass entirely.
+            return;
+        }
+        let ledger = system.tenant_ledger();
+        // Re-derive per-tenant live counts and committed sums from the
+        // session table in ascending id order — a deterministic f64 fold,
+        // identical on the sequential and sharded audit paths.
+        let sessions = sorted_sessions(system);
+        let width = ledger
+            .iter()
+            .map(|(id, _)| id.0 as usize + 1)
+            .max()
+            .unwrap_or(0)
+            .max(
+                sessions
+                    .iter()
+                    .filter_map(|s| s.request_spec.tenant)
+                    .map(|b| b.tenant.0 as usize + 1)
+                    .max()
+                    .unwrap_or(0),
+            );
+        let mut live = vec![0u64; width];
+        let mut committed = vec![ResourceVector::ZERO; width];
+        let mut bw = vec![0.0f64; width];
+        for s in &sessions {
+            let Some(binding) = s.request_spec.tenant else { continue };
+            let t = binding.tenant.0 as usize;
+            live[t] += 1;
+            committed[t] += s.node_allocations().iter().map(|&(_, d)| d).sum::<ResourceVector>();
+            bw[t] += s.link_allocations().iter().map(|&(_, kbps)| kbps).sum::<f64>();
+        }
+        for t in 0..width {
+            let tenant = t as u32;
+            let Some(stats) = ledger.stats(crate::tenant::TenantId(tenant)) else {
+                if live[t] > 0 {
+                    out.push(AuditViolation::TenantConservation {
+                        tenant,
+                        detail: format!("{} live session(s) but no ledger entry", live[t]),
+                    });
+                }
+                continue;
+            };
+            if !stats.reconciles() {
+                out.push(AuditViolation::TenantLedgerMismatch {
+                    tenant,
+                    admitted: stats.admitted,
+                    closed: stats.closed,
+                    killed: stats.killed,
+                    preempted: stats.preempted,
+                    live: stats.live,
+                });
+            }
+            if stats.live != live[t] {
+                out.push(AuditViolation::TenantConservation {
+                    tenant,
+                    detail: format!("ledger live {} but sessions derive {}", stats.live, live[t]),
+                });
+            }
+            for (kind, derived) in committed[t].iter() {
+                let recorded = stats.committed.get(kind);
+                if (recorded - derived).abs() > self.tolerance(derived) {
+                    out.push(AuditViolation::TenantConservation {
+                        tenant,
+                        detail: format!(
+                            "ledger {kind:?} committed {recorded} but sessions sum to {derived}"
+                        ),
+                    });
+                }
+            }
+            if (stats.committed_bw_kbps - bw[t]).abs() > self.tolerance(bw[t]) {
+                out.push(AuditViolation::TenantConservation {
+                    tenant,
+                    detail: format!(
+                        "ledger bandwidth {} kbit/s but sessions sum to {}",
+                        stats.committed_bw_kbps, bw[t]
+                    ),
+                });
+            }
+            if stats.preempted > 0 && stats.tier != crate::tenant::TenantTier::BestEffort {
+                out.push(AuditViolation::PreemptionOutsideBestEffort {
+                    tenant,
+                    tier: stats.tier.label(),
+                    preempted: stats.preempted,
+                });
+            }
+            if stats.starved > 0 && stats.tier == crate::tenant::TenantTier::Gold {
+                out.push(AuditViolation::GoldStarvation { tenant, starved: stats.starved });
+            }
         }
     }
 
@@ -800,6 +975,7 @@ mod tests {
                 bandwidth_kbps: 10.0,
                 stream_rate_kbps: 50.0,
                 constraints: PlacementConstraints::none(),
+                tenant: None,
             };
             let composition =
                 crate::composition::Composition { assignment: vec![c0, c1], links: vec![path] };

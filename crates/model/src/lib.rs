@@ -61,6 +61,7 @@ pub mod request;
 pub mod resources;
 pub mod shard;
 pub mod system;
+pub mod tenant;
 
 /// One-stop imports for downstream crates.
 pub mod prelude {
@@ -81,6 +82,9 @@ pub mod prelude {
     pub use crate::shard::{ShardStats, ShardedRuntime};
     pub use crate::system::{
         AdmissionError, LeaseStats, Session, SessionHandle, SessionId, StreamSystem, SystemConfig,
+    };
+    pub use crate::tenant::{
+        SessionCloseCause, TenantBinding, TenantId, TenantLedger, TenantStats, TenantTier,
     };
 }
 

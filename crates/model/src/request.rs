@@ -11,6 +11,7 @@ use crate::fgraph::FunctionGraph;
 use crate::function::FunctionRegistry;
 use crate::qos::QosRequirement;
 use crate::resources::ResourceVector;
+use crate::tenant::TenantBinding;
 
 /// Identifier of a composition request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -42,6 +43,11 @@ pub struct Request {
     /// Application-specific placement constraints (security, licence) —
     /// the paper's future-work extension (§6, item 2).
     pub constraints: PlacementConstraints,
+    /// Owning tenant and service tier; `None` for tenant-less workloads
+    /// (the request belongs to the implicit single application of the
+    /// source paper). Not part of any digest: session digests fold only
+    /// ids and placement.
+    pub tenant: Option<TenantBinding>,
 }
 
 impl Request {
@@ -74,6 +80,7 @@ mod tests {
             bandwidth_kbps: 300.0,
             stream_rate_kbps: 256.0,
             constraints: PlacementConstraints::none(),
+            tenant: None,
         };
         (reg, req)
     }

@@ -282,6 +282,9 @@ impl ShardedRuntime {
         for p in &mut parts {
             out.append(&mut p.lease_links);
         }
+        // Tenant pass last, mirroring `audit_at`: inherently global
+        // (whole-ledger reads), so the coordinator runs it directly.
+        auditor.audit_tenants(system, &mut out);
         AuditReport::from_violations(out)
     }
 }

@@ -18,6 +18,7 @@ use crate::node::{ReservationKey, StreamNode};
 use crate::qos::Qos;
 use crate::request::{Request, RequestId};
 use crate::resources::ResourceVector;
+use crate::tenant::{SessionCloseCause, TenantBinding, TenantId, TenantLedger, TenantTier};
 
 /// Identifier of an established stream-processing session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -339,6 +340,11 @@ pub struct StreamSystem {
     /// bookkeeping (and the lease audit, which is only meaningful with
     /// the ledger, is skipped).
     lease_accounting: bool,
+    tenant_ledger: TenantLedger,
+    /// Whether the [`TenantLedger`] is maintained. **Off** by default —
+    /// tenant-less workloads pay nothing — and enabled explicitly by
+    /// tenanted scenarios (mirroring `lease_accounting`).
+    tenant_accounting: bool,
 }
 
 impl std::fmt::Debug for StreamSystem {
@@ -522,6 +528,8 @@ impl StreamSystem {
             load_delay_factor: config.load_delay_factor,
             lease_stats: LeaseStats::default(),
             lease_accounting: true,
+            tenant_ledger: TenantLedger::default(),
+            tenant_accounting: false,
         }
     }
 
@@ -960,6 +968,14 @@ impl StreamSystem {
             self.lease_stats.promoted += held;
         }
 
+        if self.tenant_accounting {
+            if let Some(binding) = request.tenant {
+                let demand: ResourceVector = node_allocs.iter().map(|&(_, d)| d).sum();
+                let bw: f64 = link_allocs.iter().map(|&(_, kbps)| kbps).sum();
+                self.tenant_ledger.record_admit(binding, demand, bw);
+            }
+        }
+
         let id = self.sessions.insert(|id| Session {
             id,
             request: request.id,
@@ -974,6 +990,25 @@ impl StreamSystem {
     /// Tears down a session, releasing its allocations (the `Close`
     /// interface). Returns `false` for unknown sessions.
     pub fn close_session(&mut self, id: SessionId) -> bool {
+        self.close_session_with_cause(id, SessionCloseCause::Closed)
+    }
+
+    /// Preempts a live session: teardown recorded as `Preempted` in the
+    /// tenant ledger. The *policy* guarantee that only `BestEffort`
+    /// sessions are ever preempted lives in the caller (the pressure
+    /// preemptor); the auditor independently flags preemption counts on
+    /// any higher tier, so a misbehaving caller is caught rather than
+    /// masked. Returns the request specification for bookkeeping, `None`
+    /// for unknown sessions.
+    pub fn preempt_session(&mut self, id: SessionId) -> Option<Request> {
+        let spec = self.sessions.get(id)?.request_spec.clone();
+        self.close_session_with_cause(id, SessionCloseCause::Preempted);
+        Some(spec)
+    }
+
+    /// Shared teardown: releases allocations and records `cause` against
+    /// the owning tenant (if any, and if tenant accounting is on).
+    fn close_session_with_cause(&mut self, id: SessionId, cause: SessionCloseCause) -> bool {
         let Some(session) = self.sessions.remove(id) else {
             return false;
         };
@@ -985,6 +1020,13 @@ impl StreamSystem {
             let state = &mut self.links[link.index()];
             state.committed_kbps = (state.committed_kbps - kbps).max(0.0);
             self.link_versions[link.index()] += 1;
+        }
+        if self.tenant_accounting {
+            if let Some(binding) = session.request_spec.tenant {
+                let demand: ResourceVector = session.node_allocs.iter().map(|&(_, d)| d).sum();
+                let bw: f64 = session.link_allocs.iter().map(|&(_, kbps)| kbps).sum();
+                self.tenant_ledger.record_close(binding, cause, demand, bw);
+            }
         }
         true
     }
@@ -1060,7 +1102,7 @@ impl StreamSystem {
             if let Some(session) = self.sessions.get(sid) {
                 orphaned.push(session.request_spec.clone());
             }
-            self.close_session(sid);
+            self.close_session_with_cause(sid, SessionCloseCause::Killed);
         }
         orphaned
     }
@@ -1114,7 +1156,7 @@ impl StreamSystem {
             if let Some(session) = self.sessions.get(sid) {
                 evicted.push(session.request_spec.clone());
             }
-            self.close_session(sid);
+            self.close_session_with_cause(sid, SessionCloseCause::Killed);
         }
         evicted
     }
@@ -1357,6 +1399,68 @@ impl StreamSystem {
         out.dedup();
         out
     }
+
+    // ------------------------------------------------------------------
+    // Tenant ledger
+    // ------------------------------------------------------------------
+
+    /// The per-tenant ledger (see [`TenantLedger`]).
+    pub fn tenant_ledger(&self) -> &TenantLedger {
+        &self.tenant_ledger
+    }
+
+    /// Whether the tenant ledger is maintained (see
+    /// [`Self::set_tenant_accounting`]).
+    pub fn tenant_accounting(&self) -> bool {
+        self.tenant_accounting
+    }
+
+    /// Enables or disables tenant-ledger maintenance. Off by default:
+    /// tenant-less workloads (every request's `tenant` is `None`) pay no
+    /// bookkeeping, and the tenant audit pass — only meaningful with the
+    /// ledger — is skipped.
+    pub fn set_tenant_accounting(&mut self, enabled: bool) {
+        self.tenant_accounting = enabled;
+    }
+
+    /// Registers a tenant with its tier up front (idempotent), so the
+    /// ledger reports zero rows for tenants that never sent traffic.
+    pub fn register_tenant(&mut self, id: TenantId, tier: TenantTier) {
+        self.tenant_ledger.register(id, tier);
+    }
+
+    /// Records an admission-control shed for `binding` (no-op with
+    /// tenant accounting off).
+    pub fn record_tenant_shed(&mut self, binding: TenantBinding) {
+        if self.tenant_accounting {
+            self.tenant_ledger.record_shed(binding);
+        }
+    }
+
+    /// Records a congestion shed of `binding` that happened while a
+    /// lower tier held live sessions — the starvation event the auditor
+    /// flags on `Gold` tenants (no-op with tenant accounting off).
+    pub fn record_tenant_starved(&mut self, binding: TenantBinding) {
+        if self.tenant_accounting {
+            self.tenant_ledger.record_starved(binding);
+        }
+    }
+
+    /// Live `BestEffort` sessions placed (partly) on `node`, in
+    /// ascending session-id order — the preemption candidates there.
+    pub fn best_effort_sessions_on(&self, node: OverlayNodeId) -> Vec<SessionId> {
+        let mut out: Vec<SessionId> = self
+            .sessions
+            .iter()
+            .filter(|s| {
+                s.request_spec.tenant.is_some_and(|b| b.tier == TenantTier::BestEffort)
+                    && s.composition.assignment.iter().any(|c| c.node == node)
+            })
+            .map(|s| s.id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
 }
 
 /// Groups a composition's per-vertex demand by hosting node, in graph
@@ -1467,6 +1571,7 @@ mod tests {
             bandwidth_kbps: 10.0,
             stream_rate_kbps: 100.0,
             constraints: PlacementConstraints::none(),
+            tenant: None,
         };
         let c0 = sys.candidates(chosen[0])[0];
         let c1 = sys.candidates(chosen[1])[0];

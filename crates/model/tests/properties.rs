@@ -208,6 +208,7 @@ mod lease_reconciliation {
                                             bandwidth_kbps: 2.0,
                                             stream_rate_kbps: 50.0,
                                             constraints: PlacementConstraints::none(),
+                                            tenant: None,
                                         };
                                         let comp = Composition { assignment: vec![c0, c1], links: vec![path] };
                                         let _ = sys.commit_session(&request, comp);
@@ -284,6 +285,7 @@ mod allocation_conservation {
                 bandwidth_kbps: 5.0,
                 stream_rate_kbps: 50.0,
                 constraints: PlacementConstraints::none(),
+                tenant: None,
             };
             let c0 = sys.candidates(f0)[i % sys.candidates(f0).len()];
             let c1 = sys.candidates(f1)[i % sys.candidates(f1).len()];
@@ -304,6 +306,191 @@ mod allocation_conservation {
         }
         for (i, l) in sys.overlay().links().enumerate() {
             assert!((sys.link_available(l) - initial_links[i]).abs() < 1e-9, "link {i} bw leaked");
+        }
+    }
+}
+
+mod tenant_isolation {
+    use super::*;
+    use acp_model::audit::SystemAuditor;
+    use acp_topology::{InetConfig, Overlay, OverlayConfig, OverlayNodeId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const TIERS: [TenantTier; 3] = [TenantTier::Gold, TenantTier::Silver, TenantTier::BestEffort];
+
+    fn build(seed: u64) -> StreamSystem {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ip = InetConfig { nodes: 120, ..InetConfig::default() }.generate(&mut rng);
+        let overlay =
+            Overlay::build(&ip, &OverlayConfig { stream_nodes: 15, neighbors: 4 }, &mut rng);
+        let mut sys = StreamSystem::generate(
+            overlay,
+            FunctionRegistry::standard(),
+            &SystemConfig::default(),
+            &mut rng,
+        );
+        sys.set_tenant_accounting(true);
+        for (i, &tier) in TIERS.iter().enumerate() {
+            sys.register_tenant(TenantId(i as u32), tier);
+        }
+        sys
+    }
+
+    fn binding(i: usize) -> TenantBinding {
+        TenantBinding { tenant: TenantId((i % 3) as u32), tier: TIERS[i % 3] }
+    }
+
+    /// Commits a two-component session for tenant `binding(pick)`;
+    /// returns its id when the system accepts it.
+    fn commit(sys: &mut StreamSystem, pick: usize, req: u64) -> Option<SessionId> {
+        let fns: Vec<FunctionId> =
+            sys.registry().ids().filter(|&f| !sys.candidates(f).is_empty()).collect();
+        if fns.len() < 2 || sys.has_session_for(RequestId(req)) {
+            return None;
+        }
+        let f0 = fns[pick % fns.len()];
+        let f1 = fns[(pick + 1) % fns.len()];
+        let (c0s, c1s) = (sys.candidates(f0).to_vec(), sys.candidates(f1).to_vec());
+        if c0s.is_empty() || c1s.is_empty() {
+            return None;
+        }
+        let c0 = c0s[pick % c0s.len()];
+        let c1 = c1s[pick % c1s.len()];
+        if c0 == c1 {
+            return None;
+        }
+        let path = sys.virtual_path(c0.node, c1.node)?;
+        let request = Request {
+            id: RequestId(req),
+            graph: FunctionGraph::path(vec![f0, f1]),
+            qos: QosRequirement::unconstrained(),
+            base_resources: ResourceVector::new(0.2, 1.0),
+            bandwidth_kbps: 2.0,
+            stream_rate_kbps: 50.0,
+            constraints: PlacementConstraints::none(),
+            tenant: Some(binding(pick)),
+        };
+        let comp = Composition { assignment: vec![c0, c1], links: vec![path] };
+        sys.commit_session(&request, comp).ok()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Under arbitrary commit / close / crash / migrate / preempt
+        /// churn, every per-tenant ledger entry reconciles at every
+        /// step, derived per-tenant sums agree with the session table
+        /// (the auditor's tenant pass stays clean alongside the global
+        /// conservation passes), and preemption victims are exclusively
+        /// best-effort.
+        #[test]
+        fn tenant_ledgers_reconcile_under_churn(
+            seed in 0u64..6,
+            ops in prop::collection::vec((0u8..6, 0usize..64, 1u64..64), 1..48),
+        ) {
+            let mut sys = build(seed);
+            let auditor = SystemAuditor::default();
+            let mut live: Vec<SessionId> = Vec::new();
+            for (kind, pick, req) in ops {
+                match kind {
+                    // Admit: commit a session for a cycling tenant.
+                    0 | 1 => {
+                        if let Some(sid) = commit(&mut sys, pick, req) {
+                            live.push(sid);
+                        }
+                    }
+                    // Graceful close.
+                    2 => {
+                        if !live.is_empty() {
+                            let sid = live.swap_remove(pick % live.len());
+                            sys.close_session(sid);
+                        }
+                    }
+                    // Fail-stop node fault (kills its sessions) and
+                    // immediate recovery.
+                    3 => {
+                        let v = OverlayNodeId(pick as u32 % sys.node_count() as u32);
+                        if !sys.is_node_failed(v) {
+                            sys.fail_node(v);
+                            sys.recover_node(v);
+                        }
+                    }
+                    // Component crash (kills its sessions).
+                    4 => {
+                        let v = OverlayNodeId(pick as u32 % sys.node_count() as u32);
+                        let cands: Vec<ComponentId> =
+                            sys.node(v).components().map(|c| c.id).collect();
+                        if !cands.is_empty() {
+                            sys.crash_component(cands[pick % cands.len()]);
+                        }
+                    }
+                    // Preempt: reclaim a best-effort session the way
+                    // the pressure controller does.
+                    5 => {
+                        let v = OverlayNodeId(pick as u32 % sys.node_count() as u32);
+                        if let Some(&sid) = sys.best_effort_sessions_on(v).first() {
+                            prop_assert!(sys.preempt_session(sid).is_some());
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+                live.retain(|&sid| sys.sessions().any(|s| s.id == sid));
+                for (id, stats) in sys.tenant_ledger().iter() {
+                    prop_assert!(
+                        stats.reconciles(),
+                        "tenant {id} ledger broken mid-run: {stats:?}"
+                    );
+                    if stats.tier != TenantTier::BestEffort {
+                        prop_assert_eq!(
+                            stats.preempted, 0,
+                            "preemption must only touch best-effort, hit {:?}", stats.tier
+                        );
+                    }
+                }
+                let report = auditor.audit_at(&sys, None);
+                prop_assert!(report.is_clean(), "{}", report);
+            }
+            // Drain everything; the ledgers must return to zero live.
+            for sid in live {
+                sys.close_session(sid);
+            }
+            for (id, stats) in sys.tenant_ledger().iter() {
+                prop_assert_eq!(stats.live, 0, "tenant {} still live: {:?}", id, stats);
+                prop_assert!(stats.reconciles(), "final ledger broken: {stats:?}");
+                prop_assert!(
+                    stats.committed.iter().all(|(_, v)| v.abs() < 1e-6),
+                    "tenant {} resources leaked: {:?}", id, stats
+                );
+            }
+            let report = auditor.audit_at(&sys, None);
+            prop_assert!(report.is_clean(), "{}", report);
+        }
+
+        /// `migrate_component` relocates deployments, never sessions:
+        /// tenant ledgers are untouched by migration rounds.
+        #[test]
+        fn migration_preserves_tenant_ledgers(
+            seed in 0u64..4,
+            moves in prop::collection::vec((0usize..64, 0u32..15), 1..12),
+        ) {
+            let mut sys = build(seed);
+            for i in 0..8u64 {
+                commit(&mut sys, i as usize * 7 + 1, i + 1);
+            }
+            let before: Vec<_> =
+                sys.tenant_ledger().iter().map(|(id, s)| (id, *s)).collect();
+            for (pick, node) in moves {
+                let v = OverlayNodeId(node % sys.node_count() as u32);
+                let cands: Vec<ComponentId> =
+                    sys.node(v).components().map(|c| c.id).collect();
+                if let Some(&c) = cands.get(pick % cands.len().max(1)) {
+                    let to = OverlayNodeId((node + 1) % sys.node_count() as u32);
+                    let _ = sys.migrate_component(c, to);
+                }
+            }
+            let after: Vec<_> = sys.tenant_ledger().iter().map(|(id, s)| (id, *s)).collect();
+            prop_assert_eq!(before, after, "migration must not move tenant accounting");
         }
     }
 }

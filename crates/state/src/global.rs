@@ -558,6 +558,38 @@ impl GlobalStateBoard {
         self.scan
     }
 
+    /// A φ-style congestion estimate in `[0, 1]` derived from the board's
+    /// *published* residual state: the mean over nodes of each node's
+    /// worst-dimension resource utilisation `1 − available_k / capacity_k`.
+    /// Coarse by construction (the board is stale between refreshes) —
+    /// exactly the signal an admission controller at the composition entry
+    /// point can afford to consult per request without touching ground
+    /// truth.
+    pub fn congestion_estimate(&self) -> f64 {
+        let mut total = 0.0;
+        let mut counted = 0usize;
+        for (avail, cap) in self.node_available.iter().zip(&self.node_capacity) {
+            let mut worst = 0.0f64;
+            let mut has_capacity = false;
+            for (kind, capacity) in cap.iter() {
+                if capacity > 0.0 {
+                    has_capacity = true;
+                    let used = (capacity - avail.get(kind)).max(0.0);
+                    worst = worst.max((used / capacity).min(1.0));
+                }
+            }
+            if has_capacity {
+                total += worst;
+                counted += 1;
+            }
+        }
+        if counted == 0 {
+            0.0
+        } else {
+            total / counted as f64
+        }
+    }
+
     /// Structural-coherence audit of the board against `system`.
     ///
     /// The board is stale **by design**, so published values differing
@@ -680,6 +712,7 @@ mod tests {
                 bandwidth_kbps: 1.0,
                 stream_rate_kbps: 1.0,
                 constraints: PlacementConstraints::none(),
+                tenant: None,
             };
             let path = sys.virtual_path(c0.node, c1.node).unwrap();
             let comp = Composition { assignment: vec![c0, c1], links: vec![path] };

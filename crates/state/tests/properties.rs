@@ -33,6 +33,7 @@ fn random_sessions(system: &mut StreamSystem, seed: u64, count: usize) -> Vec<Se
             bandwidth_kbps: 0.0,
             stream_rate_kbps: 1.0,
             constraints: PlacementConstraints::none(),
+            tenant: None,
         };
         let composition = Composition { assignment: vec![c], links: vec![] };
         if let Ok(sid) = system.commit_session(&request, composition) {
@@ -156,6 +157,7 @@ proptest! {
                             bandwidth_kbps: 0.0,
                             stream_rate_kbps: 1.0,
                             constraints: PlacementConstraints::none(),
+                            tenant: None,
                         };
                         next_request += 1;
                         let composition = Composition { assignment: vec![c], links: vec![] };

@@ -23,5 +23,6 @@ pub use arrivals::RateSchedule;
 pub use requests::{standard_universe, QosTier, RequestConfig, RequestGenerator, RequestTrace};
 pub use streaming::{Arrival, StreamingArrivals};
 pub use scenario::{
-    build_system, run_scenario, session_digest, ChurnConfig, ScenarioConfig, ScenarioResult,
+    build_system, run_scenario, session_digest, tier_index, ChurnConfig, ScenarioConfig,
+    ScenarioResult, TenantPreemptionConfig, TenantSpec, TenantsConfig, TierSummary, TIER_LABELS,
 };

@@ -155,6 +155,7 @@ impl RequestGenerator {
             bandwidth_kbps: sample(rng, self.config.bandwidth_kbps),
             stream_rate_kbps: sample(rng, self.config.stream_rate_kbps),
             constraints,
+            tenant: None,
         };
         let duration = SimDuration::from_secs_f64(sample(rng, self.config.session_minutes) * 60.0);
         (request, duration)

@@ -60,6 +60,129 @@ impl ChurnConfig {
     }
 }
 
+/// One tenant in a multi-tenant scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantSpec {
+    /// Service tier (admission priority under congestion).
+    pub tier: TenantTier,
+    /// Relative share of the arrival mix (weights need not sum to 1).
+    pub weight: f64,
+    /// Token-bucket rate limit as `(requests_per_sec, burst)`; `None`
+    /// leaves the tenant uncapped.
+    pub rate_limit: Option<(f64, f64)>,
+}
+
+/// Periodic preemption of best-effort sessions under pressure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantPreemptionConfig {
+    /// Period of preemption-controller rounds.
+    pub interval: SimDuration,
+    /// Preempt only when the board congestion estimate is at or above
+    /// this level.
+    pub congestion_threshold: f64,
+    /// Victim-selection policy (hottest nodes first, best-effort only).
+    pub policy: PreemptionConfig,
+}
+
+impl Default for TenantPreemptionConfig {
+    fn default() -> Self {
+        TenantPreemptionConfig {
+            interval: SimDuration::from_minutes(1),
+            congestion_threshold: 0.75,
+            policy: PreemptionConfig::default(),
+        }
+    }
+}
+
+/// Multi-tenant knob for a scenario.
+///
+/// When present, every arrival is stamped with a tenant drawn from its
+/// own label-derived stream (the workload stream is untouched) and must
+/// pass the [`AdmissionController`] before composing. `None` — and a
+/// single uncapped `Gold` tenant without preemption — are byte-identical
+/// to the tenant-less run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantsConfig {
+    /// The tenant population; `TenantId(i)` is the index into this vec.
+    pub tenants: Vec<TenantSpec>,
+    /// Tier congestion-shedding thresholds.
+    pub admission: AdmissionConfig,
+    /// Best-effort preemption under pressure; `None` disables it (and
+    /// schedules no control events, keeping `sim_events` identical).
+    pub preemption: Option<TenantPreemptionConfig>,
+}
+
+impl TenantsConfig {
+    /// A single uncapped `Gold` tenant with no preemption: admits every
+    /// request, so runs are byte-identical to the tenant-less path.
+    pub fn single_gold() -> Self {
+        TenantsConfig {
+            tenants: vec![TenantSpec { tier: TenantTier::Gold, weight: 1.0, rate_limit: None }],
+            admission: AdmissionConfig::default(),
+            preemption: None,
+        }
+    }
+
+    /// The benchmark mix: one `Gold`, one `Silver`, two `BestEffort`
+    /// tenants at equal weight, uncapped, with preemption enabled.
+    pub fn standard_mix() -> Self {
+        let spec = |tier| TenantSpec { tier, weight: 1.0, rate_limit: None };
+        TenantsConfig {
+            tenants: vec![
+                spec(TenantTier::Gold),
+                spec(TenantTier::Silver),
+                spec(TenantTier::BestEffort),
+                spec(TenantTier::BestEffort),
+            ],
+            admission: AdmissionConfig::default(),
+            preemption: Some(TenantPreemptionConfig::default()),
+        }
+    }
+}
+
+/// Per-tier outcome counters of a tenanted run. Tier composition is
+/// config-dependent by design — excluded from every digest.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TierSummary {
+    /// Arrivals bound to this tier.
+    pub offered: u64,
+    /// Arrivals shed by the admission controller (rate + congestion).
+    pub shed: u64,
+    /// Admitted arrivals that composed successfully.
+    pub composed: u64,
+    /// Admitted arrivals whose composition failed.
+    pub failed: u64,
+    /// Sessions preempted to relieve pressure.
+    pub preempted: u64,
+    /// Sessions killed by faults.
+    pub killed: u64,
+    /// Sessions still live at the end of the run.
+    pub live_end: u64,
+}
+
+impl TierSummary {
+    /// End-to-end success rate: composed over offered (shed counts
+    /// against the tier).
+    pub fn success_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.composed as f64 / self.offered as f64
+    }
+}
+
+/// Index of `tier` into per-tier tables (`Gold` = 0 … `BestEffort` = 2).
+pub fn tier_index(tier: TenantTier) -> usize {
+    match tier {
+        TenantTier::Gold => 0,
+        TenantTier::Silver => 1,
+        TenantTier::BestEffort => 2,
+    }
+}
+
+/// Tier labels in `tier_index` order.
+pub const TIER_LABELS: [&str; 3] = ["gold", "silver", "best-effort"];
+
 /// Full description of one experiment run.
 #[derive(Debug, Clone)]
 pub struct ScenarioConfig {
@@ -110,6 +233,9 @@ pub struct ScenarioConfig {
     /// traffic, retry with escalation); `None` runs the plain path.
     /// `Some` with all fault rates zero is byte-identical to `None`.
     pub setup: Option<SetupConfig>,
+    /// Multi-tenant admission control; `None` runs tenant-less, and a
+    /// single uncapped `Gold` tenant is byte-identical to `None`.
+    pub tenants: Option<TenantsConfig>,
     /// Shard count for the sharded single-run runtime. `1` (the default)
     /// compiles down to the sequential path — no worker pool, no
     /// [`ShardedRuntime`] at all. Any count produces byte-identical
@@ -146,6 +272,7 @@ impl Default for ScenarioConfig {
             replay_capacity: 60,
             churn: None,
             setup: None,
+            tenants: None,
             shards: 1,
         }
     }
@@ -251,6 +378,15 @@ pub struct ScenarioResult {
     /// Fault-hit requests that still composed (recovered by retry,
     /// escalation, or a resurfaced stale ack).
     pub fault_hit_successes: u64,
+    /// Per-tier outcomes in [`tier_index`] order (all zero tenant-less).
+    /// Mix-dependent by design — excluded from every digest.
+    pub tenant_tiers: [TierSummary; 3],
+    /// Sessions preempted by the tenant pressure controller.
+    pub tenant_preemptions: u64,
+    /// Tenant-isolation audit violations alone (also counted in
+    /// `audit_violations`); 0 = per-tenant ledgers reconciled with the
+    /// global brackets at every audit point.
+    pub tenant_violations: u64,
     /// Shard count the run executed with (1 = sequential path).
     pub shards: usize,
     /// Cross-shard traffic classification (all zero on sequential runs).
@@ -306,6 +442,10 @@ enum Event {
     FailoverSweep,
     /// One background rebalancer round (churn only).
     Rebalance,
+    /// One tenant pressure-controller round (preemption only): scheduled
+    /// solely when a `TenantsConfig` enables preemption, so every other
+    /// configuration keeps an identical event stream.
+    TenantControl,
 }
 
 /// Live fault-injection state carried by a churn scenario.
@@ -325,6 +465,46 @@ struct ChurnState {
     sessions_recovered: u64,
     sessions_lost: u64,
     recovery_latency: SummaryStats,
+}
+
+/// Internal per-tier admission counters (offered/shed/composed/failed);
+/// preempted/killed/live come from the tenant ledger at the end.
+#[derive(Debug, Clone, Copy, Default)]
+struct TierCounters {
+    offered: u64,
+    shed: u64,
+    composed: u64,
+    failed: u64,
+}
+
+/// Live multi-tenant state carried by a tenanted scenario.
+struct TenantRuntime {
+    config: TenantsConfig,
+    /// `TenantId(i)` → binding, index-aligned with `config.tenants`.
+    bindings: Vec<TenantBinding>,
+    /// Cumulative arrival-mix weights for the weighted draw.
+    cumulative_weights: Vec<f64>,
+    /// Tenant-assignment stream; separate from the workload stream so
+    /// enabling tenancy never perturbs the arrivals.
+    rng: StdRng,
+    admission: AdmissionController,
+    preemptor: Preemptor,
+    preemptions: u64,
+    tiers: [TierCounters; 3],
+}
+
+impl TenantRuntime {
+    /// Draws the next arrival's tenant from the mix weights.
+    fn draw(&mut self) -> TenantBinding {
+        let total = *self.cumulative_weights.last().expect("at least one tenant");
+        let x = self.rng.gen_range(0.0..total);
+        let idx = self
+            .cumulative_weights
+            .iter()
+            .position(|&w| x < w)
+            .unwrap_or(self.bindings.len() - 1);
+        self.bindings[idx]
+    }
 }
 
 struct ScenarioModel {
@@ -347,6 +527,8 @@ struct ScenarioModel {
     total_successes: u64,
     replay_key_offset: u64,
     churn: Option<ChurnState>,
+    tenants: Option<TenantRuntime>,
+    tenant_violations: u64,
     auditor: SystemAuditor,
     audit_violations: u64,
     audit_digest: u64,
@@ -420,6 +602,19 @@ impl ScenarioModel {
         };
         report.merge(AuditReport::from_violations(self.board.audit_against(&self.system)));
         self.audit_violations += report.len() as u64;
+        self.tenant_violations += report
+            .violations()
+            .iter()
+            .filter(|v| {
+                matches!(
+                    v,
+                    AuditViolation::TenantLedgerMismatch { .. }
+                        | AuditViolation::TenantConservation { .. }
+                        | AuditViolation::PreemptionOutsideBestEffort { .. }
+                        | AuditViolation::GoldStarvation { .. }
+                )
+            })
+            .count() as u64;
         self.audit_digest ^= report.digest();
         self.audit_digest = self.audit_digest.wrapping_mul(0x1_0000_0000_01b3);
     }
@@ -528,26 +723,71 @@ impl Model for ScenarioModel {
                 // between events (orphans from lost confirmations), so
                 // single-phase runs skip the sweep entirely.
                 self.sweep_transients(now);
-                let (request, session_duration) = self.generator.next(&mut self.workload_rng);
-                self.trace.record(request.clone());
-                let outcome = self.compose_request(&request, now);
-                self.probe_histogram.add(outcome.stats.probe_messages as f64);
-                self.overhead += outcome.stats;
-                self.setup_totals += outcome.setup;
-                self.total_requests += 1;
-                let success = outcome.session.is_some();
-                if outcome.setup.fault_hit() {
-                    self.fault_hit_requests += 1;
-                    if success {
-                        self.fault_hit_successes += 1;
+                let (mut request, session_duration) = self.generator.next(&mut self.workload_rng);
+                // Tenanted runs stamp the request with a tenant drawn
+                // from its own stream and consult the admission
+                // controller before composing; shed requests count as
+                // failures without composing (or entering the replay
+                // trace). A single uncapped Gold tenant admits every
+                // request, leaving the compose sequence byte-identical
+                // to the tenant-less path.
+                let mut admitted = true;
+                if let Some(tenants) = self.tenants.as_mut() {
+                    let binding = tenants.draw();
+                    request.tenant = Some(binding);
+                    let congestion = self.board.congestion_estimate();
+                    let decision = tenants.admission.admit(binding, now, congestion);
+                    let tier = tier_index(binding.tier);
+                    tenants.tiers[tier].offered += 1;
+                    if !decision.admitted() {
+                        tenants.tiers[tier].shed += 1;
+                        self.system.record_tenant_shed(binding);
+                        // The congestion gate never sheds Gold; if it
+                        // ever does while lower tiers hold resources,
+                        // the starvation counter trips the auditor.
+                        if decision == AdmissionDecision::ShedCongestion
+                            && binding.tier == TenantTier::Gold
+                            && self.system.tenant_ledger().lower_tier_live(binding.tier)
+                        {
+                            self.system.record_tenant_starved(binding);
+                        }
+                        admitted = false;
                     }
                 }
-                if success {
-                    self.total_successes += 1;
-                    let sid = outcome.session.expect("checked");
-                    queue.schedule(now + session_duration, Event::SessionEnd(sid));
+                if admitted {
+                    self.trace.record(request.clone());
+                    let outcome = self.compose_request(&request, now);
+                    self.probe_histogram.add(outcome.stats.probe_messages as f64);
+                    self.overhead += outcome.stats;
+                    self.setup_totals += outcome.setup;
+                    self.total_requests += 1;
+                    let success = outcome.session.is_some();
+                    if outcome.setup.fault_hit() {
+                        self.fault_hit_requests += 1;
+                        if success {
+                            self.fault_hit_successes += 1;
+                        }
+                    }
+                    if let (Some(tenants), Some(binding)) =
+                        (self.tenants.as_mut(), request.tenant)
+                    {
+                        let tier = tier_index(binding.tier);
+                        if success {
+                            tenants.tiers[tier].composed += 1;
+                        } else {
+                            tenants.tiers[tier].failed += 1;
+                        }
+                    }
+                    if success {
+                        self.total_successes += 1;
+                        let sid = outcome.session.expect("checked");
+                        queue.schedule(now + session_duration, Event::SessionEnd(sid));
+                    }
+                    self.counter.record(success);
+                } else {
+                    self.total_requests += 1;
+                    self.counter.record(false);
                 }
-                self.counter.record(success);
                 if let Some(next) = self.config.schedule.next_arrival(now, &mut self.workload_rng) {
                     if next <= SimTime::ZERO + self.config.duration {
                         queue.schedule(next, Event::Arrival);
@@ -656,6 +896,24 @@ impl Model for ScenarioModel {
                     }
                 }
             }
+            Event::TenantControl => {
+                let Some(mut tenants) = self.tenants.take() else { return };
+                if let Some(preemption) = tenants.config.preemption {
+                    if self.board.congestion_estimate() >= preemption.congestion_threshold {
+                        let reclaimed = tenants.preemptor.preempt_round(&mut self.system);
+                        if !reclaimed.is_empty() {
+                            tenants.preemptions += reclaimed.len() as u64;
+                            // Preempted capacity is only useful if the
+                            // coarse state advertises it.
+                            self.overhead.state_update_messages += self.refresh_board();
+                        }
+                    }
+                    if now + preemption.interval <= SimTime::ZERO + self.config.duration {
+                        queue.schedule(now + preemption.interval, Event::TenantControl);
+                    }
+                }
+                self.tenants = Some(tenants);
+            }
         }
     }
 }
@@ -688,6 +946,9 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
     // anything when the two-phase setup path can create lease lifetimes;
     // single-phase runs switch the bookkeeping off.
     system.set_lease_accounting(config.setup.is_some());
+    // Likewise the per-tenant ledger (and its audit pass): only tenanted
+    // runs pay for the bookkeeping.
+    system.set_tenant_accounting(config.tenants.is_some());
     let streams = DeterministicRng::new(config.seed);
     let workload_rng = streams.stream("workload");
     let composer_seed = streams.seed_for("composer");
@@ -754,6 +1015,41 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
         }
     });
 
+    // Tenant population: ids are indices into the spec vec, registered
+    // up front so every tier shows in the ledger even before its first
+    // arrival. The assignment stream is label-derived, so enabling
+    // tenancy never perturbs the arrival or fault streams.
+    let tenants = config.tenants.clone().map(|tenants_config| {
+        assert!(!tenants_config.tenants.is_empty(), "tenanted run needs at least one tenant");
+        let mut bindings = Vec::with_capacity(tenants_config.tenants.len());
+        let mut cumulative_weights = Vec::with_capacity(tenants_config.tenants.len());
+        let mut admission = AdmissionController::new(tenants_config.admission);
+        let mut acc = 0.0;
+        for (i, spec) in tenants_config.tenants.iter().enumerate() {
+            assert!(spec.weight > 0.0, "tenant weights must be positive");
+            let id = TenantId(i as u32);
+            system.register_tenant(id, spec.tier);
+            bindings.push(TenantBinding { tenant: id, tier: spec.tier });
+            acc += spec.weight;
+            cumulative_weights.push(acc);
+            if let Some((rate, burst)) = spec.rate_limit {
+                admission.set_rate_limit(id, rate, burst);
+            }
+        }
+        TenantRuntime {
+            preemptor: Preemptor::new(
+                tenants_config.preemption.map(|p| p.policy).unwrap_or_default(),
+            ),
+            rng: streams.stream("tenants"),
+            bindings,
+            cumulative_weights,
+            admission,
+            preemptions: 0,
+            tiers: [TierCounters::default(); 3],
+            config: tenants_config,
+        }
+    });
+
     // shards = 1 builds no runtime at all: the sequential path runs
     // exactly as before, with zero threads and zero scatter barriers.
     let shard = (config.shards > 1).then(|| ShardedRuntime::for_system(config.shards, &system));
@@ -778,6 +1074,8 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
         total_successes: 0,
         replay_key_offset: 0,
         churn,
+        tenants,
+        tenant_violations: 0,
         auditor: SystemAuditor::default(),
         audit_violations: 0,
         audit_digest: 0,
@@ -790,6 +1088,8 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
 
     let first_fault = model.churn.as_ref().and_then(|c| c.scheduler.next_time());
     let rebalance_interval = model.churn.as_ref().and_then(|c| c.config.rebalance_interval);
+    let tenant_interval =
+        model.tenants.as_ref().and_then(|t| t.config.preemption.map(|p| p.interval));
     let mut sim = Simulation::new(model);
     sim.queue_mut().schedule(SimTime::ZERO + SimDuration::from_micros(1), Event::Arrival);
     sim.queue_mut().schedule(SimTime::ZERO + sampling, Event::Sample);
@@ -800,6 +1100,9 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
     }
     if let Some(interval) = rebalance_interval {
         sim.queue_mut().schedule(SimTime::ZERO + interval, Event::Rebalance);
+    }
+    if let Some(interval) = tenant_interval {
+        sim.queue_mut().schedule(SimTime::ZERO + interval, Event::TenantControl);
     }
     sim.run_until(SimTime::ZERO + duration);
 
@@ -829,6 +1132,23 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
     } else {
         model.total_successes as f64 / model.total_requests as f64
     };
+    // Per-tier outcomes: admission counters from the runtime, session
+    // fates (preempted/killed/live) from the ledger.
+    let mut tenant_tiers = [TierSummary::default(); 3];
+    if let Some(tenants) = model.tenants.as_ref() {
+        for (i, c) in tenants.tiers.iter().enumerate() {
+            tenant_tiers[i].offered = c.offered;
+            tenant_tiers[i].shed = c.shed;
+            tenant_tiers[i].composed = c.composed;
+            tenant_tiers[i].failed = c.failed;
+        }
+        for (_, stats) in model.system.tenant_ledger().iter() {
+            let i = tier_index(stats.tier);
+            tenant_tiers[i].preempted += stats.preempted;
+            tenant_tiers[i].killed += stats.killed;
+            tenant_tiers[i].live_end += stats.live;
+        }
+    }
     ScenarioResult {
         algorithm,
         overall_success: overall,
@@ -863,6 +1183,9 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
         setup_stats: model.setup_totals,
         fault_hit_requests: model.fault_hit_requests,
         fault_hit_successes: model.fault_hit_successes,
+        tenant_tiers,
+        tenant_preemptions: model.tenants.as_ref().map_or(0, |t| t.preemptions),
+        tenant_violations: model.tenant_violations,
         shards: model.config.shards.max(1),
         shard_stats: model.shard.as_ref().map(|rt| rt.stats()).unwrap_or_default(),
     }
@@ -1074,6 +1397,128 @@ mod tests {
             "final ledger must reconcile to zero live leases: {:?}",
             result.lease_stats,
         );
+    }
+
+    #[test]
+    fn single_gold_tenant_scenario_is_byte_identical_to_plain() {
+        let plain = run_scenario(ScenarioConfig::small(7));
+        let mut cfg = ScenarioConfig::small(7);
+        cfg.tenants = Some(TenantsConfig::single_gold());
+        let tenanted = run_scenario(cfg);
+        assert_eq!(plain.session_digest, tenanted.session_digest);
+        assert_eq!(plain.audit_digest, tenanted.audit_digest);
+        assert_eq!(plain.chaos_digest(), tenanted.chaos_digest());
+        assert_eq!(plain.overhead, tenanted.overhead);
+        assert_eq!(plain.total_requests, tenanted.total_requests);
+        assert_eq!(plain.total_successes, tenanted.total_successes);
+        assert_eq!(plain.sim_events, tenanted.sim_events);
+        // The tenanted run additionally keeps a (clean) per-tenant ledger.
+        let gold = tenanted.tenant_tiers[tier_index(TenantTier::Gold)];
+        assert_eq!(gold.offered, tenanted.total_requests);
+        assert_eq!(gold.composed, tenanted.total_successes);
+        assert_eq!(gold.shed, 0, "an uncapped Gold tenant is never shed");
+        assert_eq!(tenanted.tenant_violations, 0);
+        assert_eq!(tenanted.tenant_preemptions, 0);
+        // Plain runs never pay for the ledger at all.
+        assert_eq!(plain.tenant_tiers, [TierSummary::default(); 3]);
+    }
+
+    #[test]
+    fn tenanted_scenario_is_deterministic() {
+        let mut config = ScenarioConfig::small(13);
+        config.schedule = RateSchedule::constant(60.0);
+        config.tenants = Some(TenantsConfig::standard_mix());
+        let a = run_scenario(config.clone());
+        let b = run_scenario(config);
+        assert_eq!(a.session_digest, b.session_digest);
+        assert_eq!(a.audit_digest, b.audit_digest);
+        assert_eq!(a.tenant_tiers, b.tenant_tiers);
+        assert_eq!(a.tenant_preemptions, b.tenant_preemptions);
+        assert_eq!(a.sim_events, b.sim_events);
+    }
+
+    #[test]
+    fn overloaded_tenants_shed_in_tier_order_and_audit_clean() {
+        let mut config = ScenarioConfig::small(17);
+        config.schedule = RateSchedule::constant(120.0);
+        config.duration = SimDuration::from_minutes(30);
+        let mut tenants = TenantsConfig::standard_mix();
+        // Thresholds inside the utilization this small system reaches,
+        // still tiered so shed order is observable.
+        tenants.admission =
+            AdmissionConfig { best_effort_threshold: 0.30, silver_threshold: 0.55 };
+        tenants.preemption = None;
+        config.tenants = Some(tenants);
+        let result = run_scenario(config);
+        let gold = result.tenant_tiers[tier_index(TenantTier::Gold)];
+        let silver = result.tenant_tiers[tier_index(TenantTier::Silver)];
+        let best = result.tenant_tiers[tier_index(TenantTier::BestEffort)];
+        assert!(best.shed > 0, "overload must shed best-effort traffic");
+        assert!(
+            best.shed as f64 / best.offered as f64 > silver.shed as f64 / silver.offered as f64,
+            "best-effort sheds more than silver: {best:?} vs {silver:?}"
+        );
+        assert_eq!(gold.shed, 0, "gold is never congestion-shed");
+        assert!(
+            gold.success_rate() >= silver.success_rate()
+                && silver.success_rate() >= best.success_rate(),
+            "tier ordering must hold: gold {} silver {} best {}",
+            gold.success_rate(),
+            silver.success_rate(),
+            best.success_rate()
+        );
+        assert_eq!(result.tenant_violations, 0, "isolation invariants must hold");
+        assert_eq!(result.audit_violations, 0);
+    }
+
+    #[test]
+    fn preemption_reclaims_only_best_effort_sessions() {
+        let mut config = ScenarioConfig::small(19);
+        config.schedule = RateSchedule::constant(80.0);
+        let mut tenants = TenantsConfig::standard_mix();
+        // An aggressive controller so preemption definitely fires: act
+        // on any congestion, consider any loaded node.
+        tenants.preemption = Some(TenantPreemptionConfig {
+            interval: SimDuration::from_minutes(1),
+            congestion_threshold: 0.0,
+            policy: PreemptionConfig { min_node_utilization: 0.05, ..PreemptionConfig::default() },
+        });
+        config.tenants = Some(tenants);
+        let result = run_scenario(config);
+        assert!(result.tenant_preemptions > 0, "controller must preempt under load");
+        let gold = result.tenant_tiers[tier_index(TenantTier::Gold)];
+        let silver = result.tenant_tiers[tier_index(TenantTier::Silver)];
+        let best = result.tenant_tiers[tier_index(TenantTier::BestEffort)];
+        assert_eq!(gold.preempted, 0, "preemption must never touch gold");
+        assert_eq!(silver.preempted, 0, "preemption must never touch silver");
+        assert_eq!(best.preempted, result.tenant_preemptions);
+        assert_eq!(result.tenant_violations, 0, "ledger must reconcile through preemption");
+        assert_eq!(result.audit_violations, 0);
+    }
+
+    #[test]
+    fn rate_limited_tenant_is_capped_independently() {
+        let mut config = ScenarioConfig::small(23);
+        config.tenants = Some(TenantsConfig {
+            tenants: vec![
+                TenantSpec { tier: TenantTier::Gold, weight: 1.0, rate_limit: None },
+                // ~10 req/min offered across two tenants; 0.02 req/s
+                // (1.2/min) caps the second well below its share.
+                TenantSpec {
+                    tier: TenantTier::BestEffort,
+                    weight: 1.0,
+                    rate_limit: Some((0.02, 2.0)),
+                },
+            ],
+            admission: AdmissionConfig::default(),
+            preemption: None,
+        });
+        let result = run_scenario(config);
+        let gold = result.tenant_tiers[tier_index(TenantTier::Gold)];
+        let best = result.tenant_tiers[tier_index(TenantTier::BestEffort)];
+        assert_eq!(gold.shed, 0, "uncapped tenant unaffected");
+        assert!(best.shed > 0, "rate limit must shed the capped tenant");
+        assert_eq!(result.tenant_violations, 0, "shed bookkeeping must reconcile");
     }
 
     #[test]

@@ -52,6 +52,7 @@ fn main() {
         bandwidth_kbps: 0.0,
         stream_rate_kbps: 1.0,
         constraints: PlacementConstraints::none(),
+        tenant: None,
     };
     let composition = Composition { assignment: vec![other.id], links: vec![] };
     system.commit_session(&saturator, composition).expect("saturating session commits");
@@ -72,6 +73,7 @@ fn main() {
         bandwidth_kbps: 10.0,
         stream_rate_kbps: 64.0,
         constraints: PlacementConstraints::none(),
+        tenant: None,
     };
     let mut acp = AcpComposer::new(ProbingConfig::default(), 7);
     let before = acp.compose(&mut system, &board, &request, SimTime::ZERO);

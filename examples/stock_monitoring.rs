@@ -36,6 +36,7 @@ fn pipeline_request(system: &acp_stream::model::StreamSystem, id: u64) -> Reques
         bandwidth_kbps: 120.0,
         stream_rate_kbps: 96.0,
         constraints: PlacementConstraints::none(),
+        tenant: None,
     }
 }
 

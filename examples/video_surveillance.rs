@@ -49,6 +49,7 @@ fn main() {
         bandwidth_kbps: 350.0, // a surveillance-grade video stream
         stream_rate_kbps: 320.0,
         constraints: PlacementConstraints::none(),
+        tenant: None,
     };
 
     // Compose with ACP and with the random baseline, comparing the

@@ -26,11 +26,18 @@ cargo test -q --test failover
 echo "==> sharded-runtime determinism/equivalence suite"
 cargo test -q -p acp-bench --test sharding
 
+echo "==> tenant-isolation property battery"
+cargo test -q -p acp-model --test properties
+cargo test -q --test tenants
+
 echo "==> chaos smoke (quick grid, seed 42, audit must be clean)"
 cargo run --release -q -p acp-bench --bin chaos_soak -- --smoke --seed 42 --assert-no-leaks
 
 echo "==> sharded chaos smoke (shards=4, byte-identical by contract)"
 cargo run --release -q -p acp-bench --bin chaos_soak -- --smoke --seed 42 --shards 4 --assert-no-leaks
+
+echo "==> tenanted chaos smoke (standard mix, isolation must hold)"
+cargo run --release -q -p acp-bench --bin chaos_soak -- --smoke --seed 42 --tenants --assert-no-leaks
 
 echo "==> fig_scale smoke (10k nodes x 50k sessions, RSS ceiling)"
 cargo run --release -q -p acp-bench --bin scale_smoke

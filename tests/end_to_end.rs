@@ -1,11 +1,10 @@
 //! Cross-crate integration tests: the full pipeline from topology
 //! generation to session teardown, exercised through the facade crate.
 
-use acp_stream::prelude::*;
+mod common;
 
-fn universe(seed: u64) -> (acp_stream::model::StreamSystem, GlobalStateBoard, acp_stream::model::TemplateLibrary) {
-    build_system(&ScenarioConfig::small(seed))
-}
+use acp_stream::prelude::*;
+use common::universe;
 
 #[test]
 fn find_process_close_through_middleware() {

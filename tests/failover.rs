@@ -7,29 +7,10 @@
 //! coherence, and path-cache purity are asserted as one clean report
 //! instead of ad-hoc epsilon loops per test.
 
+mod common;
+
 use acp_stream::prelude::*;
-
-fn loaded_middleware(seed: u64) -> (Middleware<AcpComposer>, Vec<SessionId>) {
-    let (system, board, library) = build_system(&ScenarioConfig::small(seed));
-    let mut mw = Middleware::new(system, board, AcpComposer::new(ProbingConfig::default(), 3));
-    let mut generator = RequestGenerator::new(library, RequestConfig::default());
-    let mut rng = DeterministicRng::new(seed).stream("failover");
-    let mut sessions = Vec::new();
-    for _ in 0..30 {
-        let (request, _) = generator.next(&mut rng);
-        if let Some(sid) = mw.find(&request, SimTime::ZERO) {
-            sessions.push(sid);
-        }
-    }
-    assert!(sessions.len() >= 20, "idle system should admit most requests");
-    (mw, sessions)
-}
-
-/// Asserts a clean audit, printing the violations otherwise.
-fn assert_audit_clean(mw: &Middleware<AcpComposer>, context: &str) {
-    let report = mw.audit();
-    assert!(report.is_clean(), "audit after {context}:\n{report}");
-}
+use common::{assert_audit_clean, loaded_middleware};
 
 #[test]
 fn failover_preserves_resource_conservation() {
