@@ -16,10 +16,15 @@
 //! `--tenants` attaches the standard multi-tenant mix (admission
 //! shedding, best-effort preemption, tenant-isolation audits) to every
 //! cell and fails the run on any tenant-isolation violation.
+//! `--repair` additionally runs the live-repair sweep (both arms per
+//! churn level on identical fault plans) and fails the run if the
+//! repair arm ever loses survival to the restart baseline, audits
+//! dirty, or leaks a lease.
 
 use acp_bench::{
-    chaos_grid_sharded, chaos_grid_tenanted, chaos_table, loss_grid_sharded, loss_grid_tenanted,
-    loss_table, soak_sharded, soak_tenanted, thread_count, write_results, Scale,
+    chaos_grid_sharded, chaos_grid_tenanted, chaos_table, fig_repair_sharded, loss_grid_sharded,
+    loss_grid_tenanted, loss_table, repair_table, soak_sharded, soak_tenanted, thread_count,
+    write_results, Scale,
 };
 
 fn main() {
@@ -29,6 +34,7 @@ fn main() {
     let mut smoke = false;
     let mut assert_no_leaks = false;
     let mut tenants = false;
+    let mut repair = false;
     let mut shards: usize = 1;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -41,6 +47,7 @@ fn main() {
             "--smoke" => smoke = true,
             "--assert-no-leaks" => assert_no_leaks = true,
             "--tenants" => tenants = true,
+            "--repair" => repair = true,
             "--shards" => {
                 shards = args
                     .next()
@@ -51,7 +58,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: [--scale quick|paper] [--seed N] [--out DIR] [--smoke] [--assert-no-leaks] [--tenants] [--shards N]"
+                    "usage: [--scale quick|paper] [--seed N] [--out DIR] [--smoke] [--assert-no-leaks] [--tenants] [--repair] [--shards N]"
                 );
                 std::process::exit(0);
             }
@@ -86,10 +93,34 @@ fn main() {
     let loss = loss_table(&scale, &loss_cells);
     println!("{}", loss.render());
 
-    let grid_violations: u64 = cells.iter().map(|c| c.audit_violations).sum::<u64>()
+    let mut grid_violations: u64 = cells.iter().map(|c| c.audit_violations).sum::<u64>()
         + loss_cells.iter().map(|c| c.audit_violations).sum::<u64>();
     let mut leaks: u64 = cells.iter().map(|c| c.leases_leaked).sum::<u64>()
         + loss_cells.iter().map(|c| c.leases_leaked).sum::<u64>();
+
+    if repair {
+        eprintln!(
+            "running repair-vs-restart sweep at scale '{}' (seed {}, shards {})…",
+            scale.name, seed, shards
+        );
+        let repair_cells = fig_repair_sharded(&scale, seed, threads, shards);
+        let repair_report = repair_table(&scale, &repair_cells);
+        println!("{}", repair_report.render());
+        grid_violations += repair_cells.iter().map(|c| c.audit_violations).sum::<u64>();
+        leaks += repair_cells.iter().map(|c| c.leases_leaked).sum::<u64>();
+        for pair in repair_cells.chunks(2) {
+            let (r, t) = (&pair[0], &pair[1]);
+            if r.churn > 0.0 && r.survival() < t.survival() {
+                eprintln!(
+                    "REPAIR FAILED: survival {:.3} < restart baseline {:.3} at {:.1}x churn",
+                    r.survival(),
+                    t.survival(),
+                    r.churn,
+                );
+                std::process::exit(1);
+            }
+        }
+    }
     let recovered: u64 = loss_cells.iter().map(|c| c.recovered).sum();
     let fault_lost: u64 = loss_cells.iter().map(|c| c.fault_failed).sum();
     let mut tenant_violations: u64 = cells.iter().map(|c| c.tenant_violations).sum::<u64>()

@@ -1,0 +1,31 @@
+//! Regenerates the live-repair vs terminate-restart sweep. See `--help`
+//! for flags.
+
+use acp_bench::{fig_repair, repair_table, write_results, CliArgs, Scale};
+
+fn main() {
+    let args = CliArgs::parse();
+    let scale = Scale::from_name(&args.scale);
+    eprintln!("running fig_repair at scale '{}' (seed {})…", scale.name, args.seed);
+    let start = std::time::Instant::now();
+    let cells = fig_repair(&scale, args.seed);
+    let table = repair_table(&scale, &cells);
+    println!("{}", table.render());
+    for cell in &cells {
+        assert_eq!(cell.audit_violations, 0, "audits must pass at {:.1}x {:?}", cell.churn, cell.policy);
+        assert_eq!(cell.leases_leaked, 0, "no lease may leak at {:.1}x {:?}", cell.churn, cell.policy);
+    }
+    for pair in cells.chunks(2) {
+        let (repair, terminate) = (&pair[0], &pair[1]);
+        if repair.churn > 0.0 {
+            assert!(
+                repair.survival() >= terminate.survival(),
+                "repair must dominate restart survival at {:.1}x churn",
+                repair.churn
+            );
+        }
+    }
+    write_results(&args.out, &format!("fig_repair-{}", scale.name), &[table])
+        .expect("write results");
+    eprintln!("done in {:.1}s; results under {}", start.elapsed().as_secs_f64(), args.out.display());
+}

@@ -28,6 +28,7 @@ pub mod ablation;
 pub mod chaos;
 pub mod experiments;
 pub mod parallel;
+pub mod repair;
 pub mod report;
 pub mod scale;
 pub mod tenants;
@@ -42,6 +43,10 @@ pub use experiments::{
     fig5, fig5_threads, fig6, fig6_threads, fig7, fig7_threads, fig8, fig8_threads, Scale,
 };
 pub use parallel::{run_indexed, thread_count};
+pub use repair::{
+    fig_repair, fig_repair_sharded, fig_repair_threads, repair_config, repair_table, RepairCell,
+    REPAIR_CHURN_LEVELS,
+};
 pub use report::{write_results, CliArgs, Table};
 pub use scale::{churn_for, peak_rss_mib, run_scale_point, scale_axis, ScaleConfig, ScalePoint};
 pub use tenants::{

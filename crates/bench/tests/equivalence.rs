@@ -162,3 +162,42 @@ fn single_gold_tenant_matches_tenant_less_scenario() {
     assert_eq!(tenanted.tenant_violations, 0, "isolation invariants must hold");
     assert_eq!(tenanted.tenant_preemptions, 0);
 }
+
+/// The repair layer's inertness contract: a churn run with `repair:
+/// None` never touches the repair ledger, draws nothing from the repair
+/// RNG streams, and schedules no repair events — and attaching a repair
+/// config replays the *identical* fault plan (all repair randomness
+/// lives on label-derived streams), so the two runs differ only in how
+/// fault victims are recovered.
+#[test]
+fn repair_less_churn_run_keeps_repair_ledger_silent_and_shares_fault_plan() {
+    let mut scale = Scale::quick();
+    scale.duration = SimDuration::from_minutes(12);
+    let mut config = scale.base_config(52);
+    config.algorithm = AlgorithmKind::Acp;
+    config.schedule = RateSchedule::constant(scale.anchor_rate);
+    config.churn = Some(acp_workload::ChurnConfig::default());
+    let plain = run_scenario(config.clone());
+
+    // Repair-less runs never touch the ledger.
+    assert_eq!(plain.repair_opened, 0, "no repair config, no tickets");
+    assert_eq!(plain.repair_attempts, 0);
+    assert_eq!(plain.sessions_repaired, 0);
+    assert_eq!(plain.sessions_restored, 0);
+    assert_eq!(plain.repair_abandoned, 0);
+    assert_eq!(plain.repair_cancelled, 0);
+    assert_eq!(plain.mttr.count, 0, "no recoveries, no MTTR samples");
+    assert!(plain.fault_events > 0, "churn must inject faults");
+
+    // Same seed, repair attached: the fault plan and arrival schedule
+    // are byte-identical — only the recovery path changes.
+    config.repair = Some(acp_workload::RepairScenarioConfig::default());
+    let repaired = run_scenario(config);
+    assert_eq!(plain.fault_digest, repaired.fault_digest, "repair must not perturb the fault plan");
+    assert_eq!(plain.fault_events, repaired.fault_events);
+    assert_eq!(plain.total_requests, repaired.total_requests, "same arrival schedule");
+    assert!(repaired.repair_opened > 0, "faults must open tickets");
+    assert!(repaired.sessions_repaired > 0, "splices must land");
+    assert_eq!(repaired.audit_violations, 0, "repair invariants must hold");
+    assert_eq!(repaired.leases_leaked, 0, "make-before-break must not leak");
+}

@@ -17,7 +17,9 @@
 use acp_core::SetupConfig;
 use acp_model::prelude::ShardStats;
 use acp_simcore::{MessageFaultConfig, SimDuration};
-use acp_workload::{run_scenario, ChurnConfig, ScenarioConfig, ScenarioResult, TenantsConfig};
+use acp_workload::{
+    run_scenario, ChurnConfig, RepairScenarioConfig, ScenarioConfig, ScenarioResult, TenantsConfig,
+};
 
 const SHARD_COUNTS: [usize; 3] = [2, 4, 8];
 
@@ -62,6 +64,15 @@ fn assert_byte_identical(seq: &ScenarioResult, sharded: &ScenarioResult, label: 
     assert_eq!(seq.tenant_tiers, sharded.tenant_tiers, "{label}: tier summaries");
     assert_eq!(seq.tenant_preemptions, sharded.tenant_preemptions, "{label}: preemptions");
     assert_eq!(seq.tenant_violations, sharded.tenant_violations, "{label}: tenant violations");
+    assert_eq!(seq.repair_opened, sharded.repair_opened, "{label}: repair tickets");
+    assert_eq!(seq.repair_attempts, sharded.repair_attempts, "{label}: repair attempts");
+    assert_eq!(seq.sessions_repaired, sharded.sessions_repaired, "{label}: repaired");
+    assert_eq!(seq.sessions_restored, sharded.sessions_restored, "{label}: restored");
+    assert_eq!(seq.repair_abandoned, sharded.repair_abandoned, "{label}: abandoned");
+    assert_eq!(seq.repair_cancelled, sharded.repair_cancelled, "{label}: cancelled");
+    assert_eq!(seq.mttr, sharded.mttr, "{label}: MTTR summary");
+    assert_eq!(seq.mttr_p50, sharded.mttr_p50, "{label}: MTTR p50");
+    assert_eq!(seq.mttr_p99, sharded.mttr_p99, "{label}: MTTR p99");
 }
 
 /// Runs `config` sequentially and at every shard count, asserting
@@ -195,6 +206,42 @@ fn tenanted_chaos_scenario_identical_at_all_shard_counts() {
     assert!(seq.fault_events > 0, "plan must contain faults");
     assert_eq!(seq.tenant_violations, 0, "isolation invariants must hold under churn");
     assert_eq!(seq.audit_violations, 0);
+}
+
+#[test]
+fn repair_scenario_identical_at_all_shard_counts() {
+    // Live repair mutates sessions mid-run (splices, escalated
+    // restarts, ticket settles) — all coordinator-side, in canonical
+    // ascending-session order, so shard fan-out must not perturb it.
+    let mut config = base_config(50);
+    config.churn = Some(ChurnConfig::default());
+    config.repair = Some(RepairScenarioConfig::default());
+    let seq = assert_sharding_invariant(config, "repair");
+    assert!(seq.repair_opened > 0, "churn must open repair tickets");
+    assert!(seq.sessions_repaired > 0, "splices must land");
+    assert_eq!(seq.audit_violations, 0, "repair invariants must hold");
+    assert_eq!(seq.leases_leaked, 0, "make-before-break must not leak");
+}
+
+#[test]
+fn two_phase_repair_scenario_identical_at_all_shard_counts() {
+    // The hardest repair path: splice probing runs over the two-phase
+    // setup protocol, so repair leases, reservation sweeps, and churn
+    // all interleave under sharding.
+    let mut config = base_config(51);
+    config.setup = Some(SetupConfig::default());
+    config.churn = Some(ChurnConfig::default());
+    config.repair = Some(RepairScenarioConfig {
+        detection: acp_simcore::DetectionLatency::Uniform {
+            min: SimDuration::from_millis(500),
+            max: SimDuration::from_secs(3),
+        },
+        ..RepairScenarioConfig::default()
+    });
+    let seq = assert_sharding_invariant(config, "two-phase-repair");
+    assert!(seq.repair_opened > 0, "churn must open repair tickets");
+    assert_eq!(seq.audit_violations, 0);
+    assert_eq!(seq.leases_leaked, 0);
 }
 
 #[test]

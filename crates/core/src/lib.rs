@@ -70,6 +70,7 @@ pub mod optimal;
 pub mod overhead;
 pub mod probe;
 pub mod protocol;
+pub mod repair;
 pub mod selection;
 pub mod tuning;
 pub mod tuning_control;
@@ -96,6 +97,9 @@ pub mod prelude {
         compose_with_mode, compose_with_mode_in, probe_compose, probe_compose_with, FinalSelection,
         ProbingConfig, ProbingOutcome, SetupConfig, SetupMode, SetupState, SetupStats, SinglePhase,
         TwoPhase,
+    };
+    pub use crate::repair::{
+        RepairAttempt, RepairFailure, RepairPlanner, RepairVerdict, MINI_REQUEST_BIT,
     };
     pub use crate::selection::{
         probe_quota, select_candidates, select_candidates_with, select_frontier_sharded,

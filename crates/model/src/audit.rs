@@ -249,6 +249,50 @@ pub enum AuditViolation {
         /// Starvation events recorded.
         starved: u64,
     },
+    /// The repair ledger does not reconcile: opened tickets are not all
+    /// accounted for as repaired + restored + abandoned + cancelled +
+    /// still-open.
+    RepairLedgerMismatch {
+        /// Tickets ever opened.
+        opened: u64,
+        /// Settled by segment splice.
+        repaired: u64,
+        /// Settled by full restart.
+        restored: u64,
+        /// Settled by giving up.
+        abandoned: u64,
+        /// Cancelled by unrelated session closes.
+        cancelled: u64,
+        /// Tickets still open.
+        open: u64,
+    },
+    /// A repaired session skipped the end-to-end Eq. 2/3 re-validation
+    /// at splice time — every splice must re-qualify the whole session
+    /// before grafting, so `validated` must equal `repaired`.
+    RepairValidationGap {
+        /// Splices recorded as repaired.
+        repaired: u64,
+        /// Splices that passed the end-to-end re-check.
+        validated: u64,
+    },
+    /// A session's degraded state and the repair ledger's open tickets
+    /// disagree (degraded session without a ticket, or an open ticket
+    /// whose live session is not degraded).
+    RepairStateIncoherent {
+        /// The incoherent request.
+        request: u64,
+        /// What disagrees.
+        detail: &'static str,
+    },
+    /// Two live sessions share one request id — the make-before-break
+    /// splice double-committed (the repair mini-session must be removed
+    /// within the same event that grafts it).
+    DuplicateSessionRequest {
+        /// The doubly committed request.
+        request: u64,
+        /// How many live sessions carry it.
+        sessions: usize,
+    },
 }
 
 impl std::fmt::Display for AuditViolation {
@@ -329,6 +373,31 @@ impl std::fmt::Display for AuditViolation {
             }
             AuditViolation::GoldStarvation { tenant, starved } => {
                 write!(f, "tenant t{tenant} (gold): shed {starved} time(s) while lower tiers held live sessions")
+            }
+            AuditViolation::RepairLedgerMismatch {
+                opened,
+                repaired,
+                restored,
+                abandoned,
+                cancelled,
+                open,
+            } => {
+                write!(
+                    f,
+                    "repair ledger: opened {opened} != repaired {repaired} + restored {restored} + abandoned {abandoned} + cancelled {cancelled} + open {open}"
+                )
+            }
+            AuditViolation::RepairValidationGap { repaired, validated } => {
+                write!(
+                    f,
+                    "repair ledger: {repaired} repaired splice(s) but only {validated} passed end-to-end re-validation"
+                )
+            }
+            AuditViolation::RepairStateIncoherent { request, detail } => {
+                write!(f, "repair request {request}: {detail}")
+            }
+            AuditViolation::DuplicateSessionRequest { request, sessions } => {
+                write!(f, "request {request}: {sessions} live sessions share it (double-commit)")
             }
         }
     }
@@ -470,6 +539,7 @@ impl SystemAuditor {
         self.audit_path_cache(system, &mut out);
         self.audit_leases(system, now, &mut out);
         self.audit_tenants(system, &mut out);
+        self.audit_repair(system, &mut out);
         AuditReport { violations: out }
     }
 
@@ -622,6 +692,83 @@ impl SystemAuditor {
             }
             if stats.starved > 0 && stats.tier == crate::tenant::TenantTier::Gold {
                 out.push(AuditViolation::GoldStarvation { tenant, starved: stats.starved });
+            }
+        }
+    }
+
+    /// Repair pass: the repair ledger reconciles (`opened == repaired +
+    /// restored + abandoned + cancelled + open`), every repaired splice
+    /// passed the end-to-end Eq. 2/3 re-validation, no request id is
+    /// shared by two live sessions (the make-before-break mini-session
+    /// must never outlive its graft — that would be a double-commit),
+    /// and the per-session degraded flag stays coherent with the open
+    /// tickets.
+    ///
+    /// Inherently global (whole-ledger + whole-session-table reads): the
+    /// sharded runtime runs it on the coordinator after `audit_tenants`,
+    /// mirroring the sequential order.
+    pub(crate) fn audit_repair(&self, system: &StreamSystem, out: &mut Vec<AuditViolation>) {
+        if !system.repair_accounting() {
+            // Without the ledger there are no tickets to reconcile and
+            // no degraded sessions to cross-check.
+            return;
+        }
+        let ledger = system.repair_ledger();
+        if !ledger.reconciles() {
+            out.push(AuditViolation::RepairLedgerMismatch {
+                opened: ledger.opened,
+                repaired: ledger.repaired,
+                restored: ledger.restored,
+                abandoned: ledger.abandoned,
+                cancelled: ledger.cancelled,
+                open: ledger.open_tickets().len() as u64,
+            });
+        }
+        if ledger.validated != ledger.repaired {
+            out.push(AuditViolation::RepairValidationGap {
+                repaired: ledger.repaired,
+                validated: ledger.validated,
+            });
+        }
+        let sessions = sorted_sessions(system);
+        // No double-commit: each request id backs at most one live
+        // session, even mid-splice (the mini-session is removed within
+        // the same event that grafts its segment).
+        let mut requests: Vec<u64> = sessions.iter().map(|s| s.request.0).collect();
+        requests.sort_unstable();
+        let mut i = 0;
+        while i < requests.len() {
+            let mut j = i + 1;
+            while j < requests.len() && requests[j] == requests[i] {
+                j += 1;
+            }
+            if j - i > 1 {
+                out.push(AuditViolation::DuplicateSessionRequest {
+                    request: requests[i],
+                    sessions: j - i,
+                });
+            }
+            i = j;
+        }
+        // Degraded session ⇔ open ticket, both directions. Tickets
+        // without a live session are legitimate: the terminate baseline
+        // opens them after the kill, before the restart lands.
+        for s in &sessions {
+            if s.is_degraded() && ledger.ticket(s.request).is_none() {
+                out.push(AuditViolation::RepairStateIncoherent {
+                    request: s.request.0,
+                    detail: "degraded session without an open repair ticket",
+                });
+            }
+        }
+        for t in ledger.open_tickets() {
+            if system.has_session_for(t.request)
+                && !sessions.iter().any(|s| s.request == t.request && s.is_degraded())
+            {
+                out.push(AuditViolation::RepairStateIncoherent {
+                    request: t.request.0,
+                    detail: "open ticket but its live session is not degraded",
+                });
             }
         }
     }
@@ -840,8 +987,15 @@ impl SystemAuditor {
                 });
                 continue;
             }
-            // Eq. 2 per vertex, against the *live* component records.
+            // Eq. 2 per vertex, against the *live* component records. A
+            // degraded session's broken span is exempt: its commitments
+            // were released at degrade time and its stale assignment
+            // entries are replaced (and re-validated end-to-end) by the
+            // splice — once `broken` clears, the full check applies.
             for vertex in request.graph.vertices() {
+                if s.vertex_is_broken(vertex) {
+                    continue;
+                }
                 let id = s.composition.assignment[vertex];
                 let Some(component) = system.node(id.node).component(id.slot) else {
                     out.push(AuditViolation::SessionCoverage { session: s.id, vertex, detail: "assigned a dead component" });
@@ -870,7 +1024,9 @@ impl SystemAuditor {
             if s.composition
                 .links
                 .iter()
-                .any(|p| p.nodes.iter().any(|&n| system.is_node_failed(n)))
+                .enumerate()
+                .filter(|&(e, _)| !s.edge_is_broken(e))
+                .any(|(_, p)| p.nodes.iter().any(|&n| system.is_node_failed(n)))
             {
                 out.push(AuditViolation::SessionOnFailedRoute { session: s.id, detail: "a failed relay node" });
             }

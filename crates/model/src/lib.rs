@@ -57,6 +57,7 @@ pub mod function;
 pub mod metrics;
 pub mod node;
 pub mod qos;
+pub mod repair;
 pub mod request;
 pub mod resources;
 pub mod shard;
@@ -77,11 +78,13 @@ pub mod prelude {
     pub use crate::metrics::{congestion_aggregation, congestion_function, is_unqualified, risk_function};
     pub use crate::node::{ReservationKey, StreamNode};
     pub use crate::qos::{LossRate, Qos, QosRequirement};
+    pub use crate::repair::{RepairLedger, RepairPhase, RepairTicket};
     pub use crate::request::{Request, RequestId};
     pub use crate::resources::{ResourceKind, ResourceVector};
     pub use crate::shard::{ShardStats, ShardedRuntime};
     pub use crate::system::{
-        AdmissionError, LeaseStats, Session, SessionHandle, SessionId, StreamSystem, SystemConfig,
+        AdmissionError, DegradeOutcome, LeaseStats, Session, SessionHandle, SessionId,
+        StreamSystem, SystemConfig,
     };
     pub use crate::tenant::{
         SessionCloseCause, TenantBinding, TenantId, TenantLedger, TenantStats, TenantTier,

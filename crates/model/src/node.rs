@@ -202,6 +202,16 @@ impl StreamNode {
         before - self.transient.len()
     }
 
+    /// Releases every transient reservation held **for** `component`
+    /// (any request) — a crashed component's leases die with it instead
+    /// of lingering until the expiry sweep. Returns how many were
+    /// dropped.
+    pub fn release_component_transients(&mut self, component: ComponentId) -> usize {
+        let before = self.transient.len();
+        self.transient.retain(|t| t.key.component != component);
+        before - self.transient.len()
+    }
+
     /// Converts `key`'s transient reservation into a permanent commitment
     /// ("the confirmation message makes transient resource allocation
     /// permanent", §3.3 step 4). Returns the committed amount, or `None`

@@ -282,9 +282,11 @@ impl ShardedRuntime {
         for p in &mut parts {
             out.append(&mut p.lease_links);
         }
-        // Tenant pass last, mirroring `audit_at`: inherently global
-        // (whole-ledger reads), so the coordinator runs it directly.
+        // Tenant and repair passes last, mirroring `audit_at`:
+        // inherently global (whole-ledger reads), so the coordinator
+        // runs them directly.
         auditor.audit_tenants(system, &mut out);
+        auditor.audit_repair(system, &mut out);
         AuditReport::from_violations(out)
     }
 }

@@ -16,6 +16,7 @@ use crate::constraints::{ComponentAttributes, LicenseClass, LicenseClassOrDefaul
 use crate::function::{FunctionId, FunctionRegistry};
 use crate::node::{ReservationKey, StreamNode};
 use crate::qos::Qos;
+use crate::repair::RepairLedger;
 use crate::request::{Request, RequestId};
 use crate::resources::ResourceVector;
 use crate::tenant::{SessionCloseCause, TenantBinding, TenantId, TenantLedger, TenantTier};
@@ -90,6 +91,12 @@ pub struct Session {
     pub composition: Composition,
     node_allocs: Vec<(OverlayNodeId, ResourceVector)>,
     link_allocs: Vec<(OverlayLinkId, f64)>,
+    /// Broken-segment vertex span `(lo, hi)` (inclusive) while the
+    /// session is degraded awaiting repair; `None` when healthy. The
+    /// span's commitments were released at fault time; `assignment` and
+    /// `links` entries inside it are stale until the splice rewrites
+    /// them.
+    broken: Option<(usize, usize)>,
 }
 
 impl Session {
@@ -108,6 +115,33 @@ impl Session {
     /// True when the session's composition routes any stream over `l`.
     pub fn uses_link(&self, l: OverlayLinkId) -> bool {
         self.link_allocs.iter().any(|&(link, _)| link == l)
+    }
+
+    /// The degraded session's broken vertex span (inclusive), `None`
+    /// when healthy.
+    pub fn broken_span(&self) -> Option<(usize, usize)> {
+        self.broken
+    }
+
+    /// True while a fault has broken part of this session and repair is
+    /// pending.
+    pub fn is_degraded(&self) -> bool {
+        self.broken.is_some()
+    }
+
+    /// True when graph edge `e` touches the broken span (either
+    /// endpoint). Such an edge's committed bandwidth was released at
+    /// degrade time and its cached path is stale until the splice.
+    pub fn edge_is_broken(&self, e: usize) -> bool {
+        match self.broken {
+            Some((lo, hi)) => e + 1 >= lo && e <= hi,
+            None => false,
+        }
+    }
+
+    /// True when vertex `v` lies in the broken span.
+    pub fn vertex_is_broken(&self, v: usize) -> bool {
+        matches!(self.broken, Some((lo, hi)) if v >= lo && v <= hi)
     }
 }
 
@@ -182,6 +216,14 @@ impl SessionArena {
             return None;
         }
         self.slots[slot as usize].as_ref()
+    }
+
+    fn get_mut(&mut self, id: SessionId) -> Option<&mut Session> {
+        let slot = *self.slot_of.get(id.0 as usize)?;
+        if slot == u32::MAX {
+            return None;
+        }
+        self.slots[slot as usize].as_mut()
     }
 
     fn handle(&self, id: SessionId) -> Option<SessionHandle> {
@@ -345,6 +387,12 @@ pub struct StreamSystem {
     /// tenant-less workloads pay nothing — and enabled explicitly by
     /// tenanted scenarios (mirroring `lease_accounting`).
     tenant_accounting: bool,
+    repair_ledger: RepairLedger,
+    /// Whether the [`RepairLedger`] is maintained. **Off** by default —
+    /// repair-less workloads pay nothing and stay byte-identical — and
+    /// enabled explicitly by repair scenarios (mirroring
+    /// `tenant_accounting`).
+    repair_accounting: bool,
 }
 
 impl std::fmt::Debug for StreamSystem {
@@ -439,6 +487,57 @@ impl std::fmt::Display for AdmissionError {
 
 impl std::error::Error for AdmissionError {}
 
+/// Result of a repair-policy fault operator: which live sessions were
+/// degraded in place (awaiting segment repair) and which had to be
+/// terminated outright (non-path graphs — no well-defined broken
+/// segment), returned as orphaned requests for full restart.
+#[derive(Debug, Clone, Default)]
+pub struct DegradeOutcome {
+    /// Sessions degraded in place, ascending id order.
+    pub degraded: Vec<SessionId>,
+    /// Requests of sessions that fell back to terminate.
+    pub orphaned: Vec<Request>,
+}
+
+/// The vertex span of `s` broken by the fail-stop of node `v`: vertices
+/// placed on `v`, plus the downstream endpoint of every edge relaying
+/// through `v` (its virtual link died with the forwarding plane).
+fn broken_span_for_node(s: &Session, v: OverlayNodeId) -> Option<(usize, usize)> {
+    let last = s.composition.assignment.len() - 1;
+    let mut lo = usize::MAX;
+    let mut hi = 0usize;
+    for (i, c) in s.composition.assignment.iter().enumerate() {
+        if c.node == v {
+            lo = lo.min(i);
+            hi = hi.max(i);
+        }
+    }
+    for (e, p) in s.composition.links.iter().enumerate() {
+        if p.nodes.contains(&v) {
+            let b = (e + 1).min(last);
+            lo = lo.min(b);
+            hi = hi.max(b);
+        }
+    }
+    (lo != usize::MAX).then_some((lo, hi))
+}
+
+/// The vertex span of `s` broken by the failure of overlay link `l`:
+/// the downstream endpoint of every edge routed over it.
+fn broken_span_for_link(s: &Session, l: OverlayLinkId) -> Option<(usize, usize)> {
+    let last = s.composition.assignment.len() - 1;
+    let mut lo = usize::MAX;
+    let mut hi = 0usize;
+    for (e, p) in s.composition.links.iter().enumerate() {
+        if p.links.contains(&l) {
+            let b = (e + 1).min(last);
+            lo = lo.min(b);
+            hi = hi.max(b);
+        }
+    }
+    (lo != usize::MAX).then_some((lo, hi))
+}
+
 impl StreamSystem {
     /// Generates a system over `overlay`: every node receives a uniform
     /// capacity and a uniform number of components with functions drawn
@@ -530,6 +629,8 @@ impl StreamSystem {
             lease_accounting: true,
             tenant_ledger: TenantLedger::default(),
             tenant_accounting: false,
+            repair_ledger: RepairLedger::default(),
+            repair_accounting: false,
         }
     }
 
@@ -983,6 +1084,7 @@ impl StreamSystem {
             composition,
             node_allocs,
             link_allocs,
+            broken: None,
         });
         Ok(id)
     }
@@ -1027,6 +1129,13 @@ impl StreamSystem {
                 let bw: f64 = session.link_allocs.iter().map(|&(_, kbps)| kbps).sum();
                 self.tenant_ledger.record_close(binding, cause, demand, bw);
             }
+        }
+        if self.repair_accounting {
+            // A session that closes for an unrelated reason (natural
+            // end, preemption) while awaiting repair cancels its ticket.
+            // Abandonment settles the ticket *before* closing, so this
+            // only catches genuinely unrelated teardowns.
+            self.repair_ledger.cancel(session.request);
         }
         true
     }
@@ -1197,13 +1306,411 @@ impl StreamSystem {
     /// running, and every session using it is terminated. Returns the
     /// orphaned requests; an unknown/tombstoned id is a no-op.
     pub fn crash_component(&mut self, id: ComponentId) -> Vec<Request> {
-        let Some(component) = self.nodes[id.node.index()].undeploy(id.slot) else {
+        let Some(component) = self.undeploy_crashed(id) else {
             return Vec::new();
         };
+        debug_assert_eq!(component.id, id);
+        self.terminate_sessions_where(|s| s.composition.assignment.contains(&id))
+    }
+
+    /// Shared crash head: undeploys the component, retires its dense id
+    /// and discovery entry, and reclaims any transient leases held *for*
+    /// it — a crash mid-two-phase-setup must not orphan the reservation
+    /// until the expiry sweep.
+    fn undeploy_crashed(&mut self, id: ComponentId) -> Option<Component> {
+        let component = self.nodes[id.node.index()].undeploy(id.slot)?;
+        let reclaimed = self.nodes[id.node.index()].release_component_transients(id);
+        if reclaimed > 0 && self.lease_accounting {
+            self.lease_stats.released += reclaimed as u64;
+        }
         self.dense_ids[id.node.index()][id.slot as usize] = u32::MAX;
         self.discovery[component.function.0 as usize].retain(|&c| c != id);
         self.touch_node(id.node);
-        self.terminate_sessions_where(|s| s.composition.assignment.contains(&id))
+        Some(component)
+    }
+
+    // ------------------------------------------------------------------
+    // Live-session repair: degrade / splice / abandon
+    // ------------------------------------------------------------------
+
+    /// Fails a node under the *repair* policy: identical fail-stop
+    /// semantics to [`Self::fail_node`], but sessions touching the node
+    /// are **degraded** (their broken segment's commitments released,
+    /// the rest kept) instead of terminated, so a repair planner can
+    /// splice replacements in later. Non-path sessions — whose broken
+    /// "segment" is not well defined — fall back to terminate and are
+    /// returned as orphaned requests for full restart.
+    pub fn fail_node_degrading(
+        &mut self,
+        v: OverlayNodeId,
+        now: SimTime,
+    ) -> (Vec<ComponentId>, DegradeOutcome) {
+        if self.lease_accounting {
+            self.lease_stats.released += self.nodes[v.index()].transient_count() as u64;
+        }
+        let undeployed: Vec<Component> = self.nodes[v.index()].fail();
+        self.touch_node(v);
+        let undeployed_ids: Vec<ComponentId> = undeployed.iter().map(|c| c.id).collect();
+        for id in &undeployed_ids {
+            self.dense_ids[v.index()][id.slot as usize] = u32::MAX;
+        }
+        for component in &undeployed {
+            self.discovery[component.function.0 as usize].retain(|&c| c != component.id);
+        }
+        let outcome = self.degrade_sessions_where(now, |s| broken_span_for_node(s, v));
+        self.overlay.set_node_down(v, true);
+        (undeployed_ids, outcome)
+    }
+
+    /// Fails a link under the *repair* policy: sessions streaming over
+    /// it are degraded instead of terminated (see
+    /// [`Self::fail_node_degrading`]).
+    pub fn fail_link_degrading(&mut self, l: OverlayLinkId, now: SimTime) -> DegradeOutcome {
+        let i = l.index();
+        if self.links[i].failed {
+            return DegradeOutcome::default();
+        }
+        self.links[i].failed = true;
+        if self.lease_accounting {
+            self.lease_stats.released += self.links[i].transient.len() as u64;
+        }
+        self.links[i].transient.clear();
+        self.touch_link_index(i);
+        self.degrade_sessions_where(now, |s| broken_span_for_link(s, l))
+    }
+
+    /// Degrades a link's capacity under the *repair* policy: instead of
+    /// evicting the newest sessions outright, they are degraded (their
+    /// edges over `l` released) until the remaining commitments fit.
+    pub fn degrade_link_degrading(
+        &mut self,
+        l: OverlayLinkId,
+        factor: f64,
+        now: SimTime,
+    ) -> DegradeOutcome {
+        let i = l.index();
+        let state = &mut self.links[i];
+        state.capacity_kbps = state.nominal_kbps * factor.clamp(0.0, 1.0);
+        self.touch_link_index(i);
+        if self.links[i].failed {
+            return DegradeOutcome::default();
+        }
+        let mut users: Vec<SessionId> =
+            self.sessions.iter().filter(|s| s.uses_link(l)).map(|s| s.id).collect();
+        users.sort_unstable_by(|a, b| b.cmp(a));
+        let mut outcome = DegradeOutcome::default();
+        for sid in users {
+            if self.links[i].committed_kbps <= self.links[i].capacity_kbps + 1e-9 {
+                break;
+            }
+            let (span, is_path) = {
+                let s = self.sessions.get(sid).expect("listed above");
+                (broken_span_for_link(s, l), s.request_spec.graph.is_path())
+            };
+            let Some(span) = span else { continue };
+            if is_path {
+                self.degrade_session_span(sid, span, now);
+                outcome.degraded.push(sid);
+            } else {
+                if let Some(s) = self.sessions.get(sid) {
+                    outcome.orphaned.push(s.request_spec.clone());
+                }
+                self.close_session_with_cause(sid, SessionCloseCause::Killed);
+            }
+        }
+        outcome
+    }
+
+    /// Crashes a component under the *repair* policy: sessions using it
+    /// are degraded instead of terminated (see
+    /// [`Self::fail_node_degrading`]). The crashed component's transient
+    /// leases are reclaimed either way.
+    pub fn crash_component_degrading(&mut self, id: ComponentId, now: SimTime) -> DegradeOutcome {
+        if self.undeploy_crashed(id).is_none() {
+            return DegradeOutcome::default();
+        }
+        self.degrade_sessions_where(now, |s| {
+            let mut lo = usize::MAX;
+            let mut hi = 0usize;
+            for (i, c) in s.composition.assignment.iter().enumerate() {
+                if *c == id {
+                    lo = lo.min(i);
+                    hi = hi.max(i);
+                }
+            }
+            (lo != usize::MAX).then_some((lo, hi))
+        })
+    }
+
+    /// Degrades every live session matching `span_of` (in ascending
+    /// session-id order, like [`Self::terminate_sessions_where`]);
+    /// non-path sessions fall back to terminate.
+    fn degrade_sessions_where(
+        &mut self,
+        now: SimTime,
+        span_of: impl Fn(&Session) -> Option<(usize, usize)>,
+    ) -> DegradeOutcome {
+        let mut victims: Vec<(SessionId, (usize, usize), bool)> = self
+            .sessions
+            .iter()
+            .filter_map(|s| span_of(s).map(|span| (s.id, span, s.request_spec.graph.is_path())))
+            .collect();
+        victims.sort_unstable_by_key(|&(id, _, _)| id);
+        let mut outcome = DegradeOutcome::default();
+        for (sid, span, is_path) in victims {
+            if is_path {
+                self.degrade_session_span(sid, span, now);
+                outcome.degraded.push(sid);
+            } else {
+                if let Some(s) = self.sessions.get(sid) {
+                    outcome.orphaned.push(s.request_spec.clone());
+                }
+                self.close_session_with_cause(sid, SessionCloseCause::Killed);
+            }
+        }
+        outcome
+    }
+
+    /// Releases the commitments of `(lo, hi)`'s vertices and every edge
+    /// touching the span, merges the span into any prior broken range,
+    /// and opens (or keeps) the session's repair ticket. The healthy
+    /// prefix/suffix commitments are untouched — that is the
+    /// make-before-break half the splice relies on.
+    fn degrade_session_span(&mut self, sid: SessionId, (lo, hi): (usize, usize), now: SimTime) {
+        let (request, released_nodes, released_links, lo, hi) = {
+            let s = self.sessions.get(sid).expect("degrading a live session");
+            let old = s.broken;
+            let (lo, hi) = match old {
+                Some((a, b)) => (lo.min(a), hi.max(b)),
+                None => (lo, hi),
+            };
+            debug_assert!(hi < s.composition.assignment.len());
+            let in_old_span = |v: usize| matches!(old, Some((a, b)) if v >= a && v <= b);
+            let edge_in = |e: usize, a: usize, b: usize| e + 1 >= a && e <= b;
+            let in_old_edges = |e: usize| matches!(old, Some((a, b)) if edge_in(e, a, b));
+            let mut released_nodes: Vec<(OverlayNodeId, ResourceVector)> = Vec::new();
+            for v in lo..=hi {
+                if in_old_span(v) {
+                    continue;
+                }
+                let node = s.composition.assignment[v].node;
+                let demand = s.request_spec.vertex_demand(&self.registry, v);
+                released_nodes.push((node, demand));
+            }
+            let bw = s.request_spec.bandwidth_kbps;
+            let mut released_links: Vec<(OverlayLinkId, f64)> = Vec::new();
+            for (e, path) in s.composition.links.iter().enumerate() {
+                if !edge_in(e, lo, hi) || in_old_edges(e) {
+                    continue;
+                }
+                for &l in &path.links {
+                    released_links.push((l, bw));
+                }
+            }
+            (s.request, released_nodes, released_links, lo, hi)
+        };
+        for &(node, demand) in &released_nodes {
+            // On a freshly failed node `fail()` already zeroed the
+            // committed book; `release` saturates, keeping both sides of
+            // the conservation invariant in step.
+            self.nodes[node.index()].release(demand);
+            self.touch_node(node);
+        }
+        for &(l, bw) in &released_links {
+            let state = &mut self.links[l.index()];
+            state.committed_kbps = (state.committed_kbps - bw).max(0.0);
+            self.touch_link_index(l.index());
+        }
+        let s = self.sessions.get_mut(sid).expect("still live");
+        for &(node, demand) in &released_nodes {
+            if let Some(entry) = s.node_allocs.iter_mut().find(|(n, _)| *n == node) {
+                entry.1 = entry.1.saturating_sub(&demand);
+            }
+        }
+        for &(l, bw) in &released_links {
+            if let Some(entry) = s.link_allocs.iter_mut().find(|(link, _)| *link == l) {
+                entry.1 = (entry.1 - bw).max(0.0);
+            }
+        }
+        s.node_allocs.retain(|&(_, d)| d.cpu > 1e-9 || d.memory_mb > 1e-9);
+        s.link_allocs.retain(|&(_, kbps)| kbps > 1e-9);
+        s.broken = Some((lo, hi));
+        let binding = s.request_spec.tenant;
+        if self.tenant_accounting {
+            if let Some(binding) = binding {
+                let demand: ResourceVector = released_nodes.iter().map(|&(_, d)| d).sum();
+                let bw: f64 = released_links.iter().map(|&(_, k)| k).sum();
+                self.tenant_ledger.record_repair_release(binding, demand, bw);
+            }
+        }
+        if self.repair_accounting {
+            self.repair_ledger.open_ticket(request, now);
+        }
+    }
+
+    /// Splices a repaired segment into a degraded session —
+    /// make-before-break's "break" half. `mini` is a committed
+    /// mini-session covering exactly the broken span's functions (its
+    /// resources are already committed — the "make" half); the boundary
+    /// paths' bandwidth must be transiently held under `mini_request`
+    /// (and those must be the *only* leases `mini_request` still holds).
+    ///
+    /// Re-validates Eq. 2 and Eq. 3 end-to-end on the spliced
+    /// composition before any destructive step; on error nothing has
+    /// changed and the caller still owns the mini-session and its
+    /// leases. On success the mini-session's record is absorbed into
+    /// the original (its books move over untouched — never
+    /// double-committed), the boundary transients are promoted to
+    /// committed bandwidth, and the repair ticket settles as repaired.
+    pub fn splice_repair(
+        &mut self,
+        original: SessionId,
+        mini: SessionId,
+        mini_request: RequestId,
+        prefix_path: Option<SharedPath>,
+        suffix_path: Option<SharedPath>,
+        now: SimTime,
+    ) -> Result<(), AdmissionError> {
+        let (request_id, binding, spliced, bw, _lo, _hi) = {
+            let s = self.sessions.get(original).ok_or(AdmissionError::MalformedComposition)?;
+            let m = self.sessions.get(mini).ok_or(AdmissionError::MalformedComposition)?;
+            let (lo, hi) = s.broken.ok_or(AdmissionError::MalformedComposition)?;
+            let nv = s.composition.assignment.len();
+            let seg = hi - lo + 1;
+            if m.composition.assignment.len() != seg
+                || prefix_path.is_some() != (lo > 0)
+                || suffix_path.is_some() != (hi + 1 < nv)
+            {
+                return Err(AdmissionError::MalformedComposition);
+            }
+            debug_assert!(m.request_spec.tenant.is_none(), "mini-sessions are tenant-less");
+            let mut composition = s.composition.clone();
+            composition.assignment[lo..=hi].copy_from_slice(&m.composition.assignment);
+            for e in 0..seg.saturating_sub(1) {
+                composition.links[lo + e] = m.composition.links[e].clone();
+            }
+            if let Some(p) = &prefix_path {
+                composition.links[lo - 1] = p.clone();
+            }
+            if let Some(p) = &suffix_path {
+                composition.links[hi] = p.clone();
+            }
+            (s.request, s.request_spec.tenant, composition, s.request_spec.bandwidth_kbps, lo, hi)
+        };
+        // Eq. 2 + Eq. 3 end-to-end on the spliced composition. Eq. 4/5
+        // need no re-check: every spliced resource is either already
+        // committed (the mini segment) or transiently held (boundary
+        // bandwidth) — checking them against *availability* would
+        // double-count the very make-before-break holds protecting this
+        // splice.
+        {
+            let s = self.sessions.get(original).expect("checked above");
+            let request = &s.request_spec;
+            if !spliced.is_shape_valid(&request.graph) {
+                return Err(AdmissionError::MalformedComposition);
+            }
+            for v in request.graph.vertices() {
+                let id = spliced.assignment[v];
+                let Some(c) = self.nodes[id.node.index()].component(id.slot) else {
+                    return Err(AdmissionError::WrongFunction { vertex: v });
+                };
+                if c.function != request.graph.function(v) {
+                    return Err(AdmissionError::WrongFunction { vertex: v });
+                }
+                if !c.accepts_rate(request.stream_rate_kbps) {
+                    return Err(AdmissionError::RateIncompatible { vertex: v });
+                }
+                if !request.constraints.admits(&c.attributes) {
+                    return Err(AdmissionError::ConstraintViolated { vertex: v });
+                }
+            }
+            let qos = spliced.aggregated_qos(&request.graph, |id| self.effective_component_qos(id));
+            if !qos.satisfies(&request.qos) {
+                return Err(AdmissionError::QosViolated);
+            }
+        }
+        // Break half: absorb the mini-session (books move, not change)
+        // and promote the boundary holds.
+        let m = self.sessions.remove(mini).expect("checked above");
+        let held = self.release_request_transients(mini_request) as u64;
+        if self.lease_accounting {
+            self.lease_stats.released -= held;
+            self.lease_stats.promoted += held;
+        }
+        let mut boundary_allocs: Vec<(OverlayLinkId, f64)> = Vec::new();
+        for p in prefix_path.iter().chain(suffix_path.iter()) {
+            for &l in &p.links {
+                self.links[l.index()].committed_kbps += bw;
+                self.touch_link_index(l.index());
+                boundary_allocs.push((l, bw));
+            }
+        }
+        let s = self.sessions.get_mut(original).expect("checked above");
+        s.composition = spliced;
+        for &(node, demand) in &m.node_allocs {
+            match s.node_allocs.iter_mut().find(|(n, _)| *n == node) {
+                Some(entry) => entry.1 += demand,
+                None => s.node_allocs.push((node, demand)),
+            }
+        }
+        for &(l, kbps) in m.link_allocs.iter().chain(boundary_allocs.iter()) {
+            match s.link_allocs.iter_mut().find(|(link, _)| *link == l) {
+                Some(entry) => entry.1 += kbps,
+                None => s.link_allocs.push((l, kbps)),
+            }
+        }
+        s.broken = None;
+        if self.tenant_accounting {
+            if let Some(binding) = binding {
+                let demand: ResourceVector = m.node_allocs.iter().map(|&(_, d)| d).sum();
+                let grow_bw: f64 = m.link_allocs.iter().map(|&(_, k)| k).sum::<f64>()
+                    + boundary_allocs.iter().map(|&(_, k)| k).sum::<f64>();
+                self.tenant_ledger.record_repair_grow(binding, demand, grow_bw);
+            }
+        }
+        if self.repair_accounting {
+            self.repair_ledger.record_repaired(request_id, now, true);
+        }
+        Ok(())
+    }
+
+    /// Gives up on a degraded session: settles its repair ticket as
+    /// abandoned and terminates the session (`Killed`). Returns `false`
+    /// for unknown sessions.
+    pub fn abandon_repair(&mut self, id: SessionId) -> bool {
+        let Some(request) = self.sessions.get(id).map(|s| s.request) else {
+            return false;
+        };
+        if self.repair_accounting {
+            self.repair_ledger.record_abandoned(request);
+        }
+        self.close_session_with_cause(id, SessionCloseCause::Killed)
+    }
+
+    /// Gives up on *splicing* a degraded session but hands it to the
+    /// restart path instead of settling its ticket: the session is
+    /// terminated (`Killed`) while the ticket stays open, to be settled
+    /// as restored or abandoned by the failover recompose. Returns the
+    /// request specification for that recompose, `None` for unknown
+    /// sessions.
+    pub fn terminate_for_restart(&mut self, id: SessionId) -> Option<Request> {
+        let spec = self.sessions.get(id)?.request_spec.clone();
+        // Suppress the close hook's ticket cancellation: the ticket
+        // must outlive this teardown so the restart settles it.
+        let accounting = self.repair_accounting;
+        self.repair_accounting = false;
+        self.close_session_with_cause(id, SessionCloseCause::Killed);
+        self.repair_accounting = accounting;
+        Some(spec)
+    }
+
+    /// Live degraded sessions, ascending id order (deterministic repair
+    /// scheduling and audit order).
+    pub fn degraded_sessions(&self) -> Vec<SessionId> {
+        let mut out: Vec<SessionId> =
+            self.sessions.iter().filter(|s| s.is_degraded()).map(|s| s.id).collect();
+        out.sort_unstable();
+        out
     }
 
     /// True when any live session's composition uses component `id`.
@@ -1444,6 +1951,35 @@ impl StreamSystem {
         if self.tenant_accounting {
             self.tenant_ledger.record_starved(binding);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Repair ledger
+    // ------------------------------------------------------------------
+
+    /// The repair-incident ledger (see [`RepairLedger`]).
+    pub fn repair_ledger(&self) -> &RepairLedger {
+        &self.repair_ledger
+    }
+
+    /// Mutable ledger access for the repair driver (opening restart
+    /// tickets, charging attempts). Meaningful only with repair
+    /// accounting on.
+    pub fn repair_ledger_mut(&mut self) -> &mut RepairLedger {
+        &mut self.repair_ledger
+    }
+
+    /// Whether the repair ledger is maintained (see
+    /// [`Self::set_repair_accounting`]).
+    pub fn repair_accounting(&self) -> bool {
+        self.repair_accounting
+    }
+
+    /// Enables or disables repair-ledger maintenance. Off by default:
+    /// repair-less workloads pay no bookkeeping, and the repair audit
+    /// pass — only meaningful with the ledger — is skipped.
+    pub fn set_repair_accounting(&mut self, enabled: bool) {
+        self.repair_accounting = enabled;
     }
 
     /// Live `BestEffort` sessions placed (partly) on `node`, in
@@ -1783,6 +2319,167 @@ mod tests {
         let replacement = commit_n(&mut sys, &request, &composition, 2000, 1)[0];
         assert!(sys.session(replacement).is_some());
         assert!(sys.resolve_session(h1).is_none(), "stale handle aliases recycled slot");
+    }
+
+    /// A three-function path request whose middle function has at least
+    /// two candidates (so the middle hop can be re-probed after a
+    /// crash), plus a qualified composition for it.
+    fn repairable_request_and_composition(sys: &mut StreamSystem) -> (Request, Composition) {
+        let reg_len = sys.registry().len() as u16;
+        let mid = (0..reg_len)
+            .map(FunctionId)
+            .find(|&f| sys.candidates(f).len() >= 2)
+            .expect("some function has two candidates");
+        let mut ends =
+            (0..reg_len).map(FunctionId).filter(|&f| f != mid && !sys.candidates(f).is_empty());
+        let first = ends.next().expect("enough hosted functions");
+        let last = ends.next().expect("enough hosted functions");
+        let request = Request {
+            id: RequestId(1),
+            graph: FunctionGraph::path(vec![first, mid, last]),
+            qos: QosRequirement::unconstrained(),
+            base_resources: ResourceVector::new(1.0, 4.0),
+            bandwidth_kbps: 10.0,
+            stream_rate_kbps: 100.0,
+            constraints: PlacementConstraints::none(),
+            tenant: None,
+        };
+        let c0 = sys.candidates(first)[0];
+        let c1 = sys.candidates(mid)[0];
+        let c2 = sys.candidates(last)[0];
+        let p01 = sys.virtual_path(c0.node, c1.node).expect("connected overlay");
+        let p12 = sys.virtual_path(c1.node, c2.node).expect("connected overlay");
+        let composition = Composition { assignment: vec![c0, c1, c2], links: vec![p01, p12] };
+        (request, composition)
+    }
+
+    #[test]
+    fn degrade_then_splice_repairs_in_place() {
+        let mut sys = build_system(41, 30);
+        sys.set_lease_accounting(true);
+        sys.set_repair_accounting(true);
+        let auditor = crate::audit::SystemAuditor::default();
+        let (request, composition) = repairable_request_and_composition(&mut sys);
+        let (c0, c1, c2) =
+            (composition.assignment[0], composition.assignment[1], composition.assignment[2]);
+        let sid = sys.commit_session(&request, composition).expect("qualified");
+        let t0 = SimTime::from_secs(10);
+
+        let outcome = sys.crash_component_degrading(c1, t0);
+        assert_eq!(outcome.degraded, vec![sid]);
+        assert!(outcome.orphaned.is_empty());
+        let s = sys.session(sid).expect("session survives the fault");
+        assert!(s.is_degraded());
+        assert_eq!(s.broken_span(), Some((1, 1)));
+        assert!(sys.repair_ledger().ticket(request.id).is_some());
+        let mid_audit = auditor.audit_at(&sys, Some(t0));
+        assert!(mid_audit.is_clean(), "degraded session must audit clean: {mid_audit}");
+
+        // Make-before-break: commit a replacement mini-session for the
+        // broken hop, hold the boundary paths transiently, then splice.
+        let mid = request.graph.function(1);
+        let replacements: Vec<ComponentId> =
+            sys.candidates(mid).iter().copied().filter(|&c| c != c1).collect();
+        assert!(!replacements.is_empty(), "crash leaves a replacement candidate");
+        let mini_request =
+            Request { id: RequestId(0x8000_0000_0000_0000 | 1), graph: FunctionGraph::path(vec![mid]), ..request.clone() };
+        let (c1b, mini) = replacements
+            .iter()
+            .find_map(|&c| {
+                sys.commit_session(&mini_request, Composition { assignment: vec![c], links: vec![] })
+                    .ok()
+                    .map(|m| (c, m))
+            })
+            .expect("a replacement segment commits");
+        let prefix = sys.virtual_path(c0.node, c1b.node).expect("connected overlay");
+        let suffix = sys.virtual_path(c1b.node, c2.node).expect("connected overlay");
+        let expires = SimTime::from_secs(60);
+        assert!(sys.reserve_path_transient(mini_request.id, 0, &prefix, request.bandwidth_kbps, expires));
+        assert!(sys.reserve_path_transient(mini_request.id, 1, &suffix, request.bandwidth_kbps, expires));
+
+        let t1 = SimTime::from_secs(14);
+        sys.splice_repair(sid, mini, mini_request.id, Some(prefix), Some(suffix), t1)
+            .expect("splice lands");
+
+        let s = sys.session(sid).expect("repaired in place");
+        assert!(!s.is_degraded());
+        assert_eq!(s.composition.assignment[1], c1b);
+        assert_eq!(sys.session_count(), 1, "mini-session absorbed, not left live");
+        assert!(!sys.has_session_for(mini_request.id));
+        let ledger = sys.repair_ledger();
+        assert_eq!((ledger.repaired, ledger.validated), (1, 1));
+        assert!(ledger.reconciles());
+        assert!((ledger.mttr_stats().sum - 4.0).abs() < 1e-9, "MTTR runs fault -> splice");
+        let report = auditor.audit_at(&sys, Some(t1));
+        assert!(report.is_clean(), "repaired session must audit clean: {report}");
+        assert!(sys.lease_stats().reconciles(sys.live_lease_count() as u64));
+    }
+
+    #[test]
+    fn abandon_repair_settles_ticket_and_frees_books() {
+        let mut sys = build_system(42, 30);
+        sys.set_repair_accounting(true);
+        let auditor = crate::audit::SystemAuditor::default();
+        let (request, composition) = repairable_request_and_composition(&mut sys);
+        let c1 = composition.assignment[1];
+        let sid = sys.commit_session(&request, composition).expect("qualified");
+        sys.crash_component_degrading(c1, SimTime::from_secs(5));
+        assert!(sys.abandon_repair(sid));
+        assert_eq!(sys.session_count(), 0);
+        let ledger = sys.repair_ledger();
+        assert_eq!(ledger.abandoned, 1);
+        assert_eq!(ledger.cancelled, 0, "abandon must not double-settle via the close hook");
+        assert!(ledger.reconciles());
+        let report = auditor.audit(&sys);
+        assert!(report.is_clean(), "{report}");
+        let _ = request;
+    }
+
+    #[test]
+    fn closing_a_degraded_session_cancels_its_ticket() {
+        let mut sys = build_system(43, 30);
+        sys.set_repair_accounting(true);
+        let (request, composition) = repairable_request_and_composition(&mut sys);
+        let c1 = composition.assignment[1];
+        let sid = sys.commit_session(&request, composition).expect("qualified");
+        sys.crash_component_degrading(c1, SimTime::from_secs(5));
+        assert!(sys.close_session(sid));
+        let ledger = sys.repair_ledger();
+        assert_eq!((ledger.cancelled, ledger.abandoned), (1, 0));
+        assert!(ledger.reconciles());
+        let _ = request;
+    }
+
+    /// Regression: a component crash while a two-phase setup holds a
+    /// transient lease on it must reclaim that lease — before the fix,
+    /// `crash_component` undeployed the component but left its node
+    /// leases live, leaking reserved capacity forever.
+    #[test]
+    fn crash_reclaims_in_flight_transient_leases() {
+        let mut sys = build_system(44, 30);
+        sys.set_lease_accounting(true);
+        let (request, composition) = request_and_composition(&mut sys);
+        let comp = composition.assignment[0];
+        let probe = RequestId(77);
+        assert!(sys.reserve_component_transient(
+            probe,
+            comp,
+            ResourceVector::new(0.5, 2.0),
+            SimTime::from_secs(60),
+        ));
+        assert_eq!(sys.node(comp.node).transient_count(), 1);
+        let orphaned = sys.crash_component(comp);
+        assert!(orphaned.is_empty());
+        assert_eq!(
+            sys.node(comp.node).transient_count(),
+            0,
+            "crash must reclaim the in-flight transient lease"
+        );
+        assert!(sys.node(comp.node).transient_total().is_zero());
+        assert!(sys.lease_stats().reconciles(sys.live_lease_count() as u64));
+        let report = crate::audit::SystemAuditor::default().audit_at(&sys, Some(SimTime::from_secs(0)));
+        assert!(report.is_clean(), "{report}");
+        let _ = request;
     }
 
     #[test]

@@ -238,6 +238,23 @@ impl TenantLedger {
         stats.committed_bw_kbps -= bw_kbps;
     }
 
+    /// Adjusts committed sums downward when a degraded session's broken
+    /// segment releases resources ahead of repair. Lifecycle counters
+    /// are untouched — the session stays live throughout.
+    pub fn record_repair_release(&mut self, binding: TenantBinding, demand: ResourceVector, bw_kbps: f64) {
+        let stats = self.touch(binding);
+        stats.committed -= demand;
+        stats.committed_bw_kbps -= bw_kbps;
+    }
+
+    /// Adjusts committed sums upward when a repair splice commits the
+    /// replacement segment into a live session.
+    pub fn record_repair_grow(&mut self, binding: TenantBinding, demand: ResourceVector, bw_kbps: f64) {
+        let stats = self.touch(binding);
+        stats.committed += demand;
+        stats.committed_bw_kbps += bw_kbps;
+    }
+
     /// Records an admission-control shed (rate limit or congestion gate).
     pub fn record_shed(&mut self, binding: TenantBinding) {
         self.touch(binding).shed += 1;

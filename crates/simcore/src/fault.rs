@@ -71,6 +71,24 @@ pub enum FaultKind {
         /// Deterministic victim selector.
         ordinal: u64,
     },
+    /// Partition the overlay down-set-style: the contiguous index range
+    /// `first..first+count` (clamped to the node count) is cut off from
+    /// the rest of the mesh. The consuming layer severs every overlay
+    /// link with exactly one endpoint inside the range, so sessions
+    /// spanning the cut break and repair must route around it.
+    Partition {
+        /// First node index of the isolated down-set.
+        first: u32,
+        /// Number of consecutive node indices isolated.
+        count: u32,
+    },
+    /// Heal a partition: restore the links crossing the same cut.
+    PartitionHeal {
+        /// First node index of the previously isolated down-set.
+        first: u32,
+        /// Number of consecutive node indices previously isolated.
+        count: u32,
+    },
 }
 
 impl FaultKind {
@@ -83,6 +101,8 @@ impl FaultKind {
             FaultKind::LinkFail { .. } => "link-fail",
             FaultKind::LinkRestore { .. } => "link-restore",
             FaultKind::ComponentCrash { .. } => "component-crash",
+            FaultKind::Partition { .. } => "partition",
+            FaultKind::PartitionHeal { .. } => "partition-heal",
         }
     }
 }
@@ -118,6 +138,12 @@ pub struct FaultPlanConfig {
     pub degrade_factor: (f64, f64),
     /// Single-component crashes per simulated minute.
     pub component_crash_per_min: f64,
+    /// Overlay partitions per simulated minute. **Zero by default** —
+    /// the class only arms when a scenario asks for it, so existing
+    /// plans (and their digests) are untouched.
+    pub partition_per_min: f64,
+    /// Mean partition duration before the paired heal event.
+    pub mean_partition_duration: SimDuration,
 }
 
 impl Default for FaultPlanConfig {
@@ -130,6 +156,8 @@ impl Default for FaultPlanConfig {
             link_degrade_per_min: 0.5,
             degrade_factor: (0.1, 0.6),
             component_crash_per_min: 0.5,
+            partition_per_min: 0.0,
+            mean_partition_duration: SimDuration::from_minutes(2),
         }
     }
 }
@@ -144,7 +172,53 @@ impl FaultPlanConfig {
             link_fail_per_min: self.link_fail_per_min * churn,
             link_degrade_per_min: self.link_degrade_per_min * churn,
             component_crash_per_min: self.component_crash_per_min * churn,
+            partition_per_min: self.partition_per_min * churn,
             ..self.clone()
+        }
+    }
+}
+
+/// How long a fault goes unnoticed before repair can begin — the
+/// detection-latency distribution a repair-enabled scenario samples per
+/// broken session. `Fixed` draws no randomness at all.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DetectionLatency {
+    /// A constant latency (no randomness consumed).
+    Fixed(SimDuration),
+    /// Uniform over `[min, max]`, quantised to whole microseconds.
+    Uniform {
+        /// Earliest possible detection delay.
+        min: SimDuration,
+        /// Latest possible detection delay.
+        max: SimDuration,
+    },
+    /// Exponential with the given mean, quantised to whole microseconds.
+    Exponential {
+        /// Mean detection delay.
+        mean: SimDuration,
+    },
+}
+
+impl Default for DetectionLatency {
+    fn default() -> Self {
+        DetectionLatency::Fixed(SimDuration::from_secs(1))
+    }
+}
+
+impl DetectionLatency {
+    /// Samples one detection delay. Deterministic given the rng state;
+    /// `Fixed` leaves the rng untouched.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        match *self {
+            DetectionLatency::Fixed(d) => d,
+            DetectionLatency::Uniform { min, max } => {
+                if max <= min {
+                    min
+                } else {
+                    SimDuration::from_micros(rng.gen_range(min.as_micros()..=max.as_micros()))
+                }
+            }
+            DetectionLatency::Exponential { mean } => sample_exp(rng, mean.as_secs_f64()),
         }
     }
 }
@@ -295,6 +369,39 @@ impl FaultPlan {
             }
         }
 
+        // Partition/heal pairs. The cut is a contiguous index down-set
+        // of roughly a quarter of the overlay (at least one node, at
+        // most half), so repair traffic genuinely has to route around
+        // it. Overlapping partitions are allowed — the consuming layer
+        // refcounts crossing links — but the plan avoids re-cutting a
+        // window it still has open, mirroring the node/link classes.
+        if config.partition_per_min > 0.0 && node_count > 1 {
+            let mut rng: StdRng = streams.stream("faults/partition");
+            let mean_gap = 60.0 / config.partition_per_min;
+            let span = ((node_count / 4).max(1)).min(node_count / 2).max(1) as u32;
+            let mut open_until = SimTime::ZERO;
+            let mut t = SimTime::ZERO;
+            loop {
+                t += sample_exp(&mut rng, mean_gap);
+                if t >= end {
+                    break;
+                }
+                if open_until > t {
+                    continue;
+                }
+                let first = rng.gen_range(0..(node_count as u32).saturating_sub(span).max(1));
+                let duration = sample_exp(&mut rng, config.mean_partition_duration.as_secs_f64());
+                let back = t + duration;
+                open_until = back;
+                events.push((t, seq, FaultKind::Partition { first, count: span }));
+                seq += 1;
+                if back < end {
+                    events.push((back, seq, FaultKind::PartitionHeal { first, count: span }));
+                    seq += 1;
+                }
+            }
+        }
+
         // Total order: time, then per-class generation sequence. The seq
         // tiebreak makes simultaneous events (vanishingly rare but
         // possible after quantisation) deterministic.
@@ -372,6 +479,16 @@ impl FaultPlan {
                     mix(6);
                     mix(node as u64);
                     mix(ordinal);
+                }
+                FaultKind::Partition { first, count } => {
+                    mix(7);
+                    mix(first as u64);
+                    mix(count as u64);
+                }
+                FaultKind::PartitionHeal { first, count } => {
+                    mix(8);
+                    mix(first as u64);
+                    mix(count as u64);
                 }
             }
         }
@@ -718,6 +835,98 @@ mod tests {
         let lo = FaultPlan::generate(9, &base.scaled(0.5), 20, 40, SimDuration::from_minutes(120));
         let hi = FaultPlan::generate(9, &base.scaled(4.0), 20, 40, SimDuration::from_minutes(120));
         assert!(hi.len() > lo.len() * 2, "hi {} vs lo {}", hi.len(), lo.len());
+    }
+
+    #[test]
+    fn partitions_are_off_by_default_and_pair_with_heals() {
+        // Default config: no partition events, digests unchanged by the
+        // class existing at all.
+        let p = plan(42);
+        assert!(p.events().iter().all(|e| !matches!(
+            e.kind,
+            FaultKind::Partition { .. } | FaultKind::PartitionHeal { .. }
+        )));
+        // Armed: partitions appear, pair with heals, and never overlap.
+        let config = FaultPlanConfig { partition_per_min: 0.5, ..FaultPlanConfig::default() };
+        let armed = FaultPlan::generate(42, &config, 20, 40, SimDuration::from_minutes(120));
+        let mut open: Option<(u32, u32)> = None;
+        let mut seen = 0;
+        for e in armed.events() {
+            match e.kind {
+                FaultKind::Partition { first, count } => {
+                    assert!(open.is_none(), "partitions must not overlap in-plan");
+                    assert!(count >= 1 && (count as usize) <= 10, "span clamp");
+                    assert!((first + count) as usize <= 20, "cut stays inside the overlay");
+                    open = Some((first, count));
+                    seen += 1;
+                }
+                FaultKind::PartitionHeal { first, count } => {
+                    assert_eq!(open.take(), Some((first, count)), "heal must match its cut");
+                }
+                _ => {}
+            }
+        }
+        assert!(seen > 0, "an armed 2-hour plan partitions at least once");
+    }
+
+    #[test]
+    fn arming_partitions_leaves_other_classes_untouched() {
+        // Per-class streams: the partition class drawing randomness must
+        // not perturb any other class's timeline.
+        let base = plan(42);
+        let config = FaultPlanConfig { partition_per_min: 1.0, ..FaultPlanConfig::default() };
+        let armed = FaultPlan::generate(42, &config, 20, 40, SimDuration::from_minutes(60));
+        let strip = |p: &FaultPlan| -> Vec<FaultEvent> {
+            p.events()
+                .iter()
+                .filter(|e| !matches!(
+                    e.kind,
+                    FaultKind::Partition { .. } | FaultKind::PartitionHeal { .. }
+                ))
+                .copied()
+                .collect()
+        };
+        assert_eq!(strip(&base), strip(&armed));
+    }
+
+    #[test]
+    fn detection_latency_sampling() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(7);
+        // Fixed: constant, draws nothing (rng state must be unchanged).
+        let fixed = DetectionLatency::Fixed(SimDuration::from_millis(500));
+        let before: u64 = rng.gen();
+        let mut replay = StdRng::seed_from_u64(7);
+        let _: u64 = replay.gen();
+        assert_eq!(fixed.sample(&mut rng), SimDuration::from_millis(500));
+        assert_eq!(rng.gen::<u64>(), replay.gen::<u64>(), "Fixed must not consume randomness");
+        let _ = before;
+        // Uniform: stays in range; degenerate range returns min.
+        let uni = DetectionLatency::Uniform {
+            min: SimDuration::from_millis(100),
+            max: SimDuration::from_millis(200),
+        };
+        for _ in 0..200 {
+            let d = uni.sample(&mut rng);
+            assert!((100_000..=200_000).contains(&d.as_micros()), "{d}");
+        }
+        let point = DetectionLatency::Uniform {
+            min: SimDuration::from_secs(1),
+            max: SimDuration::from_secs(1),
+        };
+        assert_eq!(point.sample(&mut rng), SimDuration::from_secs(1));
+        // Exponential: positive, mean in the right ballpark.
+        let exp = DetectionLatency::Exponential { mean: SimDuration::from_secs(2) };
+        let n = 4000;
+        let total: f64 = (0..n).map(|_| exp.sample(&mut rng).as_secs_f64()).sum();
+        let mean = total / n as f64;
+        assert!((1.8..2.2).contains(&mean), "sample mean {mean}");
+        // Determinism: same seed, same sequence.
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        for _ in 0..64 {
+            assert_eq!(exp.sample(&mut a), exp.sample(&mut b));
+        }
     }
 
     #[test]

@@ -56,8 +56,8 @@ pub mod time;
 
 pub use engine::{Model, Simulation};
 pub use fault::{
-    FaultEvent, FaultKind, FaultPlan, FaultPlanConfig, FaultScheduler, MessageFaultConfig,
-    MessageFaultInjector, ReliableTransport, Transport,
+    DetectionLatency, FaultEvent, FaultKind, FaultPlan, FaultPlanConfig, FaultScheduler,
+    MessageFaultConfig, MessageFaultInjector, ReliableTransport, Transport,
 };
 pub use queue::{EventQueue, ScheduledEvent};
 pub use rng::DeterministicRng;

@@ -23,6 +23,7 @@ pub use arrivals::RateSchedule;
 pub use requests::{standard_universe, QosTier, RequestConfig, RequestGenerator, RequestTrace};
 pub use streaming::{Arrival, StreamingArrivals};
 pub use scenario::{
-    build_system, run_scenario, session_digest, tier_index, ChurnConfig, ScenarioConfig,
-    ScenarioResult, TenantPreemptionConfig, TenantSpec, TenantsConfig, TierSummary, TIER_LABELS,
+    build_system, run_scenario, session_digest, tier_index, ChurnConfig, RepairPolicy,
+    RepairScenarioConfig, ScenarioConfig, ScenarioResult, TenantPreemptionConfig, TenantSpec,
+    TenantsConfig, TierSummary, TIER_LABELS,
 };

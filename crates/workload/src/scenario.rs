@@ -12,8 +12,9 @@
 use acp_core::prelude::*;
 use acp_model::prelude::*;
 use acp_simcore::{
-    DeterministicRng, EventQueue, FaultKind, FaultPlan, FaultPlanConfig, FaultScheduler, Histogram,
-    Model, SimDuration, SimTime, Simulation, SummaryStats, TimeSeries, WindowedCounter,
+    DeterministicRng, DetectionLatency, EventQueue, FaultKind, FaultPlan, FaultPlanConfig,
+    FaultScheduler, Histogram, Model, SimDuration, SimTime, Simulation, SummaryStats, TimeSeries,
+    WindowedCounter,
 };
 use acp_state::{GlobalStateBoard, GlobalStateConfig, ScanStats};
 use acp_topology::{InetConfig, Overlay, OverlayConfig, OverlayLinkId, OverlayNodeId};
@@ -57,6 +58,53 @@ impl ChurnConfig {
     /// A config with all fault rates scaled by `churn` (the grid knob).
     pub fn scaled(&self, churn: f64) -> Self {
         ChurnConfig { faults: self.faults.scaled(churn), ..self.clone() }
+    }
+}
+
+/// What happens to a live session a fault breaks, under a repair-enabled
+/// scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairPolicy {
+    /// Splice a freshly probed replacement segment into the degraded
+    /// session in place, make-before-break (the tentpole arm).
+    Repair,
+    /// Terminate-and-restart baseline: the session is killed at fault
+    /// time and recomposed from scratch after the same detection
+    /// latency, so MTTR is measured identically in both arms.
+    Terminate,
+}
+
+/// Live-repair knob for a churn scenario.
+///
+/// When present, fault-struck *path* sessions are degraded in place
+/// instead of killed (under [`RepairPolicy::Repair`]), a repair ticket
+/// is opened per incident, and detection-latency-delayed repair sweeps
+/// drive the [`RepairPlanner`] over the degraded set in ascending
+/// session order. `None` (the default) draws no randomness, schedules
+/// no events, and maintains no ledger — byte-identical to a repair-less
+/// run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairScenarioConfig {
+    /// How long a fault goes unnoticed before its first repair (or
+    /// restart) sweep; sampled once per fault incident.
+    pub detection: DetectionLatency,
+    /// Repair attempts per ticket before the session is abandoned
+    /// (repair arm only — the restart baseline recomposes once).
+    pub retry_budget: u32,
+    /// Delay between a failed repair attempt and its retry sweep.
+    pub retry_delay: SimDuration,
+    /// Which arm this run exercises.
+    pub policy: RepairPolicy,
+}
+
+impl Default for RepairScenarioConfig {
+    fn default() -> Self {
+        RepairScenarioConfig {
+            detection: DetectionLatency::default(),
+            retry_budget: 3,
+            retry_delay: SimDuration::from_secs(2),
+            policy: RepairPolicy::Repair,
+        }
     }
 }
 
@@ -236,6 +284,10 @@ pub struct ScenarioConfig {
     /// Multi-tenant admission control; `None` runs tenant-less, and a
     /// single uncapped `Gold` tenant is byte-identical to `None`.
     pub tenants: Option<TenantsConfig>,
+    /// Live session repair under churn (make-before-break suffix
+    /// recomposition with detection latency and retry budgets); `None`
+    /// keeps the kill-and-failover behaviour byte-identical to today.
+    pub repair: Option<RepairScenarioConfig>,
     /// Shard count for the sharded single-run runtime. `1` (the default)
     /// compiles down to the sequential path — no worker pool, no
     /// [`ShardedRuntime`] at all. Any count produces byte-identical
@@ -273,6 +325,7 @@ impl Default for ScenarioConfig {
             churn: None,
             setup: None,
             tenants: None,
+            repair: None,
             shards: 1,
         }
     }
@@ -387,6 +440,28 @@ pub struct ScenarioResult {
     /// `audit_violations`); 0 = per-tenant ledgers reconciled with the
     /// global brackets at every audit point.
     pub tenant_violations: u64,
+    /// Repair tickets opened (fault incidents on live sessions; 0
+    /// without a repair config).
+    pub repair_opened: u64,
+    /// Repair/restart attempts charged across all tickets.
+    pub repair_attempts: u64,
+    /// Degraded sessions healed by an in-place segment splice.
+    pub sessions_repaired: u64,
+    /// Ticketed sessions recovered by a full restart instead (the
+    /// terminate baseline, plus non-path sessions the planner cannot
+    /// segment).
+    pub sessions_restored: u64,
+    /// Tickets abandoned: retry budget exhausted or restart failed.
+    pub repair_abandoned: u64,
+    /// Tickets cancelled by an unrelated session close while open.
+    pub repair_cancelled: u64,
+    /// Time-to-repair over recovered tickets, fault to settle, seconds
+    /// (detection latency counts as outage).
+    pub mttr: SummaryStats,
+    /// Median MTTR in seconds (0 with no recoveries).
+    pub mttr_p50: f64,
+    /// 99th-percentile MTTR in seconds (0 with no recoveries).
+    pub mttr_p99: f64,
     /// Shard count the run executed with (1 = sequential path).
     pub shards: usize,
     /// Cross-shard traffic classification (all zero on sequential runs).
@@ -440,6 +515,10 @@ enum Event {
     Fault,
     /// Recompose the sessions orphaned by recent faults.
     FailoverSweep,
+    /// Repair the degraded sessions whose detection latency (or retry
+    /// delay) has elapsed. Scheduled only by repair-enabled runs, so
+    /// every other configuration keeps an identical event stream.
+    RepairSweep,
     /// One background rebalancer round (churn only).
     Rebalance,
     /// One tenant pressure-controller round (preemption only): scheduled
@@ -455,8 +534,15 @@ struct ChurnState {
     /// Session-duration stream for recovered sessions; separate from the
     /// workload stream so enabling churn never perturbs the arrivals.
     rng: StdRng,
-    /// Sessions orphaned by faults, with the instant the fault landed.
-    pending: Vec<(SimTime, Request)>,
+    /// Sessions orphaned by faults, as `(due, failed_at, request)`: the
+    /// sweep recomposes an orphan once `due` has passed. Without repair,
+    /// `due` is always `failed_at + failover_delay`; repair-enabled runs
+    /// substitute the sampled detection latency.
+    pending: Vec<(SimTime, SimTime, Request)>,
+    /// Per-overlay-link count of live partitions holding the link down.
+    /// A `LinkRestore` is deferred while its link's count is positive;
+    /// a `PartitionHeal` restores crossing links whose count drops to 0.
+    partition_refs: Vec<u32>,
     rebalancer: Rebalancer,
     fault_events: usize,
     fault_kinds: usize,
@@ -465,6 +551,32 @@ struct ChurnState {
     sessions_recovered: u64,
     sessions_lost: u64,
     recovery_latency: SummaryStats,
+}
+
+/// The setup mode repair composes run under: mirrors the scenario's
+/// `setup` config so repair probing sees the same message-fault
+/// environment as arrival probing, with its own label-derived seed.
+enum RepairComposeMode {
+    Single(SinglePhase),
+    // Boxed: SetupState is ~300 bytes vs SinglePhase's zero, and one
+    // lives per run, so the indirection is free.
+    Two(Box<SetupState>),
+}
+
+/// Live repair state carried by a repair-enabled scenario.
+struct RepairRuntime {
+    config: RepairScenarioConfig,
+    planner: RepairPlanner,
+    /// Detection-latency stream; label-derived, and the default `Fixed`
+    /// distribution draws nothing at all.
+    detect_rng: StdRng,
+    /// Probing randomness for repair composes, separate from the main
+    /// composer so enabling repair never perturbs arrival compositions.
+    compose_rng: StdRng,
+    mode: RepairComposeMode,
+    /// Degraded sessions awaiting their detection latency or retry
+    /// delay, as `(due, session)`.
+    pending: Vec<(SimTime, SessionId)>,
 }
 
 /// Internal per-tier admission counters (offered/shed/composed/failed);
@@ -527,6 +639,7 @@ struct ScenarioModel {
     total_successes: u64,
     replay_key_offset: u64,
     churn: Option<ChurnState>,
+    repair: Option<RepairRuntime>,
     tenants: Option<TenantRuntime>,
     tenant_violations: u64,
     auditor: SystemAuditor,
@@ -550,7 +663,7 @@ impl ScenarioModel {
     /// the sharded runtime is live. Only the two-phase path can leave
     /// transients behind between events, so single-phase runs skip it.
     fn sweep_transients(&mut self, now: SimTime) {
-        if self.config.setup.is_some() {
+        if self.config.setup.is_some() || self.config.repair.is_some() {
             match self.shard.as_mut() {
                 Some(rt) => {
                     rt.expire_transients(&mut self.system, now);
@@ -621,18 +734,35 @@ impl ScenarioModel {
 
     /// Applies one fault-plan event to the system. Victim indices are
     /// taken modulo the live entity counts so a plan generated for any
-    /// topology replays cleanly. Sessions orphaned by the fault are
-    /// queued for the failover sweep scheduled `failover_delay` later.
+    /// topology replays cleanly.
+    ///
+    /// Without a repair config, struck sessions are killed and queued
+    /// for the failover sweep `failover_delay` later — exactly the
+    /// pre-repair behaviour. Under [`RepairPolicy::Repair`], path
+    /// sessions are *degraded in place* through the make-before-break
+    /// operators and queued for a repair sweep after the sampled
+    /// detection latency; non-path sessions (and every session under
+    /// [`RepairPolicy::Terminate`]) still die, but get a repair ticket
+    /// so MTTR and survival are measured identically in both arms.
     fn apply_fault(&mut self, now: SimTime, kind: FaultKind, queue: &mut EventQueue<Event>) {
         let node_count = self.system.node_count() as u32;
         let link_count = self.system.overlay().link_count() as u32;
+        let repair_in_place =
+            self.repair.as_ref().is_some_and(|r| r.config.policy == RepairPolicy::Repair);
         let mut orphaned: Vec<Request> = Vec::new();
+        let mut degraded: Vec<SessionId> = Vec::new();
         match kind {
             FaultKind::NodeFail { node } => {
                 let v = OverlayNodeId(node % node_count);
                 if !self.system.is_node_failed(v) {
-                    let (_, victims) = self.system.fail_node(v);
-                    orphaned = victims;
+                    if repair_in_place {
+                        let (_, outcome) = self.system.fail_node_degrading(v, now);
+                        degraded = outcome.degraded;
+                        orphaned = outcome.orphaned;
+                    } else {
+                        let (_, victims) = self.system.fail_node(v);
+                        orphaned = victims;
+                    }
                     self.overhead.state_update_messages += self.refresh_board();
                 }
             }
@@ -647,7 +777,13 @@ impl ScenarioModel {
                 if link_count > 0 {
                     let l = OverlayLinkId(link % link_count);
                     if !self.system.is_link_failed(l) {
-                        orphaned = self.system.fail_link(l);
+                        if repair_in_place {
+                            let outcome = self.system.fail_link_degrading(l, now);
+                            degraded = outcome.degraded;
+                            orphaned = outcome.orphaned;
+                        } else {
+                            orphaned = self.system.fail_link(l);
+                        }
                         self.overhead.state_update_messages += self.aggregate_board();
                     }
                 }
@@ -655,15 +791,29 @@ impl ScenarioModel {
             FaultKind::LinkDegrade { link, factor } => {
                 if link_count > 0 {
                     let l = OverlayLinkId(link % link_count);
-                    orphaned = self.system.degrade_link(l, factor);
+                    if repair_in_place {
+                        let outcome = self.system.degrade_link_degrading(l, factor, now);
+                        degraded = outcome.degraded;
+                        orphaned = outcome.orphaned;
+                    } else {
+                        orphaned = self.system.degrade_link(l, factor);
+                    }
                     self.overhead.state_update_messages += self.aggregate_board();
                 }
             }
             FaultKind::LinkRestore { link } => {
                 if link_count > 0 {
                     let l = OverlayLinkId(link % link_count);
-                    self.system.restore_link(l);
-                    self.overhead.state_update_messages += self.aggregate_board();
+                    // A live partition still holds the link down; its
+                    // heal event will restore it.
+                    let held = self
+                        .churn
+                        .as_ref()
+                        .is_some_and(|c| c.partition_refs.get(l.index()).is_some_and(|&r| r > 0));
+                    if !held {
+                        self.system.restore_link(l);
+                        self.overhead.state_update_messages += self.aggregate_board();
+                    }
                 }
             }
             FaultKind::ComponentCrash { node, ordinal } => {
@@ -672,17 +822,143 @@ impl ScenarioModel {
                     self.system.node(v).components().map(|c| c.id).collect();
                 if !live.is_empty() {
                     let id = live[(ordinal % live.len() as u64) as usize];
-                    orphaned = self.system.crash_component(id);
+                    if repair_in_place {
+                        let outcome = self.system.crash_component_degrading(id, now);
+                        degraded = outcome.degraded;
+                        orphaned = outcome.orphaned;
+                    } else {
+                        orphaned = self.system.crash_component(id);
+                    }
                     self.overhead.state_update_messages += self.refresh_board();
                 }
             }
+            FaultKind::Partition { first, count } => {
+                self.apply_partition(now, first, count, repair_in_place, &mut degraded, &mut orphaned);
+            }
+            FaultKind::PartitionHeal { first, count } => {
+                self.heal_partition(first, count);
+            }
+        }
+        if orphaned.is_empty() && degraded.is_empty() {
+            return;
+        }
+        let churn = self.churn.as_mut().expect("faults imply churn");
+        churn.sessions_killed += orphaned.len() as u64;
+        // One detection draw per fault incident: every session the fault
+        // struck is detected together. Repair-less runs keep the fixed
+        // failover delay and draw nothing.
+        let due = now
+            + match self.repair.as_mut() {
+                Some(repair) => repair.config.detection.sample(&mut repair.detect_rng),
+                None => churn.config.failover_delay,
+            };
+        if let Some(repair) = self.repair.as_mut() {
+            // Killed sessions get restart tickets *after* the kill (so
+            // the close hook cannot cancel them); degraded sessions had
+            // theirs opened by the degrading operator itself.
+            for request in &orphaned {
+                self.system.repair_ledger_mut().open_ticket(request.id, now);
+            }
+            if !degraded.is_empty() {
+                repair.pending.extend(degraded.into_iter().map(|sid| (due, sid)));
+                queue.schedule(due, Event::RepairSweep);
+            }
         }
         if !orphaned.is_empty() {
-            let churn = self.churn.as_mut().expect("faults imply churn");
-            churn.sessions_killed += orphaned.len() as u64;
-            let delay = churn.config.failover_delay;
-            churn.pending.extend(orphaned.into_iter().map(|r| (now, r)));
-            queue.schedule(now + delay, Event::FailoverSweep);
+            churn.pending.extend(orphaned.into_iter().map(|r| (due, now, r)));
+            queue.schedule(due, Event::FailoverSweep);
+        }
+    }
+
+    /// Severs every overlay link with exactly one endpoint inside the
+    /// (clamped) contiguous range `first..first+count`, bumping each
+    /// link's partition refcount. Already-failed links just gain a
+    /// reference — severing is idempotent.
+    fn apply_partition(
+        &mut self,
+        now: SimTime,
+        first: u32,
+        count: u32,
+        repair_in_place: bool,
+        degraded: &mut Vec<SessionId>,
+        orphaned: &mut Vec<Request>,
+    ) {
+        let node_count = self.system.node_count() as u32;
+        if node_count == 0 || count == 0 {
+            return;
+        }
+        let first = first.min(node_count);
+        let hi = first.saturating_add(count).min(node_count);
+        let inside = |n: OverlayNodeId| n.0 >= first && n.0 < hi;
+        let crossing: Vec<OverlayLinkId> = self
+            .system
+            .overlay()
+            .links()
+            .filter(|&l| {
+                let (a, b) = self.system.overlay().link_endpoints(l);
+                inside(a) != inside(b)
+            })
+            .collect();
+        let mut touched = false;
+        for l in crossing {
+            if let Some(churn) = self.churn.as_mut() {
+                churn.partition_refs[l.index()] += 1;
+            }
+            if !self.system.is_link_failed(l) {
+                if repair_in_place {
+                    let outcome = self.system.fail_link_degrading(l, now);
+                    degraded.extend(outcome.degraded);
+                    orphaned.extend(outcome.orphaned);
+                } else {
+                    orphaned.extend(self.system.fail_link(l));
+                }
+                touched = true;
+            }
+        }
+        if touched {
+            self.overhead.state_update_messages += self.aggregate_board();
+        }
+    }
+
+    /// Heals a partition cut: drops each crossing link's refcount and
+    /// restores the links no partition holds any more. A link an
+    /// individual `LinkFail` also downed comes back here too — the cut
+    /// healing re-establishes the forwarding plane — and its later
+    /// `LinkRestore` is then a no-op.
+    fn heal_partition(&mut self, first: u32, count: u32) {
+        let node_count = self.system.node_count() as u32;
+        if node_count == 0 || count == 0 {
+            return;
+        }
+        let first = first.min(node_count);
+        let hi = first.saturating_add(count).min(node_count);
+        let inside = |n: OverlayNodeId| n.0 >= first && n.0 < hi;
+        let crossing: Vec<OverlayLinkId> = self
+            .system
+            .overlay()
+            .links()
+            .filter(|&l| {
+                let (a, b) = self.system.overlay().link_endpoints(l);
+                inside(a) != inside(b)
+            })
+            .collect();
+        let mut touched = false;
+        for l in crossing {
+            let free = match self.churn.as_mut() {
+                Some(churn) => {
+                    let refs = &mut churn.partition_refs[l.index()];
+                    *refs = refs.saturating_sub(1);
+                    *refs == 0
+                }
+                None => true,
+            };
+            if free && self.system.is_link_failed(l) {
+                self.system.restore_link(l);
+                touched = true;
+            }
+        }
+        if touched {
+            self.overhead.state_update_messages += self.aggregate_board();
         }
     }
 
@@ -850,12 +1126,11 @@ impl Model for ScenarioModel {
             Event::FailoverSweep => {
                 let Some(mut churn) = self.churn.take() else { return };
                 self.sweep_transients(now);
-                let delay = churn.config.failover_delay;
-                // Only sessions whose delay has elapsed; later victims
+                // Only sessions whose due time has passed; later victims
                 // wait for the sweep scheduled by their own fault.
                 let mut due = Vec::new();
-                churn.pending.retain(|&(fail_time, ref request)| {
-                    if fail_time + delay <= now {
+                churn.pending.retain(|&(due_at, fail_time, ref request)| {
+                    if due_at <= now {
                         due.push((fail_time, request.clone()));
                         false
                     } else {
@@ -870,15 +1145,154 @@ impl Model for ScenarioModel {
                         Some(sid) => {
                             churn.sessions_recovered += 1;
                             churn.recovery_latency.add((now - fail_time).as_secs_f64());
+                            if self.repair.is_some() {
+                                self.system.repair_ledger_mut().record_restored(request.id, now);
+                            }
                             let (lo, hi) = self.config.requests.session_minutes;
                             let minutes = churn.rng.gen_range(lo..hi);
                             let end = now + SimDuration::from_secs_f64(minutes * 60.0);
                             queue.schedule(end, Event::SessionEnd(sid));
                         }
-                        None => churn.sessions_lost += 1,
+                        None => {
+                            // Repair arm: restarts share the ticket's
+                            // retry budget and re-queue until it runs
+                            // out. The terminate baseline stays
+                            // single-shot by contract.
+                            let retry = self.repair.as_ref().and_then(|r| {
+                                (r.config.policy == RepairPolicy::Repair)
+                                    .then_some((r.config.retry_budget, r.config.retry_delay))
+                            });
+                            match retry {
+                                Some((budget, delay))
+                                    if self
+                                        .system
+                                        .repair_ledger()
+                                        .ticket(request.id)
+                                        .is_some_and(|t| t.attempts < budget) =>
+                                {
+                                    let ledger = self.system.repair_ledger_mut();
+                                    ledger.begin_attempt(request.id);
+                                    ledger.attempt_failed(request.id);
+                                    let at = now + delay;
+                                    churn.pending.push((at, fail_time, request));
+                                    queue.schedule(at, Event::FailoverSweep);
+                                }
+                                _ => {
+                                    churn.sessions_lost += 1;
+                                    // A failed restart with no budget
+                                    // left settles the ticket.
+                                    if self.repair.is_some() {
+                                        self.system.repair_ledger_mut().record_abandoned(request.id);
+                                    }
+                                }
+                            }
+                        }
                     }
                 }
                 self.churn = Some(churn);
+                self.run_audit(now);
+            }
+            Event::RepairSweep => {
+                let Some(mut repair) = self.repair.take() else { return };
+                self.sweep_transients(now);
+                let mut due: Vec<SessionId> = Vec::new();
+                repair.pending.retain(|&(due_at, sid)| {
+                    if due_at <= now {
+                        due.push(sid);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                // Canonical coordinator order: ascending session id, so
+                // sharded runs replay repairs byte-identically.
+                due.sort_unstable();
+                due.dedup();
+                let RepairRuntime { config: repair_config, planner, compose_rng, mode, pending, .. } =
+                    &mut repair;
+                for sid in due {
+                    let attempt = match mode {
+                        RepairComposeMode::Single(m) => planner.repair_session(
+                            &mut self.system,
+                            &self.board,
+                            sid,
+                            now,
+                            &self.config.probing,
+                            m,
+                            compose_rng,
+                            self.shard.as_mut(),
+                        ),
+                        RepairComposeMode::Two(m) => planner.repair_session(
+                            &mut self.system,
+                            &self.board,
+                            sid,
+                            now,
+                            &self.config.probing,
+                            m.as_mut(),
+                            compose_rng,
+                            self.shard.as_mut(),
+                        ),
+                    };
+                    if let Some(probing) = attempt.probing {
+                        self.overhead += probing.stats;
+                        self.setup_totals += probing.setup;
+                    }
+                    match attempt.verdict {
+                        // Repaired settles the ticket in the ledger;
+                        // NotDegraded means the session ended or was
+                        // already healed — nothing left to do.
+                        RepairVerdict::Repaired | RepairVerdict::NotDegraded => {}
+                        RepairVerdict::Failed(ref failure) => {
+                            let attempts = self
+                                .system
+                                .session(sid)
+                                .map(|s| s.request)
+                                .and_then(|r| self.system.repair_ledger().ticket(r))
+                                .map_or(u32::MAX, |t| t.attempts);
+                            if failure.is_transient() && attempts < repair_config.retry_budget
+                            {
+                                // Boundary contention eases within
+                                // seconds — re-splice, budget allowing.
+                                let retry = now + repair_config.retry_delay;
+                                pending.push((retry, sid));
+                                queue.schedule(retry, Event::RepairSweep);
+                            } else {
+                                // Structural failure (or budget spent):
+                                // a later re-splice of the same segment
+                                // is deterministic, so escalate to
+                                // terminate-restart now. The session
+                                // dies but its ticket stays open — the
+                                // failover recompose settles it as
+                                // restored or abandoned, so the repair
+                                // arm is never worse than the restart
+                                // baseline.
+                                match self.system.terminate_for_restart(sid) {
+                                    Some(request) if self.churn.is_some() => {
+                                        let fail_time = self
+                                            .system
+                                            .repair_ledger()
+                                            .ticket(request.id)
+                                            .map_or(now, |t| t.failed_at);
+                                        let churn = self.churn.as_mut().expect("checked");
+                                        churn.sessions_killed += 1;
+                                        churn.pending.push((now, fail_time, request));
+                                        queue.schedule(now, Event::FailoverSweep);
+                                    }
+                                    Some(request) => {
+                                        // No churn runtime to restart
+                                        // through (defensive): settle as
+                                        // abandoned.
+                                        self.system
+                                            .repair_ledger_mut()
+                                            .record_abandoned(request.id);
+                                    }
+                                    None => {}
+                                }
+                            }
+                        }
+                    }
+                }
+                self.repair = Some(repair);
                 self.run_audit(now);
             }
             Event::Rebalance => {
@@ -943,12 +1357,15 @@ pub fn build_system(config: &ScenarioConfig) -> (StreamSystem, GlobalStateBoard,
 pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
     let (mut system, board, library) = build_system(&config);
     // The lease ledger (and the audit pass keyed off it) only means
-    // anything when the two-phase setup path can create lease lifetimes;
+    // anything when lease lifetimes can exist: the two-phase setup path,
+    // or repair (boundary bridges are transient reservations). Plain
     // single-phase runs switch the bookkeeping off.
-    system.set_lease_accounting(config.setup.is_some());
+    system.set_lease_accounting(config.setup.is_some() || config.repair.is_some());
     // Likewise the per-tenant ledger (and its audit pass): only tenanted
     // runs pay for the bookkeeping.
     system.set_tenant_accounting(config.tenants.is_some());
+    // And the repair ledger with its own audit pass.
+    system.set_repair_accounting(config.repair.is_some());
     let streams = DeterministicRng::new(config.seed);
     let workload_rng = streams.stream("workload");
     let composer_seed = streams.seed_for("composer");
@@ -1006,12 +1423,35 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
             scheduler: plan.into_scheduler(),
             rng: streams.stream("churn"),
             pending: Vec::new(),
+            partition_refs: vec![0; system.overlay().link_count()],
             rebalancer: Rebalancer::new(RebalanceConfig::default()),
             sessions_killed: 0,
             sessions_recovered: 0,
             sessions_lost: 0,
             recovery_latency: SummaryStats::default(),
             config: churn_config,
+        }
+    });
+
+    // Repair runtime: its streams are label-derived, so enabling repair
+    // never perturbs arrivals, faults, or the main composer. The compose
+    // mode mirrors the setup config — repair probing fights the same
+    // lossy transport as arrival probing, on its own seed.
+    let repair = config.repair.clone().map(|repair_config| {
+        let mode = match &config.setup {
+            Some(setup) => RepairComposeMode::Two(Box::new(SetupState::new(
+                streams.seed_for("repair-setup"),
+                setup.clone(),
+            ))),
+            None => RepairComposeMode::Single(SinglePhase),
+        };
+        RepairRuntime {
+            planner: RepairPlanner::new(),
+            detect_rng: streams.stream("repair"),
+            compose_rng: streams.stream("repair-compose"),
+            mode,
+            pending: Vec::new(),
+            config: repair_config,
         }
     });
 
@@ -1083,6 +1523,7 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
         setup_totals: SetupStats::default(),
         fault_hit_requests: 0,
         fault_hit_successes: 0,
+        repair,
         config,
     };
 
@@ -1149,8 +1590,18 @@ pub fn run_scenario(config: ScenarioConfig) -> ScenarioResult {
             tenant_tiers[i].live_end += stats.live;
         }
     }
+    let ledger = model.system.repair_ledger();
     ScenarioResult {
         algorithm,
+        repair_opened: ledger.opened,
+        repair_attempts: ledger.attempts,
+        sessions_repaired: ledger.repaired,
+        sessions_restored: ledger.restored,
+        repair_abandoned: ledger.abandoned,
+        repair_cancelled: ledger.cancelled,
+        mttr: *ledger.mttr_stats(),
+        mttr_p50: ledger.mttr_quantile(0.5).unwrap_or(0.0),
+        mttr_p99: ledger.mttr_quantile(0.99).unwrap_or(0.0),
         overall_success: overall,
         total_requests: model.total_requests,
         total_successes: model.total_successes,
@@ -1519,6 +1970,124 @@ mod tests {
         assert_eq!(gold.shed, 0, "uncapped tenant unaffected");
         assert!(best.shed > 0, "rate limit must shed the capped tenant");
         assert_eq!(result.tenant_violations, 0, "shed bookkeeping must reconcile");
+    }
+
+    #[test]
+    fn repair_scenario_splices_sessions_and_audits_clean() {
+        let mut config = ScenarioConfig::small(9);
+        config.churn = Some(ChurnConfig::default());
+        config.repair = Some(RepairScenarioConfig::default());
+        let result = run_scenario(config);
+        assert!(result.repair_opened > 0, "churn at these rates must break sessions");
+        assert!(result.sessions_repaired > 0, "in-place splices must land");
+        // Settled tickets never exceed opened ones; the auditor (which
+        // ran clean, below) checks exact reconciliation including the
+        // tickets still open at the horizon.
+        assert!(
+            result.sessions_repaired
+                + result.sessions_restored
+                + result.repair_abandoned
+                + result.repair_cancelled
+                <= result.repair_opened
+        );
+        assert_eq!(result.audit_violations, 0, "repair invariants must hold at every audit");
+        assert_eq!(result.leases_leaked, 0, "make-before-break must not leak leases");
+        // Detection latency counts as outage: with the 1 s fixed default
+        // no recovery can beat it.
+        if result.mttr.count > 0 {
+            assert!(result.mttr.min >= 1.0, "MTTR floor is the detection latency, min {}", result.mttr.min);
+        }
+        assert!(result.mttr_p99 >= result.mttr_p50);
+    }
+
+    #[test]
+    fn repair_scenario_is_deterministic() {
+        let make = || {
+            let mut config = ScenarioConfig::small(14);
+            config.churn = Some(ChurnConfig::default().scaled(1.5));
+            config.repair = Some(RepairScenarioConfig {
+                detection: DetectionLatency::Uniform {
+                    min: SimDuration::from_millis(500),
+                    max: SimDuration::from_secs(4),
+                },
+                ..RepairScenarioConfig::default()
+            });
+            run_scenario(config)
+        };
+        let a = make();
+        let b = make();
+        assert_eq!(a.session_digest, b.session_digest);
+        assert_eq!(a.audit_digest, b.audit_digest);
+        assert_eq!(a.chaos_digest(), b.chaos_digest());
+        assert_eq!(a.repair_opened, b.repair_opened);
+        assert_eq!(a.sessions_repaired, b.sessions_repaired);
+        assert_eq!(a.repair_attempts, b.repair_attempts);
+        assert_eq!(a.mttr, b.mttr);
+        assert_eq!(a.sim_events, b.sim_events);
+    }
+
+    #[test]
+    fn terminate_policy_restores_instead_of_splicing() {
+        let mut config = ScenarioConfig::small(9);
+        config.churn = Some(ChurnConfig::default());
+        config.repair = Some(RepairScenarioConfig {
+            policy: RepairPolicy::Terminate,
+            ..RepairScenarioConfig::default()
+        });
+        let result = run_scenario(config);
+        assert_eq!(result.sessions_repaired, 0, "terminate arm never splices");
+        assert!(result.sessions_restored > 0, "restarts must land");
+        assert_eq!(
+            result.sessions_restored, result.sessions_recovered,
+            "every successful restart settles its ticket as restored"
+        );
+        assert_eq!(
+            result.repair_abandoned, result.sessions_lost,
+            "every failed restart settles its ticket as abandoned"
+        );
+        assert!(result.sessions_killed > 0, "terminate arm kills at fault time");
+        assert_eq!(result.audit_violations, 0);
+    }
+
+    #[test]
+    fn repair_keeps_more_sessions_alive_than_terminate() {
+        // Same seed, same fault plan: the only difference is the arm.
+        // Repair must strictly reduce fault-induced session deaths.
+        let arm = |policy| {
+            let mut config = ScenarioConfig::small(9);
+            config.churn = Some(ChurnConfig::default());
+            config.repair = Some(RepairScenarioConfig { policy, ..RepairScenarioConfig::default() });
+            run_scenario(config)
+        };
+        let repair = arm(RepairPolicy::Repair);
+        let terminate = arm(RepairPolicy::Terminate);
+        assert_eq!(repair.fault_digest, terminate.fault_digest, "same plan in both arms");
+        assert!(
+            repair.sessions_killed < terminate.sessions_killed,
+            "repair arm must keep path sessions alive: {} killed vs {}",
+            repair.sessions_killed,
+            terminate.sessions_killed
+        );
+    }
+
+    #[test]
+    fn partitions_sever_and_heal_crossing_links_cleanly() {
+        let make = |seed| {
+            let mut config = ScenarioConfig::small(seed);
+            config.churn = Some(ChurnConfig {
+                faults: FaultPlanConfig { partition_per_min: 0.3, ..FaultPlanConfig::default() },
+                ..ChurnConfig::default()
+            });
+            config.repair = Some(RepairScenarioConfig::default());
+            run_scenario(config)
+        };
+        let result = make(16);
+        assert!(result.fault_kinds >= 5, "partition classes must appear, got {}", result.fault_kinds);
+        assert!(result.repair_opened > 0, "cut links must break sessions");
+        assert_eq!(result.audit_violations, 0, "invariants must hold through cut and heal");
+        assert_eq!(result.leases_leaked, 0);
+        let again = make(16);
+        assert_eq!(result.chaos_digest(), again.chaos_digest(), "partitions replay deterministically");
     }
 
     #[test]
